@@ -1,0 +1,345 @@
+// Benchmarks regenerating the paper's tables and figures at test scale.
+// Each BenchmarkFigN* corresponds to a panel of the paper's evaluation
+// (Section 6); cmd/ttbench runs the same experiments at full scale and
+// prints the complete tables. Accuracy metrics are attached to the timing
+// output via b.ReportMetric, so a single -bench run shows both dimensions.
+package pathhist
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pathhist/internal/card"
+	"pathhist/internal/experiments"
+	"pathhist/internal/gps"
+	"pathhist/internal/hist"
+	"pathhist/internal/mapmatch"
+	"pathhist/internal/network"
+	"pathhist/internal/query"
+	"pathhist/internal/snt"
+	"pathhist/internal/suffix"
+	"pathhist/internal/temporal"
+	"pathhist/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+// env lazily builds the shared benchmark dataset (small scale).
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := workload.SmallConfig()
+		benchEnv = experiments.NewEnv(cfg, 0.05, 5)
+	})
+	if len(benchEnv.Queries) == 0 {
+		b.Fatal("no queries in benchmark env")
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1EstimateTT measures the speed-limit fallback (Table 1).
+func BenchmarkTable1EstimateTT(b *testing.B) {
+	g, ids := network.PaperExample()
+	p := network.Path{ids["A"], ids["B"], ids["E"]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.EstimatePathTT(p)
+	}
+}
+
+// benchGridCell times one engine configuration over the query set and
+// reports the paper's accuracy metrics alongside.
+func benchGridCell(b *testing.B, qt experiments.QueryType, pt query.Partitioner, sp query.Splitter, beta int) {
+	e := env(b)
+	ix := e.Index(temporal.CSS, 0, 0)
+	eng := query.NewEngine(ix, query.Config{Partitioner: pt, Splitter: sp, BucketWidth: 10})
+	qs := e.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		_ = eng.TripQuery(experiments.SPQFor(q, qt, beta))
+	}
+	b.StopTimer()
+	p := e.RunCell(ix, qt, pt, sp, beta, nil)
+	b.ReportMetric(p.SMAPE, "sMAPE%")
+	b.ReportMetric(p.AvgSubLen, "subLen")
+	b.ReportMetric(p.LogL, "logL")
+}
+
+// Figures 5-9, Temporal Filters panel (a): best method πZ/σR at β=20 vs the
+// π1 baseline and the σL variant.
+func BenchmarkFig5aTemporalPiZ(b *testing.B) {
+	benchGridCell(b, experiments.TemporalFilters, query.Partitioner{Kind: query.ZoneKind}, query.SigmaR, 20)
+}
+
+func BenchmarkFig5aTemporalPi1Baseline(b *testing.B) {
+	benchGridCell(b, experiments.TemporalFilters, query.Partitioner{Kind: query.Regular, P: 1}, query.SigmaR, 20)
+}
+
+func BenchmarkFig5aTemporalPiZSigmaL(b *testing.B) {
+	benchGridCell(b, experiments.TemporalFilters, query.Partitioner{Kind: query.ZoneKind}, query.SigmaL, 20)
+}
+
+// Figures 5-9, User Filters panel (b): πMDM applies user predicates
+// selectively; πC applies them everywhere.
+func BenchmarkFig5bUserPiMDM(b *testing.B) {
+	benchGridCell(b, experiments.UserFilters, query.Partitioner{Kind: query.MDM}, query.SigmaR, 20)
+}
+
+func BenchmarkFig5bUserPiC(b *testing.B) {
+	benchGridCell(b, experiments.UserFilters, query.Partitioner{Kind: query.Category}, query.SigmaR, 20)
+}
+
+// Figures 5-9, SPQ Only panel (c).
+func BenchmarkFig5cSPQOnlyPiN(b *testing.B) {
+	benchGridCell(b, experiments.SPQOnly, query.Partitioner{Kind: query.None}, query.SigmaR, 20)
+}
+
+// BenchmarkFig9QueryLatency sweeps β for the headline latency figure.
+func BenchmarkFig9QueryLatency(b *testing.B) {
+	for _, beta := range []int{10, 30, 50} {
+		b.Run(map[int]string{10: "beta10", 30: "beta30", 50: "beta50"}[beta], func(b *testing.B) {
+			benchGridCell(b, experiments.TemporalFilters, query.Partitioner{Kind: query.ZoneKind}, query.SigmaR, beta)
+		})
+	}
+}
+
+// BenchmarkFig10IndexBuild measures index construction (Figure 10c).
+func BenchmarkFig10IndexBuild(b *testing.B) {
+	e := env(b)
+	for _, cfg := range []struct {
+		name string
+		tree temporal.TreeKind
+		days int
+	}{
+		{"CSS_FULL", temporal.CSS, 0},
+		{"CSS_30d", temporal.CSS, 30},
+		{"BT_FULL", temporal.BPlus, 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix := snt.Build(e.DS.G, e.DS.Store, snt.Options{Tree: cfg.tree, PartitionDays: cfg.days})
+				if i == b.N-1 {
+					m := ix.Memory()
+					b.ReportMetric(float64(m.Total())/1024/1024, "MiB")
+					b.ReportMetric(float64(ix.NumPartitions()), "partitions")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10bTodHistograms measures ToD histogram build cost and size
+// (Figure 10b).
+func BenchmarkFig10bTodHistograms(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		ix := snt.Build(e.DS.G, e.DS.Store, snt.Options{TodBucketSeconds: 60})
+		if i == b.N-1 {
+			b.ReportMetric(float64(ix.Memory().TodBytes)/1024/1024, "MiB")
+		}
+	}
+}
+
+// BenchmarkFig11aEstimator measures cardinality estimation itself and
+// reports the q-error (Figure 11a).
+func BenchmarkFig11aEstimator(b *testing.B) {
+	e := env(b)
+	for _, mode := range []card.Mode{card.ISA, card.CSSFast, card.CSSAcc} {
+		b.Run(mode.String(), func(b *testing.B) {
+			ix := e.Index(temporal.CSS, 0, 900)
+			est := card.New(ix, mode)
+			pt := query.Partitioner{Kind: query.ZoneKind}
+			var subs []query.SPQ
+			for _, q := range e.Queries {
+				subs = append(subs, pt.Partition(e.DS.G, experiments.SPQFor(q, experiments.TemporalFilters, 20))...)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := subs[i%len(subs)]
+				_, _ = est.Estimate(s.Path, s.Interval, s.Filter)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11bEstimatorRuntime measures end-to-end query time with and
+// without the estimator (Figure 11b).
+func BenchmarkFig11bEstimatorRuntime(b *testing.B) {
+	e := env(b)
+	for _, cfg := range []struct {
+		name string
+		mode card.Mode
+		tod  int
+	}{
+		{"CSS_off", card.Off, 0},
+		{"CSS_Fast", card.CSSFast, 0},
+		{"CSS_Acc", card.CSSAcc, 900},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			ix := e.Index(temporal.CSS, 0, cfg.tod)
+			var est *card.Estimator
+			if cfg.mode != card.Off {
+				est = card.New(ix, cfg.mode)
+			}
+			eng := query.NewEngine(ix, query.Config{
+				Partitioner: query.Partitioner{Kind: query.ZoneKind},
+				BucketWidth: 10,
+				Estimator:   est,
+			})
+			qs := e.Queries
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				_ = eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScanOrder compares newest-first and oldest-first
+// temporal scans (DESIGN.md §4, decision 4).
+func BenchmarkAblationScanOrder(b *testing.B) {
+	e := env(b)
+	for _, oldest := range []bool{false, true} {
+		name := "newestFirst"
+		if oldest {
+			name = "oldestFirst"
+		}
+		b.Run(name, func(b *testing.B) {
+			ix := snt.Build(e.DS.G, e.DS.Store, snt.Options{OldestFirst: oldest})
+			eng := query.NewEngine(ix, query.Config{
+				Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+			})
+			qs := e.Queries
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				_ = eng.TripQuery(experiments.SPQFor(q, experiments.SPQOnly, 20))
+			}
+			b.StopTimer()
+			p := e.RunCell(ix, experiments.SPQOnly, query.Partitioner{Kind: query.ZoneKind}, query.SigmaR, 20, nil)
+			b.ReportMetric(p.SMAPE, "sMAPE%")
+		})
+	}
+}
+
+// BenchmarkThroughputParallel measures multi-client query throughput (the
+// parallelization opportunity the paper's outlook names).
+func BenchmarkThroughputParallel(b *testing.B) {
+	e := env(b)
+	ix := e.Index(temporal.CSS, 0, 0)
+	eng := query.NewEngine(ix, query.Config{
+		Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+	})
+	qs := e.Queries
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&next, 1)
+			q := qs[int(i)%len(qs)]
+			_ = eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
+		}
+	})
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+func BenchmarkSuffixArraySAIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 18
+	text := make([]int32, n)
+	for i := range text {
+		text[i] = int32(1 + rng.Intn(2000))
+	}
+	b.SetBytes(int64(n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = suffix.Array(text, 2002)
+	}
+}
+
+func BenchmarkFMIndexBackwardSearch(b *testing.B) {
+	e := env(b)
+	ix := e.Index(temporal.CSS, 0, 0)
+	qs := e.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.PathCount(qs[i%len(qs)].Path)
+	}
+}
+
+func BenchmarkGetTravelTimes(b *testing.B) {
+	e := env(b)
+	ix := e.Index(temporal.CSS, 0, 0)
+	qs := e.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		sub := q.Path
+		if len(sub) > 4 {
+			sub = sub[:4]
+		}
+		_, _ = ix.GetTravelTimes(sub, snt.PeriodicAround(q.T0, 900), snt.NoFilter, 20)
+	}
+}
+
+func BenchmarkHistogramConvolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]int, 50)
+	ys := make([]int, 50)
+	for i := range xs {
+		xs[i] = 300 + rng.Intn(120)
+		ys[i] = 500 + rng.Intn(200)
+	}
+	h1 := hist.FromSamples(xs, 10)
+	h2 := hist.FromSamples(ys, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h1.Convolve(h2)
+	}
+}
+
+func BenchmarkMapMatchTrace(b *testing.B) {
+	cfg := network.DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 6
+	res := network.Generate(cfg)
+	rng := rand.New(rand.NewSource(4))
+	sim := gps.NewSimulator(res.Graph, rng)
+	router := network.NewRouter(res.Graph)
+	route := router.Route(res.CityVertices[0][10], res.CityVertices[1][10])
+	d := gps.Driver{CruiseFactor: 1, CityFactor: 1}
+	ground := sim.SimulateTraversal(route, 1335830400+9*3600, &d)
+	fixes := sim.EmitFixes(ground, 4)
+	matcher := mapmatch.NewMatcher(res.Graph)
+	b.SetBytes(int64(len(fixes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matcher.Match(fixes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	e := env(b)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, Options{Estimator: EstimatorCSSFast})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := e.Queries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, ExcludeTraj: q.Traj}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

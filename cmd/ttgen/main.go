@@ -1,0 +1,92 @@
+// Command ttgen generates a synthetic evaluation dataset — the road
+// network (with zones joined) and the simulated map-matched trajectories —
+// and writes both to disk for use by ttquery.
+//
+// Usage:
+//
+//	ttgen -out data/ -scale small
+//	ttgen -out data/ -drivers 458 -days 420 -trips 60000 -cities 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"pathhist/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttgen: ")
+	var (
+		out     = flag.String("out", "data", "output directory")
+		scale   = flag.String("scale", "small", "preset scale: small or full")
+		seed    = flag.Int64("seed", 42, "master random seed")
+		drivers = flag.Int("drivers", 0, "override number of drivers")
+		days    = flag.Int("days", 0, "override number of simulated days")
+		trips   = flag.Int("trips", 0, "override target trip count")
+		cities  = flag.Int("cities", 0, "override number of cities")
+	)
+	flag.Parse()
+
+	cfg := workload.SmallConfig()
+	if *scale == "full" {
+		cfg = workload.DefaultConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Net.Seed = *seed
+	if *drivers > 0 {
+		cfg.Drivers = *drivers
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *trips > 0 {
+		cfg.TargetTrips = *trips
+	}
+	if *cities > 0 {
+		cfg.Net.Cities = *cities
+	}
+
+	log.Printf("generating: %d cities, %d drivers, %d days, target %d trips",
+		cfg.Net.Cities, cfg.Drivers, cfg.Days, cfg.TargetTrips)
+	ds := workload.BuildDataset(cfg)
+	log.Printf("network: %d vertices, %d directed edges",
+		ds.G.NumVertices(), ds.G.NumEdges())
+	log.Printf("trajectories: %d (%d segment traversals, %d drivers)",
+		ds.Store.Len(), ds.Store.NumTraversals(), ds.Store.NumUsers())
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	netPath := filepath.Join(*out, "network.bin")
+	trajPath := filepath.Join(*out, "trajectories.bin")
+	if err := writeFile(netPath, func(f *os.File) error {
+		_, err := ds.G.WriteTo(f)
+		return err
+	}); err != nil {
+		log.Fatalf("writing %s: %v", netPath, err)
+	}
+	if err := writeFile(trajPath, func(f *os.File) error {
+		_, err := ds.Store.WriteTo(f)
+		return err
+	}); err != nil {
+		log.Fatalf("writing %s: %v", trajPath, err)
+	}
+	fmt.Printf("wrote %s and %s\n", netPath, trajPath)
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

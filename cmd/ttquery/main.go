@@ -1,0 +1,182 @@
+// Command ttquery loads a dataset produced by ttgen, builds the SNT-index
+// and answers travel-time queries. Without an explicit path it samples a
+// random indexed trajectory and queries its path, printing the resulting
+// histogram as an ASCII bar chart together with the ground truth.
+//
+// Usage:
+//
+//	ttquery -data data/                          # random trajectory path
+//	ttquery -data data/ -path 17,42,43,44 -tod 08:15 -beta 20
+//	ttquery -data data/ -user 12 -partition mdm  # user-filtered query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pathhist"
+	"pathhist/internal/gps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttquery: ")
+	var (
+		data      = flag.String("data", "data", "dataset directory (from ttgen)")
+		pathArg   = flag.String("path", "", "comma-separated directed edge ids; empty = sample a trajectory")
+		tod       = flag.String("tod", "", "periodic window centre as HH:MM; empty = fixed interval over all data")
+		window    = flag.Int64("window", 900, "periodic window width in seconds")
+		beta      = flag.Int("beta", 20, "required sample size per sub-query")
+		user      = flag.Int("user", -1, "restrict to one driver id (-1 = all)")
+		partition = flag.String("partition", "zone", "partitioning: zone, category, zonecategory, none, mdm, segment")
+		seed      = flag.Int64("seed", 1, "seed for trajectory sampling")
+	)
+	flag.Parse()
+
+	g, store, err := loadDataset(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d edges, %d trajectories", g.NumEdges(), store.Len())
+
+	opts := pathhist.Options{}
+	switch *partition {
+	case "zone":
+		opts.Partition = pathhist.ByZone
+	case "category":
+		opts.Partition = pathhist.ByCategory
+	case "zonecategory":
+		opts.Partition = pathhist.ByZoneAndCategory
+	case "none":
+		opts.Partition = pathhist.NoPartition
+	case "mdm":
+		opts.Partition = pathhist.MainRoadUserFilters
+	case "segment":
+		opts.Partition = pathhist.EverySegment
+	default:
+		log.Fatalf("unknown partitioning %q", *partition)
+	}
+	eng, err := pathhist.NewEngine(g, store, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := pathhist.Query{Beta: *beta}
+	var groundTruth int64 = -1
+	if *pathArg != "" {
+		for _, tok := range strings.Split(*pathArg, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad edge id %q", tok)
+			}
+			q.Path = append(q.Path, pathhist.EdgeID(id))
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		tr := store.Get(pathhist.TrajID(rng.Intn(store.Len())))
+		q.Path = tr.Path()
+		q.ExcludeTraj = tr.ID
+		groundTruth = tr.TotalDuration()
+		if *tod == "" {
+			q.Around = tr.StartTime()
+			q.WindowSeconds = *window
+		}
+		fmt.Printf("sampled trajectory %d (driver %d, %d segments, true travel time %d s, departs %s)\n",
+			tr.ID, tr.User, tr.Len(), groundTruth, fmtTod(gps.TimeOfDay(tr.StartTime())))
+	}
+	if *tod != "" {
+		parts := strings.SplitN(*tod, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -tod %q, want HH:MM", *tod)
+		}
+		hh, err1 := strconv.Atoi(parts[0])
+		mm, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || hh < 0 || hh > 23 || mm < 0 || mm > 59 {
+			log.Fatalf("bad -tod %q", *tod)
+		}
+		q.Around = int64(hh*3600 + mm*60)
+		q.WindowSeconds = *window
+	}
+	if *user >= 0 {
+		q.FilterUser = true
+		q.User = pathhist.UserID(*user)
+	}
+
+	res, err := eng.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res, groundTruth)
+}
+
+func loadDataset(dir string) (*pathhist.Graph, *pathhist.Store, error) {
+	nf, err := os.Open(filepath.Join(dir, "network.bin"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("open network (run ttgen first?): %w", err)
+	}
+	defer nf.Close()
+	g, err := pathhist.ReadGraph(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := os.Open(filepath.Join(dir, "trajectories.bin"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("open trajectories: %w", err)
+	}
+	defer tf.Close()
+	store, err := pathhist.ReadStore(tf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, store, nil
+}
+
+func fmtTod(tod int64) string {
+	return fmt.Sprintf("%02d:%02d", tod/3600, tod%3600/60)
+}
+
+func printResult(res *pathhist.Result, groundTruth int64) {
+	fmt.Printf("\npredicted mean travel time: %.1f s", res.MeanSeconds)
+	if groundTruth >= 0 {
+		fmt.Printf("   (ground truth %d s)", groundTruth)
+	}
+	fmt.Println()
+	h := res.Histogram
+	fmt.Printf("distribution: p05=%.0fs  p50=%.0fs  p95=%.0fs\n",
+		h.Quantile(0.05), h.Quantile(0.5), h.Quantile(0.95))
+	fmt.Printf("%d sub-queries (index scans %d, estimator skips %d):\n",
+		len(res.Subs), res.IndexScans, res.EstimatorSkips)
+	for i, s := range res.Subs {
+		note := ""
+		if s.Fallback {
+			note = "  [speed-limit fallback]"
+		}
+		fmt.Printf("  %2d: %3d segments, %3d samples, mean %7.1f s%s\n",
+			i+1, len(s.Path), s.Samples, s.MeanTT, note)
+	}
+	// ASCII histogram between p01 and p99.
+	lo := int(h.Quantile(0.01))
+	hi := int(h.Quantile(0.99)) + h.BucketWidth()
+	width := h.BucketWidth()
+	maxMass := 0.0
+	for b := lo / width * width; b < hi; b += width {
+		if m := h.Count(b); m > maxMass {
+			maxMass = m
+		}
+	}
+	if maxMass == 0 {
+		return
+	}
+	fmt.Println("\ntravel-time histogram:")
+	for b := lo / width * width; b < hi; b += width {
+		m := h.Count(b)
+		bar := strings.Repeat("#", int(m/maxMass*50))
+		fmt.Printf("  %5d-%5ds |%-50s| %.0f\n", b, b+width, bar, m)
+	}
+}

@@ -1,0 +1,70 @@
+// Command ttserve exposes travel-time histogram retrieval as an HTTP JSON
+// service over a dataset produced by ttgen — the "online routing
+// application" deployment shape the paper's outlook describes (engines are
+// immutable after construction, so requests are served concurrently).
+//
+//	ttserve -data data -addr :8080
+//
+//	GET /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"pathhist"
+	"pathhist/internal/ttserve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ttserve: ")
+	var (
+		data = flag.String("data", "data", "dataset directory (from ttgen)")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	g, store, err := load(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := pathhist.NewEngine(g, store, pathhist.Options{
+		Partition: pathhist.ByZone,
+		Estimator: pathhist.EstimatorCSSFast,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("indexed %d trajectories over %d edges; listening on %s",
+		store.Len(), g.NumEdges(), *addr)
+	if err := http.ListenAndServe(*addr, ttserve.NewHandler(eng)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func load(dir string) (*pathhist.Graph, *pathhist.Store, error) {
+	nf, err := os.Open(filepath.Join(dir, "network.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer nf.Close()
+	g, err := pathhist.ReadGraph(nf)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := os.Open(filepath.Join(dir, "trajectories.bin"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tf.Close()
+	store, err := pathhist.ReadStore(tf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, store, nil
+}

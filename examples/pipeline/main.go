@@ -1,0 +1,116 @@
+// Pipeline: the full substrate chain of Section 5.1 — raw 1 Hz GPS traces
+// with positional noise are map-matched to the network with the HMM matcher
+// (Newson & Krumm), split at 180 s gaps, loaded into the SNT-index, and
+// queried. This is what a deployment ingesting live GPS data would run; the
+// main experiments skip the (deterministic-output) matching stage and index
+// simulator NCTs directly, as explained in DESIGN.md §1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pathhist"
+	"pathhist/internal/gps"
+	"pathhist/internal/mapmatch"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+	"pathhist/internal/zoning"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A small synthetic network with zones.
+	cfg := network.DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 6
+	res := network.Generate(cfg)
+	zoning.FromGenResult(res, cfg.GridSpacing*0.9).Assign(res.Graph)
+	g := res.Graph
+	log.Printf("network: %d directed edges", g.NumEdges())
+
+	rng := rand.New(rand.NewSource(7))
+	sim := gps.NewSimulator(g, rng)
+	router := network.NewRouter(g)
+	matcher := mapmatch.NewMatcher(g)
+	drivers := gps.NewDrivers(8, rng)
+
+	// Simulate trips, emit noisy GPS, map-match back to NCTs.
+	store := pathhist.NewStore()
+	var fixesTotal, matchedSegs, groundSegs int
+	day := workloadDay()
+	for trip := 0; trip < 120; trip++ {
+		d := &drivers[trip%len(drivers)]
+		src := res.CityVertices[trip%3][rng.Intn(len(res.CityVertices[trip%3]))]
+		dst := res.CityVertices[(trip+1)%3][rng.Intn(len(res.CityVertices[(trip+1)%3]))]
+		route := router.Route(src, dst)
+		if len(route) < 8 {
+			continue
+		}
+		depart := day + int64(trip%20)*86400 + 7*3600 + int64(rng.Intn(6*3600))
+		ground := sim.SimulateTraversal(route, depart, d)
+		fixes := sim.EmitFixes(ground, 4.0) // 4 m GPS noise at 1 Hz
+		fixesTotal += len(fixes)
+		groundSegs += len(ground)
+		matched, err := matcher.Match(fixes)
+		if err != nil {
+			continue // too short / broken trace, as in real preprocessing
+		}
+		matchedSegs += len(matched)
+		for _, part := range traj.SplitGaps(matched, traj.MaxGap) {
+			if len(part) > 0 {
+				store.Add(d.ID, part)
+			}
+		}
+	}
+	log.Printf("map matching: %d GPS fixes -> %d trajectories (%d of %d segment traversals recovered)",
+		fixesTotal, store.Len(), matchedSegs, groundSegs)
+
+	// Index the map-matched trajectories and query a popular path.
+	eng, err := pathhist.NewEngine(g, store, pathhist.Options{Partition: pathhist.ByZone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Query the most frequently matched 5-segment path.
+	path := popularPath(store, 5)
+	if path == nil {
+		log.Fatal("no popular path found")
+	}
+	resq, err := eng.Query(pathhist.Query{Path: path, Beta: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery over a popular %d-segment path (from map-matched data):\n", len(path))
+	fmt.Printf("  mean %.1f s, p50 %.0f s, p95 %.0f s from %d sub-queries\n",
+		resq.MeanSeconds, resq.Histogram.Quantile(0.5), resq.Histogram.Quantile(0.95), len(resq.Subs))
+	fmt.Printf("  speed-limit estimate for comparison: %.1f s\n", eng.SpeedLimitEstimate(path))
+}
+
+func workloadDay() int64 { return 1335830400 } // 2012-05-01
+
+// popularPath returns the most frequent k-segment sub-path in the store.
+func popularPath(store *pathhist.Store, k int) pathhist.Path {
+	type key [5]pathhist.EdgeID
+	counts := map[key]int{}
+	for i := 0; i < store.Len(); i++ {
+		tr := store.Get(traj.ID(i))
+		p := tr.Path()
+		for off := 0; off+k <= len(p); off++ {
+			var kk key
+			copy(kk[:], p[off:off+k])
+			counts[kk]++
+		}
+	}
+	var best key
+	bestN := 0
+	for kk, n := range counts {
+		if n > bestN {
+			best, bestN = kk, n
+		}
+	}
+	if bestN == 0 {
+		return nil
+	}
+	return pathhist.Path(best[:])
+}

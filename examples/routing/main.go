@@ -1,0 +1,141 @@
+// Routing: travel-time histograms as route weights. The paper's purpose is
+// to supply routing algorithms with on-the-fly, context-dependent
+// distributions instead of scalar weights; this example compares two
+// alternative routes between the same endpoints by their probability of
+// arriving within a deadline — a decision a scalar mean gets wrong when one
+// route is faster on average but riskier.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pathhist"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+	"pathhist/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := workload.SmallConfig()
+	cfg.Days = 120
+	cfg.TargetTrips = 6000
+	log.Printf("simulating dataset...")
+	ds := workload.BuildDataset(cfg)
+
+	eng, err := pathhist.NewEngine(ds.G, ds.Store, pathhist.Options{
+		Partition: pathhist.ByZone,
+		Estimator: pathhist.EstimatorCSSFast,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find two materially different routes between the endpoints of a
+	// well-travelled trip: the time-optimal route and a detour.
+	routeA, routeB := alternativeRoutes(ds)
+	if routeB == nil {
+		log.Fatal("no alternative route found; rerun with a different seed")
+	}
+	departure := int64(workload.StartUnix2012 + 300*86400 + 8*3600) // 08:00
+
+	fmt.Printf("\nroute A: %d segments, %.1f km, speed-limit time %.0f s\n",
+		len(routeA), ds.G.PathLength(routeA)/1000, eng.SpeedLimitEstimate(routeA))
+	fmt.Printf("route B: %d segments, %.1f km, speed-limit time %.0f s\n",
+		len(routeB), ds.G.PathLength(routeB)/1000, eng.SpeedLimitEstimate(routeB))
+
+	qa, err := eng.Query(pathhist.Query{Path: routeA, Around: departure, Beta: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qb, err := eng.Query(pathhist.Query{Path: routeB, Around: departure, Beta: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nat 08:00, retrieved distributions:\n")
+	fmt.Printf("  route A: mean %6.1f s, p95 %6.0f s\n", qa.MeanSeconds, qa.Histogram.Quantile(0.95))
+	fmt.Printf("  route B: mean %6.1f s, p95 %6.0f s\n", qb.MeanSeconds, qb.Histogram.Quantile(0.95))
+
+	// Deadline decision: probability of arriving within the deadline.
+	deadline := int((qa.MeanSeconds + qb.MeanSeconds) / 2)
+	pa := qa.Histogram.CDF(deadline)
+	pb := qb.Histogram.CDF(deadline)
+	fmt.Printf("\ndeadline of %d s after departure:\n", deadline)
+	fmt.Printf("  P(A arrives in time) = %.2f\n", pa)
+	fmt.Printf("  P(B arrives in time) = %.2f\n", pb)
+	if pa >= pb {
+		fmt.Println("  -> choose route A")
+	} else {
+		fmt.Println("  -> choose route B")
+	}
+}
+
+// alternativeRoutes picks a frequently driven trip and computes the
+// time-optimal route plus a detour that avoids the optimal route's middle
+// segment.
+func alternativeRoutes(ds *workload.Dataset) (pathhist.Path, pathhist.Path) {
+	rng := rand.New(rand.NewSource(3))
+	router := network.NewRouter(ds.G)
+	for try := 0; try < 200; try++ {
+		tr := ds.Store.Get(traj.ID(rng.Intn(ds.Store.Len())))
+		if tr.Len() < 20 {
+			continue
+		}
+		p := tr.Path()
+		src := ds.G.Edge(p[0]).From
+		dst := ds.G.Edge(p[len(p)-1]).To
+		best := router.Route(src, dst)
+		if len(best) < 10 {
+			continue
+		}
+		// Detour: route via a vertex well off the optimal route.
+		mid := ds.G.Edge(best[len(best)/2]).From
+		detourVia := pickDetourVertex(ds, rng, mid)
+		if detourVia < 0 {
+			continue
+		}
+		leg1 := router.Route(src, network.VertexID(detourVia))
+		if leg1 == nil {
+			continue
+		}
+		leg2 := router.Route(network.VertexID(detourVia), dst)
+		if leg2 == nil {
+			continue
+		}
+		detour := append(append(pathhist.Path{}, leg1...), leg2...)
+		if !ds.G.IsTraversable(detour) || samePath(best, detour) {
+			continue
+		}
+		return best, detour
+	}
+	return nil, nil
+}
+
+func pickDetourVertex(ds *workload.Dataset, rng *rand.Rand, avoid network.VertexID) int {
+	av := ds.G.Vertex(avoid)
+	for try := 0; try < 50; try++ {
+		city := ds.Gen.CityVertices[rng.Intn(len(ds.Gen.CityVertices))]
+		v := city[rng.Intn(len(city))]
+		vv := ds.G.Vertex(v)
+		dx, dy := vv.X-av.X, vv.Y-av.Y
+		if d := dx*dx + dy*dy; d > 1e6 { // at least 1 km away
+			return int(v)
+		}
+	}
+	return -1
+}
+
+func samePath(a, b pathhist.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

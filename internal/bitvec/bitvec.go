@@ -1,0 +1,114 @@
+// Package bitvec provides an immutable bit vector with O(1) rank support,
+// the building block of the wavelet tree (Section 4.1.1: "The
+// Burrows-Wheeler transform is stored in a wavelet tree to enable rank
+// queries").
+package bitvec
+
+import "math/bits"
+
+const wordsPerBlock = 8 // 512-bit superblocks
+
+// Builder accumulates bits; Finish freezes it into a Vector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a builder with capacity for n bits.
+func NewBuilder(n int) *Builder {
+	return &Builder{words: make([]uint64, (n+63)/64)}
+}
+
+// Append adds one bit.
+func (b *Builder) Append(bit bool) {
+	w := b.n >> 6
+	if w >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[w] |= 1 << uint(b.n&63)
+	}
+	b.n++
+}
+
+// Set sets bit i (which must be < the capacity given to NewBuilder) and
+// extends the logical length to cover it. Used for random-order filling.
+func (b *Builder) Set(i int) {
+	b.words[i>>6] |= 1 << uint(i&63)
+	if i >= b.n {
+		b.n = i + 1
+	}
+}
+
+// SetLen fixes the logical length (for Set-based filling).
+func (b *Builder) SetLen(n int) { b.n = n }
+
+// Finish freezes the builder into a Vector with a rank directory.
+func (b *Builder) Finish() *Vector {
+	nw := (b.n + 63) / 64
+	v := &Vector{words: b.words[:nw], n: b.n}
+	v.blocks = make([]int32, nw/wordsPerBlock+1)
+	var sum int32
+	for i, w := range v.words {
+		if i%wordsPerBlock == 0 {
+			v.blocks[i/wordsPerBlock] = sum
+		}
+		sum += int32(bits.OnesCount64(w))
+	}
+	v.ones = int(sum)
+	return v
+}
+
+// Vector is an immutable bit vector with rank support.
+type Vector struct {
+	words  []uint64
+	blocks []int32 // ones before each superblock
+	n      int
+	ones   int
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the total number of set bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Rank1 returns the number of set bits in [0, i).
+func (v *Vector) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	w := i >> 6
+	r := int(v.blocks[w/wordsPerBlock])
+	for j := w / wordsPerBlock * wordsPerBlock; j < w; j++ {
+		r += bits.OnesCount64(v.words[j])
+	}
+	if rem := uint(i & 63); rem != 0 {
+		r += bits.OnesCount64(v.words[w] & (1<<rem - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of clear bits in [0, i).
+func (v *Vector) Rank0(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	return i - v.Rank1(i)
+}
+
+// SizeBytes models the memory footprint: bit words plus the rank directory.
+func (v *Vector) SizeBytes() int {
+	return len(v.words)*8 + len(v.blocks)*4
+}

@@ -1,0 +1,122 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankSmall(t *testing.T) {
+	b := NewBuilder(10)
+	pattern := []bool{true, false, true, true, false, false, true, false, true, true}
+	for _, bit := range pattern {
+		b.Append(bit)
+	}
+	v := b.Finish()
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Ones() != 6 {
+		t.Fatalf("Ones = %d", v.Ones())
+	}
+	wantRank := 0
+	for i := 0; i <= 10; i++ {
+		if got := v.Rank1(i); got != wantRank {
+			t.Errorf("Rank1(%d) = %d, want %d", i, got, wantRank)
+		}
+		if got := v.Rank0(i); got != i-wantRank {
+			t.Errorf("Rank0(%d) = %d, want %d", i, got, i-wantRank)
+		}
+		if i < 10 {
+			if v.Get(i) != pattern[i] {
+				t.Errorf("Get(%d) = %v", i, v.Get(i))
+			}
+			if pattern[i] {
+				wantRank++
+			}
+		}
+	}
+	// Out-of-range clamps.
+	if v.Rank1(100) != 6 || v.Rank1(-5) != 0 {
+		t.Error("rank clamping wrong")
+	}
+}
+
+func TestRankAcrossBlocks(t *testing.T) {
+	// Long enough to span several 512-bit superblocks.
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	bits := make([]bool, n)
+	b := NewBuilder(n)
+	for i := range bits {
+		bits[i] = rng.Intn(3) == 0
+		b.Append(bits[i])
+	}
+	v := b.Finish()
+	cum := 0
+	for i := 0; i <= n; i++ {
+		if got := v.Rank1(i); got != cum {
+			t.Fatalf("Rank1(%d) = %d, want %d", i, got, cum)
+		}
+		if i < n && bits[i] {
+			cum++
+		}
+	}
+}
+
+func TestSetBasedFill(t *testing.T) {
+	b := NewBuilder(100)
+	b.SetLen(100)
+	for _, i := range []int{0, 7, 63, 64, 99} {
+		b.Set(i)
+	}
+	v := b.Finish()
+	if v.Ones() != 5 || v.Len() != 100 {
+		t.Fatalf("Ones=%d Len=%d", v.Ones(), v.Len())
+	}
+	if !v.Get(63) || !v.Get(64) || v.Get(65) {
+		t.Error("Set placement wrong")
+	}
+	if v.Rank1(64) != 3 {
+		t.Errorf("Rank1(64) = %d, want 3", v.Rank1(64))
+	}
+}
+
+func TestRankQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		b := NewBuilder(len(raw) * 8)
+		var bits []bool
+		for _, by := range raw {
+			for k := 0; k < 8; k++ {
+				bit := by&(1<<k) != 0
+				bits = append(bits, bit)
+				b.Append(bit)
+			}
+		}
+		v := b.Finish()
+		cum := 0
+		for i := 0; i <= len(bits); i++ {
+			if v.Rank1(i) != cum {
+				return false
+			}
+			if i < len(bits) && bits[i] {
+				cum++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	b := NewBuilder(1024)
+	for i := 0; i < 1024; i++ {
+		b.Append(i%2 == 0)
+	}
+	v := b.Finish()
+	if v.SizeBytes() < 1024/8 {
+		t.Errorf("SizeBytes = %d implausibly small", v.SizeBytes())
+	}
+}

@@ -1,0 +1,215 @@
+package gps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// A Tuesday: 2013-06-04 00:00:00 UTC.
+const tuesday int64 = 1370304000
+
+// A Saturday: 2013-06-08 00:00:00 UTC.
+const saturday int64 = 1370649600
+
+func TestWeekdayHelpers(t *testing.T) {
+	if Weekday(tuesday) != 2 {
+		t.Errorf("Weekday(tuesday) = %d, want 2", Weekday(tuesday))
+	}
+	if Weekday(saturday) != 6 {
+		t.Errorf("Weekday(saturday) = %d, want 6", Weekday(saturday))
+	}
+	if IsWeekend(tuesday) || !IsWeekend(saturday) {
+		t.Error("IsWeekend misclassifies")
+	}
+	if TimeOfDay(tuesday+8*3600+30) != 8*3600+30 {
+		t.Error("TimeOfDay wrong")
+	}
+	if Weekday(0) != 4 { // epoch was a Thursday
+		t.Errorf("Weekday(0) = %d, want 4", Weekday(0))
+	}
+}
+
+func TestCongestionShape(t *testing.T) {
+	cityPeak := CongestionFactor(tuesday+8*3600, network.ZoneCity, network.Secondary)
+	cityNight := CongestionFactor(tuesday+3*3600, network.ZoneCity, network.Secondary)
+	cityNoon := CongestionFactor(tuesday+12*3600, network.ZoneCity, network.Secondary)
+	if !(cityPeak < cityNoon && cityNoon < cityNight) {
+		t.Errorf("city congestion ordering: peak=%v noon=%v night=%v", cityPeak, cityNoon, cityNight)
+	}
+	if cityPeak > 0.70 {
+		t.Errorf("city rush factor %v should be well below 0.70", cityPeak)
+	}
+	mwPeak := CongestionFactor(tuesday+8*3600, network.ZoneRural, network.Motorway)
+	if mwPeak <= cityPeak {
+		t.Errorf("motorway rush (%v) should be milder than city rush (%v)", mwPeak, cityPeak)
+	}
+	wkndPeak := CongestionFactor(saturday+8*3600, network.ZoneCity, network.Secondary)
+	if wkndPeak <= cityPeak+0.1 {
+		t.Errorf("weekend peak (%v) should be much milder than weekday (%v)", wkndPeak, cityPeak)
+	}
+	// Factor always positive and bounded.
+	for h := int64(0); h < 24; h++ {
+		f := CongestionFactor(tuesday+h*3600, network.ZoneCity, network.Primary)
+		if f < 0.3 || f > 1.1 {
+			t.Errorf("factor out of range at %dh: %v", h, f)
+		}
+	}
+}
+
+func TestNewDriversHeterogeneity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := NewDrivers(500, rng)
+	if len(ds) != 500 {
+		t.Fatal("wrong count")
+	}
+	var cruiseVar, cityVar float64
+	for _, d := range ds {
+		cruiseVar += (d.CruiseFactor - 1) * (d.CruiseFactor - 1)
+		cityVar += (d.CityFactor - 1) * (d.CityFactor - 1)
+		if d.CruiseFactor < 0.75 || d.CruiseFactor > 1.25 {
+			t.Fatalf("cruise factor out of bounds: %v", d.CruiseFactor)
+		}
+	}
+	if cruiseVar <= cityVar*2 {
+		t.Errorf("cruise heterogeneity (%v) should dominate city (%v)", cruiseVar, cityVar)
+	}
+}
+
+func testPathAndSim(t *testing.T, seed int64) (*Simulator, network.Path) {
+	t.Helper()
+	g, ids := network.PaperExample()
+	s := NewSimulator(g, rand.New(rand.NewSource(seed)))
+	return s, network.Path{ids["A"], ids["C"], ids["D"], ids["E"]}
+}
+
+func TestSimulateTraversalInvariants(t *testing.T) {
+	s, p := testPathAndSim(t, 1)
+	d := Driver{ID: 0, CruiseFactor: 1, CityFactor: 1}
+	entries := s.SimulateTraversal(p, tuesday+10*3600, &d)
+	if len(entries) != len(p) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(p))
+	}
+	tr := traj.Trajectory{Seq: entries}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid traversal: %v", err)
+	}
+	for i, e := range entries {
+		if e.Edge != p[i] {
+			t.Errorf("edge %d = %v, want %v", i, e.Edge, p[i])
+		}
+	}
+	// Entry time of each segment equals previous entry + previous TT
+	// (modulo the +1s monotonicity nudge).
+	for i := 1; i < len(entries); i++ {
+		want := entries[i-1].T + int64(entries[i-1].TT)
+		if entries[i].T != want && entries[i].T != entries[i-1].T+1 {
+			t.Errorf("entry %d at %d, want %d", i, entries[i].T, want)
+		}
+	}
+}
+
+func TestRushHourSlowerThanNight(t *testing.T) {
+	d := Driver{ID: 0, CruiseFactor: 1, CityFactor: 1}
+	var rush, night int64
+	const reps = 40
+	for r := 0; r < reps; r++ {
+		s, p := testPathAndSim(t, int64(r))
+		e1 := s.SimulateTraversal(p, tuesday+8*3600, &d)
+		s2, _ := testPathAndSim(t, int64(r))
+		e2 := s2.SimulateTraversal(p, tuesday+3*3600, &d)
+		tr1 := traj.Trajectory{Seq: e1}
+		tr2 := traj.Trajectory{Seq: e2}
+		rush += tr1.TotalDuration()
+		night += tr2.TotalDuration()
+	}
+	if rush <= night {
+		t.Errorf("rush-hour avg (%d) should exceed night avg (%d)", rush/reps, night/reps)
+	}
+}
+
+func TestFastDriverFasterOnMotorway(t *testing.T) {
+	g, ids := network.PaperExample()
+	p := network.Path{ids["A"]} // motorway segment
+	fast := Driver{CruiseFactor: 1.2, CityFactor: 1}
+	slow := Driver{CruiseFactor: 0.8, CityFactor: 1}
+	var fsum, ssum int64
+	for r := 0; r < 30; r++ {
+		s := NewSimulator(g, rand.New(rand.NewSource(int64(r))))
+		fsum += int64(s.SimulateTraversal(p, tuesday+12*3600, &fast)[0].TT)
+		s = NewSimulator(g, rand.New(rand.NewSource(int64(r))))
+		ssum += int64(s.SimulateTraversal(p, tuesday+12*3600, &slow)[0].TT)
+	}
+	if fsum >= ssum {
+		t.Errorf("fast driver (%d) should beat slow driver (%d) on motorway", fsum, ssum)
+	}
+}
+
+func TestTurnDelayChargedOnEntry(t *testing.T) {
+	// Build a junction where the same segment is entered straight vs left.
+	g := network.New()
+	w := g.AddVertex(-200, 0)
+	c := g.AddVertex(0, 0)
+	sVert := g.AddVertex(0, -200)
+	e := g.AddVertex(200, 0)
+	in1 := g.AddEdge(network.Edge{From: w, To: c, Cat: network.Residential, SpeedLimit: 50, Zone: network.ZoneCity})
+	in2 := g.AddEdge(network.Edge{From: sVert, To: c, Cat: network.Residential, SpeedLimit: 50, Zone: network.ZoneCity})
+	out := g.AddEdge(network.Edge{From: c, To: e, Cat: network.Residential, SpeedLimit: 50, Zone: network.ZoneCity})
+	d := Driver{CruiseFactor: 1, CityFactor: 1}
+	var straight, left int64
+	for r := 0; r < 60; r++ {
+		sim := NewSimulator(g, rand.New(rand.NewSource(int64(r))))
+		sim.SignalProb = 0 // isolate geometric turn cost
+		es := sim.SimulateTraversal(network.Path{in1, out}, tuesday+12*3600, &d)
+		straight += int64(es[1].TT)
+		sim = NewSimulator(g, rand.New(rand.NewSource(int64(r))))
+		sim.SignalProb = 0
+		el := sim.SimulateTraversal(network.Path{in2, out}, tuesday+12*3600, &d)
+		left += int64(el[1].TT)
+	}
+	if left <= straight {
+		t.Errorf("left turns (%d) should be slower than straight (%d)", left, straight)
+	}
+}
+
+func TestEmitFixes(t *testing.T) {
+	s, p := testPathAndSim(t, 3)
+	d := Driver{CruiseFactor: 1, CityFactor: 1}
+	entries := s.SimulateTraversal(p, tuesday+9*3600, &d)
+	fixes := s.EmitFixes(entries, 4)
+	tr := traj.Trajectory{Seq: entries}
+	wantN := tr.TotalDuration() + 1 // inclusive endpoints at 1 Hz
+	if int64(len(fixes)) != wantN {
+		t.Fatalf("fixes = %d, want %d", len(fixes), wantN)
+	}
+	for i := 1; i < len(fixes); i++ {
+		if fixes[i].T != fixes[i-1].T+1 {
+			t.Fatalf("fixes not 1 Hz at %d", i)
+		}
+	}
+	// First fix near the start vertex of the path.
+	g := s.G
+	a := g.Vertex(g.Edge(p[0]).From)
+	if d := math.Hypot(fixes[0].X-a.X, fixes[0].Y-a.Y); d > 30 {
+		t.Errorf("first fix %v m from path start", d)
+	}
+	if s.EmitFixes(nil, 4) != nil {
+		t.Error("EmitFixes(nil) should be nil")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	d := Driver{CruiseFactor: 1.05, CityFactor: 0.97}
+	s1, p := testPathAndSim(t, 99)
+	s2, _ := testPathAndSim(t, 99)
+	e1 := s1.SimulateTraversal(p, tuesday+7*3600, &d)
+	e2 := s2.SimulateTraversal(p, tuesday+7*3600, &d)
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}

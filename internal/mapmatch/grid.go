@@ -1,0 +1,56 @@
+package mapmatch
+
+import (
+	"math"
+
+	"pathhist/internal/network"
+)
+
+// edgeGrid is a uniform spatial hash over edge bounding boxes used for
+// candidate generation. Cells are cell x cell meters.
+type edgeGrid struct {
+	cell  float64
+	cells map[[2]int32][]network.EdgeID
+}
+
+func newEdgeGrid(g *network.Graph, cell float64) *edgeGrid {
+	eg := &edgeGrid{cell: cell, cells: make(map[[2]int32][]network.EdgeID)}
+	for i := 0; i < g.NumEdges(); i++ {
+		id := network.EdgeID(i)
+		e := g.Edge(id)
+		a, b := g.Vertex(e.From), g.Vertex(e.To)
+		minX, maxX := math.Min(a.X, b.X), math.Max(a.X, b.X)
+		minY, maxY := math.Min(a.Y, b.Y), math.Max(a.Y, b.Y)
+		for cx := eg.idx(minX); cx <= eg.idx(maxX); cx++ {
+			for cy := eg.idx(minY); cy <= eg.idx(maxY); cy++ {
+				k := [2]int32{cx, cy}
+				eg.cells[k] = append(eg.cells[k], id)
+			}
+		}
+	}
+	return eg
+}
+
+func (eg *edgeGrid) idx(v float64) int32 {
+	return int32(math.Floor(v / eg.cell))
+}
+
+// near returns edge ids whose cells intersect the radius-r square around
+// (x, y). Distances are not verified here; the caller filters by projection
+// distance.
+func (eg *edgeGrid) near(x, y, r float64) []network.EdgeID {
+	var out []network.EdgeID
+	seen := make(map[network.EdgeID]struct{})
+	for cx := eg.idx(x - r); cx <= eg.idx(x+r); cx++ {
+		for cy := eg.idx(y - r); cy <= eg.idx(y+r); cy++ {
+			for _, id := range eg.cells[[2]int32{cx, cy}] {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

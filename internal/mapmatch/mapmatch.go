@@ -1,0 +1,402 @@
+// Package mapmatch implements Hidden-Markov-Model map matching in the style
+// of Newson & Krumm (2009), the preprocessing step that turns raw GPS traces
+// into the network-constrained trajectories the paper indexes (Section
+// 5.1.3). Candidate road segments near each fix are scored with a Gaussian
+// emission model; transitions are scored by the discrepancy between
+// on-network route distance and straight-line distance; Viterbi decoding
+// yields the most likely segment sequence, from which per-segment entry
+// times and traversal durations are interpolated. Mirroring the ITSP
+// preprocessing, the partially covered first and last segments are dropped
+// so that all reported durations are meaningful.
+package mapmatch
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"pathhist/internal/gps"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// Matcher matches GPS traces to a road network.
+type Matcher struct {
+	g    *network.Graph
+	grid *edgeGrid
+
+	// Sigma is the GPS noise standard deviation in meters (emission model).
+	Sigma float64
+	// Beta is the exponential transition scale in meters.
+	Beta float64
+	// Radius is the candidate search radius in meters.
+	Radius float64
+	// MaxRoute is the route-search cutoff between consecutive fixes in
+	// meters.
+	MaxRoute float64
+	// SampleEvery decodes every k-th fix (1 = all fixes).
+	SampleEvery int
+}
+
+// NewMatcher builds a matcher (and its spatial index) over g.
+func NewMatcher(g *network.Graph) *Matcher {
+	return &Matcher{
+		g:           g,
+		grid:        newEdgeGrid(g, 250),
+		Sigma:       6,
+		Beta:        25,
+		Radius:      45,
+		MaxRoute:    600,
+		SampleEvery: 2,
+	}
+}
+
+// ErrTooShort is returned when a trace matches fewer than three segments, so
+// that no segment with both boundaries observed remains after dropping the
+// partial first and last segments.
+var ErrTooShort = errors.New("mapmatch: trace too short to match")
+
+// ErrBroken is returned when no candidate chain with finite probability
+// exists (e.g. the trace leaves the mapped area).
+var ErrBroken = errors.New("mapmatch: no feasible matching")
+
+// candidate is a point-on-edge hypothesis for one fix.
+type candidate struct {
+	edge network.EdgeID
+	frac float64 // position along the edge in [0, 1]
+	dist float64 // meters from the fix
+}
+
+// Match decodes a GPS trace into an NCT traversal sequence.
+func (m *Matcher) Match(fixes []gps.Fix) ([]traj.Entry, error) {
+	step := m.SampleEvery
+	if step < 1 {
+		step = 1
+	}
+	var sampled []gps.Fix
+	var cands [][]candidate
+	for i := 0; i < len(fixes); i += step {
+		c := m.candidates(fixes[i])
+		if len(c) == 0 {
+			continue // off-network blip; skip the fix
+		}
+		sampled = append(sampled, fixes[i])
+		cands = append(cands, c)
+	}
+	if len(sampled) < 3 {
+		return nil, ErrTooShort
+	}
+	states, err := m.viterbi(sampled, cands)
+	if err != nil {
+		return nil, err
+	}
+	return m.assemble(sampled, cands, states)
+}
+
+// candidates returns the point-on-edge hypotheses within Radius of f.
+func (m *Matcher) candidates(f gps.Fix) []candidate {
+	var out []candidate
+	for _, eid := range m.grid.near(f.X, f.Y, m.Radius) {
+		frac, d := m.project(eid, f.X, f.Y)
+		if d <= m.Radius {
+			out = append(out, candidate{edge: eid, frac: frac, dist: d})
+		}
+	}
+	return out
+}
+
+// project returns the parametric position of the closest point on edge e to
+// (x, y) and its distance.
+func (m *Matcher) project(e network.EdgeID, x, y float64) (frac, dist float64) {
+	ed := m.g.Edge(e)
+	a, b := m.g.Vertex(ed.From), m.g.Vertex(ed.To)
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return 0, math.Hypot(x-a.X, y-a.Y)
+	}
+	t := ((x-a.X)*dx + (y-a.Y)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	px, py := a.X+t*dx, a.Y+t*dy
+	return t, math.Hypot(x-px, y-py)
+}
+
+// viterbi returns, per sampled fix, the index of the chosen candidate.
+func (m *Matcher) viterbi(fixes []gps.Fix, cands [][]candidate) ([]int, error) {
+	n := len(fixes)
+	prob := make([][]float64, n)
+	back := make([][]int, n)
+	emit := func(c candidate) float64 {
+		d := c.dist / m.Sigma
+		return -0.5 * d * d
+	}
+	prob[0] = make([]float64, len(cands[0]))
+	back[0] = make([]int, len(cands[0]))
+	for j, c := range cands[0] {
+		prob[0][j] = emit(c)
+	}
+	for i := 1; i < n; i++ {
+		prob[i] = make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		straight := math.Hypot(fixes[i].X-fixes[i-1].X, fixes[i].Y-fixes[i-1].Y)
+		for j, cj := range cands[i] {
+			best := math.Inf(-1)
+			bestK := -1
+			for k, ck := range cands[i-1] {
+				if prob[i-1][k] == math.Inf(-1) {
+					continue
+				}
+				rd, ok := m.routeDistance(ck, cj)
+				var trans float64
+				if !ok {
+					trans = -40 // heavily penalised, not impossible
+				} else {
+					trans = -math.Abs(rd-straight) / m.Beta
+				}
+				if p := prob[i-1][k] + trans; p > best {
+					best, bestK = p, k
+				}
+			}
+			if bestK < 0 {
+				prob[i][j] = math.Inf(-1)
+				continue
+			}
+			prob[i][j] = best + emit(cj)
+			back[i][j] = bestK
+		}
+	}
+	// Backtrack from the best final state.
+	bestJ, bestP := -1, math.Inf(-1)
+	for j, p := range prob[n-1] {
+		if p > bestP {
+			bestJ, bestP = j, p
+		}
+	}
+	if bestJ < 0 {
+		return nil, ErrBroken
+	}
+	states := make([]int, n)
+	states[n-1] = bestJ
+	for i := n - 1; i > 0; i-- {
+		states[i-1] = back[i][states[i]]
+	}
+	return states, nil
+}
+
+// routeDistance returns the on-network driving distance in meters from
+// point-on-edge a to point-on-edge b, or false if none exists within
+// MaxRoute.
+func (m *Matcher) routeDistance(a, b candidate) (float64, bool) {
+	la := m.g.Edge(a.edge).Length
+	lb := m.g.Edge(b.edge).Length
+	if a.edge == b.edge {
+		if b.frac >= a.frac {
+			return (b.frac - a.frac) * la, true
+		}
+		// Driving backwards on a directed edge is impossible; must loop.
+		// Fall through to the graph search from the edge head.
+	}
+	rem := (1 - a.frac) * la
+	pre := b.frac * lb
+	d, ok := m.vertexRoute(m.g.Edge(a.edge).To, m.g.Edge(b.edge).From, m.MaxRoute)
+	if !ok {
+		return 0, false
+	}
+	return rem + d + pre, true
+}
+
+type mmPQItem struct {
+	v network.VertexID
+	d float64
+}
+type mmPQ []mmPQItem
+
+func (q mmPQ) Len() int            { return len(q) }
+func (q mmPQ) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q mmPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *mmPQ) Push(x interface{}) { *q = append(*q, x.(mmPQItem)) }
+func (q *mmPQ) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// vertexRoute is a cutoff Dijkstra by edge length between vertices.
+func (m *Matcher) vertexRoute(src, dst network.VertexID, cutoff float64) (float64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	dist := map[network.VertexID]float64{src: 0}
+	q := mmPQ{{v: src, d: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(mmPQItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		if it.v == dst {
+			return it.d, true
+		}
+		for _, eid := range m.g.Out(it.v) {
+			e := m.g.Edge(eid)
+			nd := it.d + e.Length
+			if nd > cutoff {
+				continue
+			}
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				heap.Push(&q, mmPQItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return 0, false
+}
+
+// vertexPath is vertexRoute that also reconstructs the edge path.
+func (m *Matcher) vertexPath(src, dst network.VertexID, cutoff float64) (network.Path, bool) {
+	if src == dst {
+		return network.Path{}, true
+	}
+	dist := map[network.VertexID]float64{src: 0}
+	prev := map[network.VertexID]network.EdgeID{}
+	q := mmPQ{{v: src, d: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(mmPQItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		if it.v == dst {
+			var rev network.Path
+			for v := dst; v != src; {
+				e := prev[v]
+				rev = append(rev, e)
+				v = m.g.Edge(e).From
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, true
+		}
+		for _, eid := range m.g.Out(it.v) {
+			e := m.g.Edge(eid)
+			nd := it.d + e.Length
+			if nd > cutoff {
+				continue
+			}
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = eid
+				heap.Push(&q, mmPQItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return nil, false
+}
+
+// assemble turns the decoded per-fix states into an NCT entry sequence:
+// consecutive same-edge runs are collapsed, gaps between non-adjacent
+// matched edges are filled with the shortest connecting path, boundary
+// times are interpolated, and the partial first and last segments dropped.
+func (m *Matcher) assemble(fixes []gps.Fix, cands [][]candidate, states []int) ([]traj.Entry, error) {
+	type run struct {
+		edge          network.EdgeID
+		firstT, lastT int64
+	}
+	var runs []run
+	for i := range fixes {
+		e := cands[i][states[i]].edge
+		if len(runs) > 0 && runs[len(runs)-1].edge == e {
+			runs[len(runs)-1].lastT = fixes[i].T
+			continue
+		}
+		runs = append(runs, run{edge: e, firstT: fixes[i].T, lastT: fixes[i].T})
+	}
+	// Expand into a full traversable path with per-edge boundary anchors.
+	type anchored struct {
+		edge   network.EdgeID
+		enterT float64 // <0 if unknown (to interpolate)
+	}
+	var seq []anchored
+	for i, r := range runs {
+		if i == 0 {
+			seq = append(seq, anchored{edge: r.edge, enterT: -1})
+			continue
+		}
+		prevEdge := seq[len(seq)-1].edge
+		boundary := (float64(runs[i-1].lastT) + float64(r.firstT)) / 2
+		if m.g.Edge(prevEdge).To == m.g.Edge(r.edge).From {
+			seq = append(seq, anchored{edge: r.edge, enterT: boundary})
+			continue
+		}
+		// Fill the gap with the shortest connecting path.
+		fill, ok := m.vertexPath(m.g.Edge(prevEdge).To, m.g.Edge(r.edge).From, m.MaxRoute*2)
+		if !ok {
+			return nil, ErrBroken
+		}
+		for _, e := range fill {
+			seq = append(seq, anchored{edge: e, enterT: -1})
+		}
+		// The known boundary time applies at the start of the filled gap;
+		// intermediate entry times are interpolated below.
+		if len(fill) > 0 {
+			seq[len(seq)-len(fill)].enterT = boundary
+			seq = append(seq, anchored{edge: r.edge, enterT: -1})
+		} else {
+			seq = append(seq, anchored{edge: r.edge, enterT: boundary})
+		}
+	}
+	if len(seq) < 3 {
+		return nil, ErrTooShort
+	}
+	// Interpolate unknown entry times between known anchors proportionally
+	// to speed-limit travel time.
+	exitT := float64(runs[len(runs)-1].lastT)
+	times := make([]float64, len(seq)+1)
+	times[len(seq)] = exitT
+	for i, a := range seq {
+		times[i] = a.enterT
+	}
+	times[0] = float64(runs[0].firstT) // partial; dropped below anyway
+	for i := 1; i <= len(seq); i++ {
+		if times[i] >= 0 {
+			continue
+		}
+		// Find the next known anchor.
+		j := i
+		for times[j] < 0 {
+			j++
+		}
+		var total float64
+		for k := i - 1; k < j; k++ {
+			total += m.g.EstimateTT(seq[k].edge)
+		}
+		span := times[j] - times[i-1]
+		acc := 0.0
+		for k := i; k < j; k++ {
+			acc += m.g.EstimateTT(seq[k-1].edge)
+			times[k] = times[i-1] + span*acc/total
+		}
+		i = j
+	}
+	// Drop partial first and last segments; emit integer-second entries.
+	var entries []traj.Entry
+	for i := 1; i < len(seq)-1; i++ {
+		et := int64(math.Round(times[i]))
+		tt := int64(math.Round(times[i+1])) - et
+		if tt < 1 {
+			tt = 1
+		}
+		if len(entries) > 0 && et <= entries[len(entries)-1].T {
+			et = entries[len(entries)-1].T + 1
+		}
+		entries = append(entries, traj.Entry{Edge: seq[i].edge, T: et, TT: int32(tt)})
+	}
+	if len(entries) == 0 {
+		return nil, ErrTooShort
+	}
+	return entries, nil
+}

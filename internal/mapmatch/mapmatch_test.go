@@ -1,0 +1,232 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathhist/internal/gps"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+func TestProject(t *testing.T) {
+	g := network.New()
+	a := g.AddVertex(0, 0)
+	b := g.AddVertex(100, 0)
+	e := g.AddEdge(network.Edge{From: a, To: b, Cat: network.Primary, SpeedLimit: 50})
+	m := NewMatcher(g)
+	frac, d := m.project(e, 50, 10)
+	if frac != 0.5 || d != 10 {
+		t.Errorf("project mid = %v, %v", frac, d)
+	}
+	frac, d = m.project(e, -20, 0)
+	if frac != 0 || d != 20 {
+		t.Errorf("project before start = %v, %v", frac, d)
+	}
+	frac, d = m.project(e, 150, 0)
+	if frac != 1 || d != 50 {
+		t.Errorf("project past end = %v, %v", frac, d)
+	}
+}
+
+func TestGridNear(t *testing.T) {
+	g := network.New()
+	a := g.AddVertex(0, 0)
+	b := g.AddVertex(100, 0)
+	c := g.AddVertex(5000, 5000)
+	d := g.AddVertex(5100, 5000)
+	e1 := g.AddEdge(network.Edge{From: a, To: b, Cat: network.Primary, SpeedLimit: 50})
+	e2 := g.AddEdge(network.Edge{From: c, To: d, Cat: network.Primary, SpeedLimit: 50})
+	eg := newEdgeGrid(g, 250)
+	near := eg.near(50, 0, 50)
+	found1, found2 := false, false
+	for _, id := range near {
+		if id == e1 {
+			found1 = true
+		}
+		if id == e2 {
+			found2 = true
+		}
+	}
+	if !found1 {
+		t.Error("nearby edge not found")
+	}
+	if found2 {
+		t.Error("distant edge returned")
+	}
+}
+
+func TestRouteDistanceSameEdge(t *testing.T) {
+	g := network.New()
+	a := g.AddVertex(0, 0)
+	b := g.AddVertex(100, 0)
+	e := g.AddEdge(network.Edge{From: a, To: b, Cat: network.Primary, SpeedLimit: 50})
+	m := NewMatcher(g)
+	d, ok := m.routeDistance(candidate{edge: e, frac: 0.2}, candidate{edge: e, frac: 0.7})
+	if !ok || d < 49.99 || d > 50.01 {
+		t.Errorf("same-edge distance = %v, %v", d, ok)
+	}
+}
+
+func TestRouteDistanceAcrossVertices(t *testing.T) {
+	g, ids := network.PaperExample()
+	m := NewMatcher(g)
+	m.MaxRoute = 5000
+	// From halfway along A to halfway along B: 450 + 0 + 60 = 510.
+	d, ok := m.routeDistance(
+		candidate{edge: ids["A"], frac: 0.5},
+		candidate{edge: ids["B"], frac: 0.5})
+	if !ok || d != 450+60 {
+		t.Errorf("cross-edge distance = %v, %v; want 510", d, ok)
+	}
+	// No route from F to A.
+	_, ok = m.routeDistance(candidate{edge: ids["F"], frac: 0.5}, candidate{edge: ids["A"], frac: 0.5})
+	if ok {
+		t.Error("expected no route from F to A")
+	}
+}
+
+// simulateAndMatch generates a trip on a synthetic network, emits noisy GPS
+// and matches it back.
+func simulateAndMatch(t *testing.T, seed int64, noise float64) (ground []traj.Entry, matched []traj.Entry, g *network.Graph) {
+	t.Helper()
+	cfg := network.DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 6
+	cfg.Seed = 11
+	res := network.Generate(cfg)
+	g = res.Graph
+	r := network.NewRouter(g)
+	rng := rand.New(rand.NewSource(seed))
+	// Route between two distinct city centers.
+	src := res.CityVertices[0][len(res.CityVertices[0])/2]
+	dst := res.CityVertices[1][len(res.CityVertices[1])/2]
+	p := r.Route(src, dst)
+	if p == nil {
+		t.Fatal("no route between cities")
+	}
+	sim := gps.NewSimulator(g, rng)
+	d := gps.Driver{ID: 0, CruiseFactor: 1, CityFactor: 1}
+	ground = sim.SimulateTraversal(p, 1370304000+10*3600, &d)
+	fixes := sim.EmitFixes(ground, noise)
+	m := NewMatcher(g)
+	var err error
+	matched, err = m.Match(fixes)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	return ground, matched, g
+}
+
+func TestMatchRecoversPath(t *testing.T) {
+	ground, matched, g := simulateAndMatch(t, 5, 4)
+	if len(matched) < len(ground)/2 {
+		t.Fatalf("matched only %d of %d segments", len(matched), len(ground))
+	}
+	// The matched sequence must be traversable.
+	var mp network.Path
+	for _, e := range matched {
+		mp = append(mp, e.Edge)
+	}
+	if !g.IsTraversable(mp) {
+		t.Fatal("matched path not traversable")
+	}
+	// Validate as a trajectory.
+	tr := traj.Trajectory{Seq: matched}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("matched trajectory invalid: %v", err)
+	}
+	// Most matched interior edges should be on the ground-truth path.
+	onPath := map[network.EdgeID]bool{}
+	for _, e := range ground {
+		onPath[e.Edge] = true
+	}
+	hits := 0
+	for _, e := range matched {
+		if onPath[e.Edge] {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(len(matched)); frac < 0.85 {
+		t.Errorf("only %.0f%% of matched edges on ground-truth path", frac*100)
+	}
+}
+
+func TestMatchTravelTimesClose(t *testing.T) {
+	ground, matched, _ := simulateAndMatch(t, 6, 3)
+	gt := map[network.EdgeID]int32{}
+	for _, e := range ground {
+		gt[e.Edge] = e.TT
+	}
+	var n, closeEnough int
+	for _, e := range matched {
+		want, ok := gt[e.Edge]
+		if !ok {
+			continue
+		}
+		n++
+		diff := int32(e.TT) - want
+		if diff < 0 {
+			diff = -diff
+		}
+		// Boundary interpolation at 1 Hz sampling should land within a
+		// few seconds for the typical segment.
+		if diff <= 5 {
+			closeEnough++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no overlapping segments to compare")
+	}
+	if frac := float64(closeEnough) / float64(n); frac < 0.7 {
+		t.Errorf("only %.0f%% of matched TTs within 5 s of ground truth", frac*100)
+	}
+}
+
+func TestMatchTooShort(t *testing.T) {
+	g, _ := network.PaperExample()
+	m := NewMatcher(g)
+	if _, err := m.Match([]gps.Fix{{T: 0, X: 0, Y: 0}}); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+	// Fixes far away from any edge are all skipped.
+	far := []gps.Fix{{T: 0, X: 1e7, Y: 1e7}, {T: 1, X: 1e7, Y: 1e7}, {T: 2, X: 1e7, Y: 1e7}}
+	if _, err := m.Match(far); err != ErrTooShort {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestMatchFillsSkippedEdges(t *testing.T) {
+	// Downsampling aggressively makes consecutive decoded fixes skip
+	// entire short edges; assemble must fill the gaps with the shortest
+	// connecting path so the output stays traversable.
+	ground, _, g := simulateAndMatch(t, 8, 2)
+	cfg := network.DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 6
+	cfg.Seed = 11
+	_ = cfg
+	m := NewMatcher(g)
+	m.SampleEvery = 8 // every 8th fix at 1 Hz: gaps larger than short edges
+	rng := rand.New(rand.NewSource(12))
+	sim := gps.NewSimulator(g, rng)
+	fixes := sim.EmitFixes(ground, 3)
+	matched, err := m.Match(fixes)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	var mp network.Path
+	for _, e := range matched {
+		mp = append(mp, e.Edge)
+	}
+	if !g.IsTraversable(mp) {
+		t.Fatal("gap-filled path not traversable")
+	}
+	tr := traj.Trajectory{Seq: matched}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if len(matched) < len(ground)/2 {
+		t.Fatalf("recovered only %d of %d segments", len(matched), len(ground))
+	}
+}

@@ -1,0 +1,101 @@
+package network
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Router computes time-weighted shortest paths over a Graph. It is used by
+// the trip simulator to generate realistic vehicle routes; it is not part of
+// the paper's query pipeline itself (the paper assumes routes are given).
+type Router struct {
+	g *Graph
+	// scratch buffers reused across queries
+	dist []float64
+	prev []EdgeID
+	seen []int32
+	gen  int32
+}
+
+// NewRouter returns a Router over g.
+func NewRouter(g *Graph) *Router {
+	n := g.NumVertices()
+	return &Router{
+		g:    g,
+		dist: make([]float64, n),
+		prev: make([]EdgeID, n),
+		seen: make([]int32, n),
+	}
+}
+
+type pqItem struct {
+	v VertexID
+	d float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Route returns the minimum speed-limit-time path from src to dst, or nil if
+// dst is unreachable. The returned path is freshly allocated.
+func (r *Router) Route(src, dst VertexID) Path {
+	if src == dst {
+		return nil
+	}
+	g := r.g
+	r.gen++
+	gen := r.gen
+	r.dist[src] = 0
+	r.seen[src] = gen
+	r.prev[src] = NoEdge
+	q := pq{{v: src, d: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if r.seen[it.v] == gen && it.d > r.dist[it.v] {
+			continue // stale entry
+		}
+		if it.v == dst {
+			break
+		}
+		for _, eid := range g.Out(it.v) {
+			e := g.Edge(eid)
+			w := g.EstimateTT(eid)
+			nd := it.d + w
+			if r.seen[e.To] != gen || nd < r.dist[e.To] {
+				r.seen[e.To] = gen
+				r.dist[e.To] = nd
+				r.prev[e.To] = eid
+				heap.Push(&q, pqItem{v: e.To, d: nd})
+			}
+		}
+	}
+	if r.seen[dst] != gen || math.IsInf(r.dist[dst], 1) {
+		return nil
+	}
+	// Reconstruct.
+	var rev Path
+	for v := dst; v != src; {
+		eid := r.prev[v]
+		if eid == NoEdge {
+			return nil
+		}
+		rev = append(rev, eid)
+		v = r.g.Edge(eid).From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,34 @@
+package network
+
+// PaperExample builds the example road network of Figure 1 / Table 1:
+//
+//	segment  category   zone   speed limit  length  estimateTT
+//	A        motorway   rural  110          900     29.5 s
+//	B        primary    city    50          120      8.6 s
+//	C        secondary  city    30           40      4.8 s
+//	D        secondary  city    30           80      9.6 s
+//	E        primary    city    50          100      7.2 s
+//	F        primary    rural   80          800     36.0 s
+//
+// The topology admits exactly the trajectory paths used throughout the
+// paper's examples: <A,B,E>, <A,C,D,E>, <A,B,F>. The returned map resolves
+// the segment names "A".."F" to edge ids.
+func PaperExample() (*Graph, map[string]EdgeID) {
+	g := New()
+	v0 := g.AddVertex(0, 0)
+	v1 := g.AddVertex(900, 0)   // end of A: B and C diverge
+	v2 := g.AddVertex(1020, 30) // end of B / D: E and F diverge
+	v3 := g.AddVertex(940, 60)  // end of C: start of D
+	v4 := g.AddVertex(1120, 40) // end of E
+	v5 := g.AddVertex(1800, 50) // end of F
+
+	ids := map[string]EdgeID{
+		"A": g.AddEdge(Edge{From: v0, To: v1, Cat: Motorway, Zone: ZoneRural, SpeedLimit: 110, Length: 900, Name: "A"}),
+		"B": g.AddEdge(Edge{From: v1, To: v2, Cat: Primary, Zone: ZoneCity, SpeedLimit: 50, Length: 120, Name: "B"}),
+		"C": g.AddEdge(Edge{From: v1, To: v3, Cat: Secondary, Zone: ZoneCity, SpeedLimit: 30, Length: 40, Name: "C"}),
+		"D": g.AddEdge(Edge{From: v3, To: v2, Cat: Secondary, Zone: ZoneCity, SpeedLimit: 30, Length: 80, Name: "D"}),
+		"E": g.AddEdge(Edge{From: v2, To: v4, Cat: Primary, Zone: ZoneCity, SpeedLimit: 50, Length: 100, Name: "E"}),
+		"F": g.AddEdge(Edge{From: v2, To: v5, Cat: Primary, Zone: ZoneRural, SpeedLimit: 80, Length: 800, Name: "F"}),
+	}
+	return g, ids
+}

@@ -1,0 +1,385 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle in world meters, used to describe the
+// footprint of generated built-up areas.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether (x, y) lies inside the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.MinX && x < r.MaxX && y >= r.MinY && y < r.MaxY
+}
+
+// Expand grows the rectangle by m meters on all sides.
+func (r Rect) Expand(m float64) Rect {
+	return Rect{r.MinX - m, r.MinY - m, r.MaxX + m, r.MaxY + m}
+}
+
+// GenConfig parameterises the synthetic network generator. The generator
+// substitutes for the OSM North Denmark extract (DESIGN.md §1): it produces a
+// hierarchical network with city street grids, arterials, inter-city
+// motorways, link roads and minor categories, with speed limits partially
+// unknown as in real OSM data.
+type GenConfig struct {
+	Seed             int64
+	Cities           int     // number of cities (>= 2)
+	GridSize         int     // g x g street-grid nodes per city
+	GridSpacing      float64 // meters between adjacent grid nodes
+	WorldSize        float64 // side of the square world in meters
+	SummerAreas      int     // number of summer-house settlements
+	ExtraLinks       int     // inter-city links beyond the spanning tree
+	UnknownSpeedProb float64 // fraction of edges with unknown speed limit
+}
+
+// DefaultGenConfig returns the laptop-scale default used by the experiment
+// harness (≈20-30k directed edges with the default workload settings).
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:             42,
+		Cities:           10,
+		GridSize:         9,
+		GridSpacing:      180,
+		WorldSize:        40000,
+		SummerAreas:      4,
+		ExtraLinks:       4,
+		UnknownSpeedProb: 0.08,
+	}
+}
+
+// GenResult is the output of Generate: the graph (all edges initially
+// ZoneRural; the zoning join overwrites zones) plus the built-up footprints
+// the zoning generator needs.
+type GenResult struct {
+	Graph       *Graph
+	CityRects   []Rect
+	SummerRects []Rect
+	// CityBorder[i] lists border vertices of city i (candidate trip
+	// endpoints and inter-city connection points).
+	CityBorder [][]VertexID
+	// CityVertices[i] lists all grid vertices of city i.
+	CityVertices [][]VertexID
+}
+
+// Generate builds a synthetic road network. It panics on nonsensical
+// configuration (it is a programming error, not runtime input).
+func Generate(cfg GenConfig) *GenResult {
+	if cfg.Cities < 2 || cfg.GridSize < 2 {
+		panic(fmt.Sprintf("network: invalid GenConfig %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New()
+	res := &GenResult{Graph: g}
+
+	centers := placeCities(rng, cfg)
+	for _, c := range centers {
+		buildCityGrid(g, rng, cfg, c, res)
+	}
+	connectCities(g, rng, cfg, centers, res)
+	for i := 0; i < cfg.SummerAreas; i++ {
+		buildSummerArea(g, rng, cfg, res)
+	}
+	eraseSpeedLimits(g, rng, cfg)
+	return res
+}
+
+type point struct{ x, y float64 }
+
+func placeCities(rng *rand.Rand, cfg GenConfig) []point {
+	margin := float64(cfg.GridSize)*cfg.GridSpacing/2 + 1500
+	minSep := 3 * float64(cfg.GridSize) * cfg.GridSpacing
+	var centers []point
+	for len(centers) < cfg.Cities {
+		p := point{
+			x: margin + rng.Float64()*(cfg.WorldSize-2*margin),
+			y: margin + rng.Float64()*(cfg.WorldSize-2*margin),
+		}
+		ok := true
+		for _, c := range centers {
+			if math.Hypot(c.x-p.x, c.y-p.y) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, p)
+		} else if minSep > 500 {
+			minSep *= 0.98 // relax separation so placement always terminates
+		}
+	}
+	return centers
+}
+
+// buildCityGrid lays a g x g street grid around center. Roads: central row
+// and column are primary arterials, the border ring is secondary, every
+// third interior line is tertiary, the rest residential with occasional
+// living streets; a few pedestrian/service spurs are attached.
+func buildCityGrid(g *Graph, rng *rand.Rand, cfg GenConfig, center point, res *GenResult) {
+	n := cfg.GridSize
+	sp := cfg.GridSpacing
+	half := float64(n-1) * sp / 2
+	grid := make([][]VertexID, n)
+	var all, border []VertexID
+	for i := 0; i < n; i++ {
+		grid[i] = make([]VertexID, n)
+		for j := 0; j < n; j++ {
+			jit := sp * 0.12
+			x := center.x - half + float64(i)*sp + (rng.Float64()-0.5)*jit
+			y := center.y - half + float64(j)*sp + (rng.Float64()-0.5)*jit
+			v := g.AddVertex(x, y)
+			grid[i][j] = v
+			all = append(all, v)
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				border = append(border, v)
+			}
+		}
+	}
+	mid := n / 2
+	lineCat := func(idx int) (Category, float64) {
+		switch {
+		case idx == mid:
+			return Primary, 60
+		case idx == 0 || idx == n-1:
+			return Secondary, 50
+		case idx%3 == 0:
+			return Tertiary, 50
+		default:
+			if rng.Float64() < 0.12 {
+				return LivingStreet, 15
+			}
+			return Residential, 30 + 10*float64(rng.Intn(2))
+		}
+	}
+	addBoth := func(a, b VertexID, cat Category, sl float64) {
+		g.AddEdge(Edge{From: a, To: b, Cat: cat, SpeedLimit: sl, Zone: ZoneRural})
+		g.AddEdge(Edge{From: b, To: a, Cat: cat, SpeedLimit: sl, Zone: ZoneRural})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n { // horizontal edge belongs to row line j
+				cat, sl := lineCat(j)
+				addBoth(grid[i][j], grid[i+1][j], cat, sl)
+			}
+			if j+1 < n { // vertical edge belongs to column line i
+				cat, sl := lineCat(i)
+				addBoth(grid[i][j], grid[i][j+1], cat, sl)
+			}
+		}
+	}
+	// A few pedestrian/service spurs (slow dead ends exercising rare
+	// categories without attracting routed traffic).
+	for k := 0; k < 3; k++ {
+		vi := all[rng.Intn(len(all))]
+		vv := g.Vertex(vi)
+		sx := vv.X + (rng.Float64()-0.5)*sp
+		sy := vv.Y + (rng.Float64()-0.5)*sp
+		s := g.AddVertex(sx, sy)
+		cat := Service
+		sl := 20.0
+		if k == 0 {
+			cat, sl = Pedestrian, 5
+		}
+		addBoth(vi, s, cat, sl)
+	}
+	res.CityRects = append(res.CityRects, Rect{
+		MinX: center.x - half - sp*0.4, MinY: center.y - half - sp*0.4,
+		MaxX: center.x + half + sp*0.4, MaxY: center.y + half + sp*0.4,
+	})
+	res.CityBorder = append(res.CityBorder, border)
+	res.CityVertices = append(res.CityVertices, all)
+}
+
+// connectCities builds a spanning tree over city centers plus ExtraLinks
+// shortcuts. Long links become motorways, medium trunks, short primaries;
+// the first and last segment of each link is the corresponding *_link
+// category.
+func connectCities(g *Graph, rng *rand.Rand, cfg GenConfig, centers []point, res *GenResult) {
+	k := len(centers)
+	type cand struct {
+		i, j int
+		d    float64
+	}
+	var edges []cand
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := math.Hypot(centers[i].x-centers[j].x, centers[i].y-centers[j].y)
+			edges = append(edges, cand{i, j, d})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].d < edges[b].d })
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	extra := cfg.ExtraLinks
+	for _, c := range edges {
+		ri, rj := find(c.i), find(c.j)
+		if ri != rj {
+			parent[ri] = rj
+			buildLink(g, rng, centers, c.i, c.j, c.d, res)
+		} else if extra > 0 && c.d < cfg.WorldSize/2 {
+			extra--
+			buildLink(g, rng, centers, c.i, c.j, c.d, res)
+		}
+	}
+}
+
+func nearestBorder(g *Graph, border []VertexID, to point) VertexID {
+	best := border[0]
+	bd := math.Inf(1)
+	for _, v := range border {
+		vv := g.Vertex(v)
+		d := math.Hypot(vv.X-to.x, vv.Y-to.y)
+		if d < bd {
+			bd = d
+			best = v
+		}
+	}
+	return best
+}
+
+func buildLink(g *Graph, rng *rand.Rand, centers []point, i, j int, dist float64, res *GenResult) {
+	var cat, linkCat Category
+	var sl, linkSL float64
+	switch {
+	case dist > 12000:
+		cat, sl, linkCat, linkSL = Motorway, 110, MotorwayLink, 70
+		if rng.Float64() < 0.3 {
+			sl = 130
+		}
+	case dist > 6000:
+		cat, sl, linkCat, linkSL = Trunk, 90, TrunkLink, 70
+	default:
+		cat, sl, linkCat, linkSL = Primary, 80, PrimaryLink, 60
+	}
+	a := nearestBorder(g, res.CityBorder[i], centers[j])
+	b := nearestBorder(g, res.CityBorder[j], centers[i])
+	av, bv := g.Vertex(a), g.Vertex(b)
+	segLen := 650 + rng.Float64()*250
+	nSeg := int(math.Max(2, math.Round(math.Hypot(bv.X-av.X, bv.Y-av.Y)/segLen)))
+	prev := a
+	for s := 1; s <= nSeg; s++ {
+		var v VertexID
+		if s == nSeg {
+			v = b
+		} else {
+			t := float64(s) / float64(nSeg)
+			// Perpendicular jitter gives links gentle curvature.
+			px := av.X + t*(bv.X-av.X)
+			py := av.Y + t*(bv.Y-av.Y)
+			nx, ny := -(bv.Y - av.Y), bv.X-av.X
+			nl := math.Hypot(nx, ny)
+			off := (rng.Float64() - 0.5) * 220
+			v = g.AddVertex(px+nx/nl*off, py+ny/nl*off)
+		}
+		c, s2 := cat, sl
+		if s == 1 || s == nSeg {
+			c, s2 = linkCat, linkSL
+		}
+		g.AddEdge(Edge{From: prev, To: v, Cat: c, SpeedLimit: s2, Zone: ZoneRural})
+		g.AddEdge(Edge{From: v, To: prev, Cat: c, SpeedLimit: s2, Zone: ZoneRural})
+		prev = v
+	}
+}
+
+// buildSummerArea places a small settlement in open space and connects it to
+// the nearest city border with a minor road; a couple of track edges are
+// attached.
+func buildSummerArea(g *Graph, rng *rand.Rand, cfg GenConfig, res *GenResult) {
+	// Find open space away from cities.
+	var cx, cy float64
+	for try := 0; ; try++ {
+		cx = 2000 + rng.Float64()*(cfg.WorldSize-4000)
+		cy = 2000 + rng.Float64()*(cfg.WorldSize-4000)
+		ok := true
+		for _, r := range res.CityRects {
+			if r.Expand(2000).Contains(cx, cy) {
+				ok = false
+				break
+			}
+		}
+		if ok || try > 200 {
+			break
+		}
+	}
+	const m, sp = 3, 120
+	grid := make([][]VertexID, m)
+	for i := 0; i < m; i++ {
+		grid[i] = make([]VertexID, m)
+		for j := 0; j < m; j++ {
+			grid[i][j] = g.AddVertex(cx+float64(i-1)*sp, cy+float64(j-1)*sp)
+		}
+	}
+	addBoth := func(a, b VertexID, cat Category, sl float64) {
+		g.AddEdge(Edge{From: a, To: b, Cat: cat, SpeedLimit: sl, Zone: ZoneRural})
+		g.AddEdge(Edge{From: b, To: a, Cat: cat, SpeedLimit: sl, Zone: ZoneRural})
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i+1 < m {
+				addBoth(grid[i][j], grid[i+1][j], Unclassified, 30)
+			}
+			if j+1 < m {
+				addBoth(grid[i][j], grid[i][j+1], Unclassified, 30)
+			}
+		}
+	}
+	// Track spur.
+	t := g.AddVertex(cx+2*sp, cy+2*sp)
+	addBoth(grid[m-1][m-1], t, Track, 10)
+	// Access road to nearest city border vertex.
+	bestCity, bestV, bd := -1, VertexID(0), math.Inf(1)
+	for ci, border := range res.CityBorder {
+		v := nearestBorder(g, border, point{cx, cy})
+		vv := g.Vertex(v)
+		if d := math.Hypot(vv.X-cx, vv.Y-cy); d < bd {
+			bd, bestCity, bestV = d, ci, v
+		}
+	}
+	_ = bestCity
+	av := g.Vertex(bestV)
+	nSeg := int(math.Max(1, math.Round(bd/800)))
+	prev := grid[0][0]
+	from := point{cx - sp, cy - sp}
+	for s := 1; s <= nSeg; s++ {
+		var v VertexID
+		if s == nSeg {
+			v = bestV
+		} else {
+			t := float64(s) / float64(nSeg)
+			v = g.AddVertex(from.x+t*(av.X-from.x), from.y+t*(av.Y-from.y))
+		}
+		cat := Road
+		if s%2 == 0 {
+			cat = Unclassified
+		}
+		addBoth(prev, v, cat, 60)
+		prev = v
+	}
+	res.SummerRects = append(res.SummerRects, Rect{
+		MinX: cx - 1.6*sp, MinY: cy - 1.6*sp, MaxX: cx + 1.6*sp, MaxY: cy + 1.6*sp,
+	})
+}
+
+func eraseSpeedLimits(g *Graph, rng *rand.Rand, cfg GenConfig) {
+	for i := 0; i < g.NumEdges(); i++ {
+		if rng.Float64() < cfg.UnknownSpeedProb {
+			g.edges[i].SpeedLimit = 0
+		}
+	}
+}

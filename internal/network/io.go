@@ -1,0 +1,129 @@
+package network
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialisation of a Graph: little-endian, length-prefixed.
+//
+//	magic "NET1" | uint32 nVertices | per vertex: float64 x, y
+//	             | uint32 nEdges    | per edge: int32 from, int32 to,
+//	               uint8 cat, uint8 zone, float64 speedLimit, float64 length
+
+var netMagic = [4]byte{'N', 'E', 'T', '1'}
+
+// WriteTo serialises the graph. Edge names are not persisted (they exist
+// only on example fixtures).
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(netMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(g.vertices))); err != nil {
+		return n, err
+	}
+	for _, v := range g.vertices {
+		if err := write(v.X); err != nil {
+			return n, err
+		}
+		if err := write(v.Y); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint32(len(g.edges))); err != nil {
+		return n, err
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if err := write(int32(e.From)); err != nil {
+			return n, err
+		}
+		if err := write(int32(e.To)); err != nil {
+			return n, err
+		}
+		if err := write(uint8(e.Cat)); err != nil {
+			return n, err
+		}
+		if err := write(uint8(e.Zone)); err != nil {
+			return n, err
+		}
+		if err := write(e.SpeedLimit); err != nil {
+			return n, err
+		}
+		if err := write(e.Length); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadGraph deserialises a graph written by WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("network: reading magic: %w", err)
+	}
+	if m != netMagic {
+		return nil, fmt.Errorf("network: bad magic %q", m[:])
+	}
+	var nv uint32
+	if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+		return nil, err
+	}
+	g := New()
+	for i := uint32(0); i < nv; i++ {
+		var x, y float64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return nil, fmt.Errorf("network: vertex %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &y); err != nil {
+			return nil, fmt.Errorf("network: vertex %d: %w", i, err)
+		}
+		g.AddVertex(x, y)
+	}
+	var ne uint32
+	if err := binary.Read(br, binary.LittleEndian, &ne); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ne; i++ {
+		var from, to int32
+		var cat, zone uint8
+		var sl, length float64
+		if err := binary.Read(br, binary.LittleEndian, &from); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cat); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &zone); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &sl); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return nil, fmt.Errorf("network: edge %d: %w", i, err)
+		}
+		g.AddEdge(Edge{
+			From: VertexID(from), To: VertexID(to),
+			Cat: Category(cat), Zone: Zone(zone),
+			SpeedLimit: sl, Length: length,
+		})
+	}
+	return g, nil
+}

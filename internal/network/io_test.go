@@ -1,0 +1,62 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 5
+	g := Generate(cfg).Graph
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for i := 0; i < g.NumVertices(); i++ {
+		if got.Vertex(VertexID(i)) != g.Vertex(VertexID(i)) {
+			t.Fatalf("vertex %d differs", i)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(EdgeID(i)), got.Edge(EdgeID(i))
+		a.Name = "" // names are not persisted
+		if a != b {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Adjacency was rebuilt.
+	if len(got.Out(0)) != len(g.Out(0)) {
+		t.Error("adjacency not rebuilt")
+	}
+	// Median fallback still works.
+	if got.MedianSpeedLimit(Primary) != g.MedianSpeedLimit(Primary) {
+		t.Error("median speed limits differ")
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	if _, err := ReadGraph(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadGraph(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+	g, _ := PaperExample()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGraph(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Error("truncated accepted")
+	}
+}

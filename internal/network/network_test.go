@@ -1,0 +1,256 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperExampleTable1(t *testing.T) {
+	g, ids := PaperExample()
+	want := []struct {
+		name string
+		cat  Category
+		zone Zone
+		sl   float64
+		l    float64
+		tt   float64 // Table 1 estimateTT, rounded to 0.1 s
+	}{
+		{"A", Motorway, ZoneRural, 110, 900, 29.5},
+		{"B", Primary, ZoneCity, 50, 120, 8.6},
+		{"C", Secondary, ZoneCity, 30, 40, 4.8},
+		{"D", Secondary, ZoneCity, 30, 80, 9.6},
+		{"E", Primary, ZoneCity, 50, 100, 7.2},
+		{"F", Primary, ZoneRural, 80, 800, 36.0},
+	}
+	for _, w := range want {
+		id, ok := ids[w.name]
+		if !ok {
+			t.Fatalf("missing segment %q", w.name)
+		}
+		e := g.Edge(id)
+		if e.Cat != w.cat || e.Zone != w.zone || e.SpeedLimit != w.sl || e.Length != w.l {
+			t.Errorf("%s: got %+v", w.name, e)
+		}
+		got := math.Round(g.EstimateTT(id)*10) / 10
+		if got != w.tt {
+			t.Errorf("%s: estimateTT = %v, want %v", w.name, got, w.tt)
+		}
+	}
+}
+
+func TestPaperExamplePaths(t *testing.T) {
+	g, ids := PaperExample()
+	paths := [][]string{{"A", "B", "E"}, {"A", "C", "D", "E"}, {"A", "B", "F"}}
+	for _, names := range paths {
+		var p Path
+		for _, n := range names {
+			p = append(p, ids[n])
+		}
+		if !g.IsTraversable(p) {
+			t.Errorf("path %v not traversable", names)
+		}
+	}
+	bad := Path{ids["A"], ids["D"]}
+	if g.IsTraversable(bad) {
+		t.Error("path <A,D> should not be traversable")
+	}
+}
+
+func TestMedianSpeedLimitFallback(t *testing.T) {
+	g := New()
+	v0 := g.AddVertex(0, 0)
+	v1 := g.AddVertex(1000, 0)
+	g.AddEdge(Edge{From: v0, To: v1, Cat: Primary, SpeedLimit: 80})
+	g.AddEdge(Edge{From: v1, To: v0, Cat: Primary, SpeedLimit: 60})
+	unknown := g.AddEdge(Edge{From: v0, To: v1, Cat: Primary, SpeedLimit: 0})
+	if got := g.SpeedLimitOf(unknown); got != 70 {
+		t.Errorf("median fallback = %v, want 70 (median of 80, 60)", got)
+	}
+	// Category with no known limits at all falls back to the global default.
+	e2 := g.AddEdge(Edge{From: v0, To: v1, Cat: Track, SpeedLimit: 0})
+	if got := g.SpeedLimitOf(e2); got != 50 {
+		t.Errorf("global fallback = %v, want 50", got)
+	}
+	// Odd count median.
+	g.AddEdge(Edge{From: v0, To: v1, Cat: Primary, SpeedLimit: 100})
+	if got := g.SpeedLimitOf(unknown); got != 80 {
+		t.Errorf("odd median = %v, want 80", got)
+	}
+}
+
+func TestEstimateTTSecondsAtLeastOne(t *testing.T) {
+	g := New()
+	v0 := g.AddVertex(0, 0)
+	v1 := g.AddVertex(1, 0)
+	e := g.AddEdge(Edge{From: v0, To: v1, Cat: Residential, SpeedLimit: 50, Length: 1})
+	if got := g.EstimateTTSeconds(e); got != 1 {
+		t.Errorf("EstimateTTSeconds tiny edge = %d, want 1", got)
+	}
+}
+
+func TestEdgeLengthDerivedFromGeometry(t *testing.T) {
+	g := New()
+	v0 := g.AddVertex(0, 0)
+	v1 := g.AddVertex(300, 400)
+	e := g.AddEdge(Edge{From: v0, To: v1, Cat: Primary, SpeedLimit: 50})
+	if got := g.Edge(e).Length; got != 500 {
+		t.Errorf("derived length = %v, want 500", got)
+	}
+}
+
+func TestTurnBetween(t *testing.T) {
+	g := New()
+	c := g.AddVertex(0, 0)
+	e := g.AddVertex(100, 0)   // east
+	n := g.AddVertex(100, 100) // north of e
+	s := g.AddVertex(100, -90) // south of e
+	e2 := g.AddVertex(210, 5)  // roughly further east
+	in := g.AddEdge(Edge{From: c, To: e, Cat: Primary, SpeedLimit: 50})
+	left := g.AddEdge(Edge{From: e, To: n, Cat: Primary, SpeedLimit: 50})
+	right := g.AddEdge(Edge{From: e, To: s, Cat: Primary, SpeedLimit: 50})
+	straight := g.AddEdge(Edge{From: e, To: e2, Cat: Primary, SpeedLimit: 50})
+	back := g.AddEdge(Edge{From: e, To: c, Cat: Primary, SpeedLimit: 50})
+	if got := g.TurnBetween(in, left); got != TurnLeft {
+		t.Errorf("left turn = %v", got)
+	}
+	if got := g.TurnBetween(in, right); got != TurnRight {
+		t.Errorf("right turn = %v", got)
+	}
+	if got := g.TurnBetween(in, straight); got != TurnStraight {
+		t.Errorf("straight = %v", got)
+	}
+	if got := g.TurnBetween(in, back); got != TurnUTurn {
+		t.Errorf("u-turn = %v", got)
+	}
+}
+
+func TestRouterOnPaperExample(t *testing.T) {
+	g, ids := PaperExample()
+	r := NewRouter(g)
+	// From start of A to end of E the fastest route is A,B,E
+	// (A+B+E = 29.5+8.6+7.2 = 45.3 s vs A+C+D+E = 29.5+4.8+9.6+7.2 = 51.1 s).
+	src := g.Edge(ids["A"]).From
+	dst := g.Edge(ids["E"]).To
+	p := r.Route(src, dst)
+	want := Path{ids["A"], ids["B"], ids["E"]}
+	if len(p) != len(want) {
+		t.Fatalf("route = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("route = %v, want %v", p, want)
+		}
+	}
+	if !g.IsTraversable(p) {
+		t.Error("routed path not traversable")
+	}
+	// Unreachable: nothing leaves the end of F.
+	if got := r.Route(g.Edge(ids["F"]).To, src); got != nil {
+		t.Errorf("expected nil route, got %v", got)
+	}
+	// Trivial: src == dst.
+	if got := r.Route(src, src); got != nil {
+		t.Errorf("expected nil route for src==dst, got %v", got)
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Cities = 5
+	cfg.GridSize = 6
+	res := Generate(cfg)
+	g := res.Graph
+	if g.NumEdges() < 1000 {
+		t.Fatalf("generated only %d edges", g.NumEdges())
+	}
+	if len(res.CityRects) != cfg.Cities || len(res.CityBorder) != cfg.Cities {
+		t.Fatalf("city metadata missing: %d rects, %d borders",
+			len(res.CityRects), len(res.SummerRects))
+	}
+	if len(res.SummerRects) != cfg.SummerAreas {
+		t.Fatalf("summer areas = %d, want %d", len(res.SummerRects), cfg.SummerAreas)
+	}
+	// Every edge references valid vertices and has positive length.
+	seenCat := map[Category]bool{}
+	unknown := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if e.From < 0 || int(e.From) >= g.NumVertices() || e.To < 0 || int(e.To) >= g.NumVertices() {
+			t.Fatalf("edge %d has invalid endpoints %+v", i, e)
+		}
+		if e.Length <= 0 {
+			t.Fatalf("edge %d has length %v", i, e.Length)
+		}
+		seenCat[e.Cat] = true
+		if e.SpeedLimit == 0 {
+			unknown++
+		}
+	}
+	for _, c := range []Category{Motorway, Primary, Secondary, Residential} {
+		if !seenCat[c] {
+			t.Errorf("category %v absent from generated network", c)
+		}
+	}
+	if unknown == 0 {
+		t.Error("no edges with unknown speed limit; median fallback untested by workload")
+	}
+	// Cities are mutually reachable via the router.
+	r := NewRouter(g)
+	for i := 1; i < cfg.Cities; i++ {
+		p := r.Route(res.CityBorder[0][0], res.CityBorder[i][0])
+		if p == nil {
+			t.Fatalf("city 0 cannot reach city %d", i)
+		}
+		if !g.IsTraversable(p) {
+			t.Fatalf("route to city %d not traversable", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Cities = 3
+	cfg.GridSize = 5
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() || a.Graph.NumVertices() != b.Graph.NumVertices() {
+		t.Fatalf("same seed produced different sizes: %d/%d vs %d/%d",
+			a.Graph.NumEdges(), a.Graph.NumVertices(), b.Graph.NumEdges(), b.Graph.NumVertices())
+	}
+	for i := 0; i < a.Graph.NumEdges(); i++ {
+		ea, eb := a.Graph.Edge(EdgeID(i)), b.Graph.Edge(EdgeID(i))
+		if ea != eb {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g, ids := PaperExample()
+	p := Path{ids["A"], ids["C"], ids["D"], ids["E"]}
+	if got := g.PathLength(p); got != 900+40+80+100 {
+		t.Errorf("PathLength = %v", got)
+	}
+	sub := p.Sub(1, 3)
+	if len(sub) != 2 || sub[0] != ids["C"] || sub[1] != ids["D"] {
+		t.Errorf("Sub = %v", sub)
+	}
+	if got := math.Round(g.EstimatePathTT(p)*10) / 10; got != 51.1 {
+		t.Errorf("EstimatePathTT = %v, want 51.1", got)
+	}
+}
+
+func TestCategoryAndZoneStrings(t *testing.T) {
+	if Motorway.String() != "motorway" || Road.String() != "road" {
+		t.Error("category names wrong")
+	}
+	if ZoneCity.String() != "city" || ZoneAmbiguous.String() != "ambiguous" {
+		t.Error("zone names wrong")
+	}
+	if Category(200).String() == "" || Zone(200).String() == "" {
+		t.Error("out-of-range names should not be empty")
+	}
+	if !Motorway.IsMainRoad() || !Trunk.IsMainRoad() || Residential.IsMainRoad() || Secondary.IsMainRoad() {
+		t.Error("IsMainRoad misclassifies")
+	}
+}

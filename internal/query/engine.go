@@ -1,0 +1,286 @@
+package query
+
+import (
+	"time"
+
+	"pathhist/internal/card"
+	"pathhist/internal/hist"
+	"pathhist/internal/metrics"
+	"pathhist/internal/network"
+	"pathhist/internal/snt"
+)
+
+// Splitter selects the path splitting method σ of Section 3.3.
+type Splitter int
+
+// The two splitting methods.
+const (
+	SigmaR Splitter = iota // regular: cut in half
+	SigmaL                 // longest prefix with |T^P1| >= β
+)
+
+func (s Splitter) String() string {
+	if s == SigmaR {
+		return "sigmaR"
+	}
+	return "sigmaL"
+}
+
+// DefaultAlphas is the interval-size list A of Section 5.2: 15, 30, 45, 60,
+// 90 and 120 minutes.
+var DefaultAlphas = []int64{15 * 60, 30 * 60, 45 * 60, 60 * 60, 90 * 60, 120 * 60}
+
+// Config parameterises the query engine.
+type Config struct {
+	Partitioner Partitioner
+	Splitter    Splitter
+	// Alphas is the ascending list A of periodic interval sizes; Alphas[0]
+	// is αmin and the last element αmax.
+	Alphas []int64
+	// BucketWidth is the travel-time histogram bucket width h in seconds.
+	BucketWidth int
+	// Estimator optionally pre-screens sub-queries (Section 4.4); nil or
+	// mode Off disables estimation.
+	Estimator *card.Estimator
+	// ZoneBetas overrides the cardinality requirement β per initial
+	// sub-query, keyed by the zone of the sub-path's first segment — the
+	// extension named in the paper's outlook ("smaller sample size
+	// requirements in rural zones"). Split children inherit their
+	// parent's β.
+	ZoneBetas map[network.Zone]int
+	// DisableShiftEnlarge turns off the Dai-et-al periodic interval
+	// adaptation of Section 4.2 (ablation support).
+	DisableShiftEnlarge bool
+}
+
+// Engine processes travel-time queries against an SNT-index.
+type Engine struct {
+	ix  *snt.Index
+	cfg Config
+}
+
+// NewEngine returns an engine. Zero-value config fields get defaults
+// (σR, πZ is NOT defaulted — the partitioner must be chosen consciously;
+// Alphas default to the paper's list; bucket width defaults to 10 s).
+func NewEngine(ix *snt.Index, cfg Config) *Engine {
+	if len(cfg.Alphas) == 0 {
+		cfg.Alphas = DefaultAlphas
+	}
+	if cfg.BucketWidth <= 0 {
+		cfg.BucketWidth = 10
+	}
+	return &Engine{ix: ix, cfg: cfg}
+}
+
+// SubResult is one completed sub-query with its retrieved travel times.
+type SubResult struct {
+	Path     network.Path
+	Interval snt.Interval // effective (shifted) interval that produced X
+	Filter   snt.Filter
+	X        []int
+	Hist     *hist.Histogram
+	Fallback bool // speed-limit estimate (no data at all)
+}
+
+// MeanX returns the exact sample mean X̄ of the sub-query (Section 5.3.1).
+func (s *SubResult) MeanX() float64 { return metrics.MeanInt(s.X) }
+
+// Result is the outcome of a travel-time query.
+type Result struct {
+	// Hist is the convolved travel-time histogram H = H1 * ... * Hk.
+	Hist *hist.Histogram
+	// Subs are the final sub-queries in path order (they partition the
+	// query path).
+	Subs []SubResult
+	// IndexScans counts getTravelTimes invocations that reached the index.
+	IndexScans int
+	// EstimatorSkips counts sub-queries relaxed on the estimate alone.
+	EstimatorSkips int
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+}
+
+// AvgSubPathLen returns the average final sub-query path length (Figure 7).
+func (r *Result) AvgSubPathLen() float64 {
+	if len(r.Subs) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range r.Subs {
+		n += len(r.Subs[i].Path)
+	}
+	return float64(n) / float64(len(r.Subs))
+}
+
+// PredictedMean returns Σ X̄_j, the paper's point prediction for the full
+// path (Section 5.3.1).
+func (r *Result) PredictedMean() float64 {
+	var s float64
+	for i := range r.Subs {
+		s += r.Subs[i].MeanX()
+	}
+	return s
+}
+
+// subQ is a pending sub-query in the processing queue. base is the
+// un-shifted interval; the effective interval applied to the index adds the
+// shift-and-enlarge offsets accumulated from completed predecessors at
+// processing time (applying the shift lazily avoids double-shifting when a
+// sub-query is widened and re-processed; DESIGN.md §4, decision 3).
+type subQ struct {
+	path     network.Path
+	base     snt.Interval
+	filter   snt.Filter
+	beta     int
+	widenIdx int  // position of base.Width in cfg.Alphas (periodic only)
+	terminal bool // the Procedure 1 line 12 fallback: fixed [0,tmax), no β
+}
+
+// TripQuery is Procedure 6: partition, process with relaxation, convolve.
+func (e *Engine) TripQuery(q SPQ) Result {
+	start := time.Now()
+	var res Result
+	initial := e.cfg.Partitioner.Partition(e.ix.Graph(), q)
+	queue := make([]subQ, 0, len(initial)*2)
+	for _, s := range initial {
+		beta := s.Beta
+		if e.cfg.ZoneBetas != nil && beta > 0 {
+			if zb, ok := e.cfg.ZoneBetas[e.ix.Graph().Edge(s.Path[0]).Zone]; ok {
+				beta = zb
+			}
+		}
+		queue = append(queue, subQ{
+			path:     s.Path,
+			base:     s.Interval,
+			filter:   s.Filter,
+			beta:     beta,
+			widenIdx: e.widenIndexOf(s.Interval),
+		})
+	}
+	// Shift-and-enlarge accumulators over completed sub-queries (Section
+	// 4.2): S = Σ H_j^min, R = Σ (H_j^max - H_j^min).
+	var shiftS, shiftR int64
+	for len(queue) > 0 {
+		sub := queue[0]
+		queue = queue[1:]
+		iv := sub.base
+		if iv.IsPeriodic() && len(res.Subs) > 0 && !e.cfg.DisableShiftEnlarge {
+			iv = iv.ShiftEnlarge(shiftS, shiftR)
+		}
+		// Cardinality estimation: skip the scan when β̂ < β (never for
+		// terminal sub-queries, which have no β).
+		if sub.beta > 0 && e.cfg.Estimator.Enabled() {
+			if bhat, ok := e.cfg.Estimator.Estimate(sub.path, iv, sub.filter); ok && bhat < float64(sub.beta) {
+				res.EstimatorSkips++
+				queue = append(e.relax(sub, iv), queue...)
+				continue
+			}
+		}
+		res.IndexScans++
+		xs, fallback := e.ix.GetTravelTimes(sub.path, iv, sub.filter, sub.beta)
+		if len(xs) == 0 {
+			queue = append(e.relax(sub, iv), queue...)
+			continue
+		}
+		h := hist.FromSamples(xs, e.cfg.BucketWidth)
+		res.Subs = append(res.Subs, SubResult{
+			Path:     sub.path,
+			Interval: iv,
+			Filter:   sub.filter,
+			X:        xs,
+			Hist:     h,
+			Fallback: fallback,
+		})
+		shiftS += int64(h.Min())
+		shiftR += int64(h.Max() - h.Min())
+	}
+	// Convolve in path order.
+	var conv *hist.Histogram
+	for i := range res.Subs {
+		conv = conv.Convolve(res.Subs[i].Hist)
+	}
+	res.Hist = conv
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// widenIndexOf locates the interval's width in A (the largest index whose
+// α does not exceed the width, so foreign widths still widen correctly).
+func (e *Engine) widenIndexOf(iv snt.Interval) int {
+	if !iv.IsPeriodic() {
+		return 0
+	}
+	idx := 0
+	for i, a := range e.cfg.Alphas {
+		if iv.Width >= a {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// relax is Procedure 1 (σ): widen the periodic interval to the next size in
+// A; once A is exhausted split the path (σR or σL) and reset children to
+// αmin; then drop non-temporal predicates; finally fall back to all data in
+// the fixed interval [0, tmax) with no β. The returned sub-queries replace
+// the failed one at the front of the queue, preserving path order.
+func (e *Engine) relax(sub subQ, effective snt.Interval) []subQ {
+	alphas := e.cfg.Alphas
+	if sub.base.IsPeriodic() && sub.widenIdx+1 < len(alphas) {
+		sub.widenIdx++
+		sub.base = sub.base.Resize(alphas[sub.widenIdx])
+		return []subQ{sub}
+	}
+	if len(sub.path) > 1 {
+		m := e.splitPoint(sub, effective)
+		mk := func(p network.Path) subQ {
+			child := subQ{path: p, base: sub.base, filter: sub.filter, beta: sub.beta}
+			if child.base.IsPeriodic() {
+				child.base = child.base.Resize(alphas[0])
+			}
+			return child
+		}
+		return []subQ{mk(sub.path[:m]), mk(sub.path[m:])}
+	}
+	if sub.filter.HasPredicate() {
+		sub.filter = sub.filter.DropPredicates()
+		return []subQ{sub}
+	}
+	if sub.terminal {
+		// Cannot happen: the terminal query always yields at least the
+		// speed-limit estimate for a single segment. Guard anyway.
+		return nil
+	}
+	_, tmax := e.ix.TimeRange()
+	return []subQ{{
+		path:     sub.path,
+		base:     snt.NewFixed(0, tmax+1),
+		filter:   sub.filter,
+		beta:     0,
+		terminal: true,
+	}}
+}
+
+// splitPoint returns m so the path splits into P[0,m) and P[m,l).
+func (e *Engine) splitPoint(sub subQ, effective snt.Interval) int {
+	l := len(sub.path)
+	if e.cfg.Splitter == SigmaR || sub.beta <= 0 {
+		return l / 2
+	}
+	// σL: the largest m in [1, l-1] with |T^{P[0,m)}| >= β. Cardinality is
+	// non-increasing in m, so binary search with exact counting scans
+	// (capped at β) — this is the expense Figure 9 charges to σL.
+	lo, hi := 1, l-1 // invariant: count(lo) >= β assumed, answer in [lo, hi]
+	if e.ix.CountMatches(sub.path[:1], effective, sub.filter, sub.beta) < sub.beta {
+		return 1 // even a single segment falls short; minimal prefix
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.ix.CountMatches(sub.path[:mid], effective, sub.filter, sub.beta) >= sub.beta {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

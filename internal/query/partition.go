@@ -1,0 +1,124 @@
+// Package query implements the paper's online query processing (Section 3):
+// a travel-time query over a full trip path is partitioned into strict path
+// sub-queries (Section 3.2), each sub-query is processed against the
+// SNT-index, failing sub-queries are greedily relaxed by the splitting
+// function σ (Section 3.3, Procedure 1), and the per-sub-path histograms are
+// convolved into the full-path travel-time histogram (Procedure 6), with
+// periodic intervals adapted by shift-and-enlarge.
+package query
+
+import (
+	"fmt"
+
+	"pathhist/internal/network"
+	"pathhist/internal/snt"
+)
+
+// PartitionKind enumerates the initial partitioning methods π of Section 3.2.
+type PartitionKind int
+
+// The partitioning methods. Regular needs P set; MDM behaves like Category
+// but applies user predicates only on main roads (Section 6.1).
+const (
+	Regular      PartitionKind = iota // πp
+	Category                          // πC
+	ZoneKind                          // πZ
+	ZoneCategory                      // πZC
+	None                              // πN
+	MDM                               // πMDM
+)
+
+// Partitioner is a configured partitioning method.
+type Partitioner struct {
+	Kind PartitionKind
+	P    int // sub-path length for Regular
+}
+
+// Pi returns the paper's name for the partitioner (π1, πC, ...).
+func (pt Partitioner) String() string {
+	switch pt.Kind {
+	case Regular:
+		return fmt.Sprintf("pi%d", pt.P)
+	case Category:
+		return "piC"
+	case ZoneKind:
+		return "piZ"
+	case ZoneCategory:
+		return "piZC"
+	case None:
+		return "piN"
+	case MDM:
+		return "piMDM"
+	}
+	return "pi?"
+}
+
+// SPQ is the strict path query Q = spq(P, I, f, β) of Section 2.3.
+type SPQ struct {
+	Path     network.Path
+	Interval snt.Interval
+	Filter   snt.Filter
+	Beta     int
+}
+
+// Partition applies π to the query, yielding the initial sub-query paths in
+// path order. Every sub-query inherits the query's interval (the paper sets
+// all initial periodic intervals to size αmin; the caller constructs the
+// query's interval at that size), filter and β; πMDM drops user predicates
+// on sub-paths that are not main roads.
+func (pt Partitioner) Partition(g *network.Graph, q SPQ) []SPQ {
+	var cuts []int // indexes where a new sub-path starts
+	l := len(q.Path)
+	switch pt.Kind {
+	case Regular:
+		p := pt.P
+		if p < 1 {
+			p = 1
+		}
+		for i := p; i < l; i += p {
+			cuts = append(cuts, i)
+		}
+	case None:
+		// no cuts
+	case Category, MDM:
+		for i := 1; i < l; i++ {
+			if g.Edge(q.Path[i-1]).Cat != g.Edge(q.Path[i]).Cat {
+				cuts = append(cuts, i)
+			}
+		}
+	case ZoneKind:
+		for i := 1; i < l; i++ {
+			if g.Edge(q.Path[i-1]).Zone != g.Edge(q.Path[i]).Zone {
+				cuts = append(cuts, i)
+			}
+		}
+	case ZoneCategory:
+		for i := 1; i < l; i++ {
+			a, b := g.Edge(q.Path[i-1]), g.Edge(q.Path[i])
+			if a.Zone != b.Zone || a.Cat != b.Cat {
+				cuts = append(cuts, i)
+			}
+		}
+	}
+	var out []SPQ
+	start := 0
+	emit := func(end int) {
+		sub := SPQ{
+			Path:     q.Path[start:end],
+			Interval: q.Interval,
+			Filter:   q.Filter,
+			Beta:     q.Beta,
+		}
+		if pt.Kind == MDM && !g.Edge(sub.Path[0]).Cat.IsMainRoad() {
+			// πMDM: custom (user) predicates only on main roads.
+			sub.Filter = sub.Filter.DropPredicates()
+		}
+		out = append(out, sub)
+		start = end
+	}
+	for _, c := range cuts {
+		emit(c)
+	}
+	emit(l)
+	return out
+}

@@ -1,0 +1,109 @@
+package snt
+
+import (
+	"fmt"
+
+	"pathhist/internal/fmindex"
+	"pathhist/internal/hist"
+	"pathhist/internal/suffix"
+	"pathhist/internal/temporal"
+	"pathhist/internal/traj"
+)
+
+// Extend appends a batch of newer trajectories to the index as one
+// additional temporal partition — the batch-update path that temporal
+// partitioning exists for (Section 4.3.2): the FM-index does not support
+// appends, so the batch gets its own trajectory string, suffix array and
+// wavelet tree, while the append-only temporal forest absorbs the new leaf
+// records in place.
+//
+// Every trajectory in the batch must start after the currently indexed data
+// ends (partitions are ordered by start time); the batch's trajectory ids
+// are reassigned to continue the index's id space, and the batch store is
+// sorted by start time as a side effect.
+func (ix *Index) Extend(add *traj.Store) error {
+	if add == nil || add.Len() == 0 {
+		return nil
+	}
+	add.SortByStart()
+	if minStart := add.All()[0].StartTime(); minStart <= ix.tmax {
+		return fmt.Errorf("snt: batch starts at %d, inside indexed range ending %d",
+			minStart, ix.tmax)
+	}
+	w := len(ix.parts)
+	base := traj.ID(len(ix.users))
+
+	// Build the partition's trajectory string and FM-index.
+	var text []int32
+	starts := make([]int, add.Len())
+	for i := range add.All() {
+		tr := &add.All()[i]
+		starts[i] = len(text)
+		for _, e := range tr.Seq {
+			text = append(text, int32(e.Edge)+fmindex.MinEdgeSymbol)
+		}
+		text = append(text, fmindex.Terminator)
+	}
+	sa := suffix.Array(text, ix.alphabet)
+	isa := suffix.Inverse(sa)
+	bwt := suffix.BWT(text, sa)
+
+	// Collect the forest batch (and validate it) before committing any
+	// index state, so a failed Extend leaves the index untouched.
+	fb := temporal.NewForestBuilder(ix.forest.Kind())
+	var todNew []*hist.TodHistogram
+	if ix.tod != nil {
+		todNew = make([]*hist.TodHistogram, ix.g.NumEdges())
+	}
+	records := 0
+	newMax := ix.tmax
+	maxDur := ix.maxTrajDur
+	for i := range add.All() {
+		tr := &add.All()[i]
+		var agg int32
+		for seq, e := range tr.Seq {
+			agg += e.TT
+			fb.Add(e.Edge, e.T, temporal.Record{
+				ISA:  isa[starts[i]+seq],
+				Traj: base + traj.ID(i),
+				TT:   e.TT,
+				A:    agg,
+				Seq:  int32(seq),
+				W:    int32(w),
+			})
+			if todNew != nil {
+				h := todNew[e.Edge]
+				if h == nil {
+					h = hist.NewTod(ix.opts.TodBucketSeconds)
+					todNew[e.Edge] = h
+				}
+				h.Add(e.T)
+			}
+			if end := e.T + int64(e.TT); end > newMax {
+				newMax = end
+			}
+			records++
+		}
+		if d := tr.TotalDuration(); d > maxDur {
+			maxDur = d
+		}
+	}
+	if err := ix.forest.Extend(fb); err != nil {
+		return err
+	}
+
+	// Commit.
+	ix.parts = append(ix.parts, partition{fm: fmindex.FromBWT(bwt, ix.alphabet)})
+	for i := range add.All() {
+		ix.users = append(ix.users, add.All()[i].User)
+	}
+	if ix.tod != nil {
+		ix.tod = append(ix.tod, todNew)
+	}
+	ix.tmax = newMax
+	ix.maxTrajDur = maxDur
+	ix.stats.Partitions = len(ix.parts)
+	ix.stats.Records += records
+	ix.stats.Trajs += add.Len()
+	return nil
+}

@@ -1,0 +1,183 @@
+package snt
+
+import (
+	"pathhist/internal/network"
+	"pathhist/internal/temporal"
+	"pathhist/internal/traj"
+)
+
+// Filter is the non-temporal trajectory predicate f of Section 2.3. The
+// evaluated predicate is user equality (the one the paper's evaluation
+// uses); ExcludeTraj additionally hides one trajectory id from results so
+// that queries derived from indexed trajectories do not retrieve themselves
+// (DESIGN.md §4, decision 5) — it is an evaluation artifact, not part of f,
+// and survives predicate dropping.
+type Filter struct {
+	User        traj.UserID // traj.NoUser disables the user predicate
+	ExcludeTraj traj.ID     // -1 disables self-exclusion
+}
+
+// NoFilter matches everything.
+var NoFilter = Filter{User: traj.NoUser, ExcludeTraj: -1}
+
+// HasPredicate reports whether a droppable non-temporal predicate is set
+// (Procedure 1 line 9: "if f != ∅").
+func (f Filter) HasPredicate() bool { return f.User != traj.NoUser }
+
+// DropPredicates returns the filter with user predicates removed but
+// self-exclusion kept.
+func (f Filter) DropPredicates() Filter {
+	return Filter{User: traj.NoUser, ExcludeTraj: f.ExcludeTraj}
+}
+
+func (ix *Index) admit(f Filter, r *temporal.Record) bool {
+	if r.Traj == f.ExcludeTraj {
+		return false
+	}
+	if f.User != traj.NoUser && ix.users[r.Traj] != f.User {
+		return false
+	}
+	return true
+}
+
+// mapKey identifies one traversal occurrence: trajectory id plus the
+// sequence number of the occurrence's first segment. The sequence number
+// guards against trajectories with circular paths (Section 4.1.3).
+type mapKey struct {
+	d   traj.ID
+	seq int32
+}
+
+// probeTable is the output of Procedure 3: the mapping (d, seq) -> a0 - TT0
+// plus the scan bounds needed to restrict the Procedure 4 scan.
+type probeTable struct {
+	m          map[mapKey]int32
+	minT, maxT int64
+}
+
+// BuildMap is Procedure 3: scan the temporal index of the path's first
+// segment, keep records whose entry time satisfies the interval, whose ISA
+// index falls in the partition's range, and which pass the filter, and map
+// (d, seq) to the antecedent aggregate a - TT. The scan stops once beta
+// trajectories are found (beta <= 0 scans exhaustively).
+func (ix *Index) BuildMap(e network.EdgeID, ranges []Range, iv Interval, f Filter, beta int) probeTable {
+	pt := probeTable{m: make(map[mapKey]int32)}
+	phi := ix.forest.Get(e)
+	if phi == nil {
+		return pt
+	}
+	visit := func(t int64, r temporal.Record) bool {
+		rg := ranges[r.W]
+		if int64(r.ISA) < rg.St || int64(r.ISA) >= rg.Ed {
+			return true
+		}
+		if !ix.admit(f, &r) {
+			return true
+		}
+		if len(pt.m) == 0 || t < pt.minT {
+			pt.minT = t
+		}
+		if len(pt.m) == 0 || t > pt.maxT {
+			pt.maxT = t
+		}
+		pt.m[mapKey{d: r.Traj, seq: r.Seq}] = r.A - r.TT
+		return beta <= 0 || len(pt.m) < beta
+	}
+	iv.EachRange(ix.tmin, ix.tmax, !ix.opts.OldestFirst, func(lo, hi int64) bool {
+		done := false
+		scan := func(t int64, r temporal.Record) bool {
+			cont := visit(t, r)
+			if !cont {
+				done = true
+			}
+			return cont
+		}
+		if ix.opts.OldestFirst {
+			phi.Ascend(lo, hi, scan)
+		} else {
+			phi.Descend(lo, hi, scan)
+		}
+		return !done
+	})
+	return pt
+}
+
+// ProbeMap is Procedure 4: scan the temporal index of the path's last
+// segment and, for every record whose (d, seq+1-l) key is present in the
+// probe table, emit the path travel time a_{l-1} - (a_0 - TT_0). The scan is
+// restricted to the only timestamps a matching record can have: within
+// [minT, maxT + maxTrajectoryDuration] of the matched first segments.
+func (ix *Index) ProbeMap(e network.EdgeID, l int, pt probeTable) []int {
+	if len(pt.m) == 0 {
+		return nil
+	}
+	phi := ix.forest.Get(e)
+	if phi == nil {
+		return nil
+	}
+	var xs []int
+	phi.Ascend(pt.minT, pt.maxT+ix.maxTrajDur+1, func(t int64, r temporal.Record) bool {
+		if diff, ok := pt.m[mapKey{d: r.Traj, seq: r.Seq + 1 - int32(l)}]; ok {
+			xs = append(xs, int(r.A-diff))
+		}
+		return true
+	})
+	return xs
+}
+
+// GetTravelTimes is Procedure 5: retrieve the travel times of up to beta
+// trajectories that traversed path p within interval iv and satisfy f. The
+// fallback flag is set when the speed-limit estimate was returned because a
+// single segment has no data at all (Section 2.2's estimateTT fallback).
+//
+// Semantics per the paper:
+//   - empty ISA range in every partition: no trajectory ever traversed p;
+//     single segments fall back to estimateTT, longer paths return nil;
+//   - periodic intervals require at least beta matches, otherwise nil
+//     (Procedure 5 line 7-8) so that the caller relaxes the sub-query;
+//   - fixed intervals accept any non-empty match set regardless of beta.
+func (ix *Index) GetTravelTimes(p network.Path, iv Interval, f Filter, beta int) (xs []int, fallback bool) {
+	if len(p) == 0 {
+		return nil, false
+	}
+	ranges := ix.ISARanges(p)
+	total := int64(0)
+	for _, r := range ranges {
+		total += r.Ed - r.St
+	}
+	if total == 0 {
+		if len(p) == 1 {
+			return []int{ix.g.EstimateTTSeconds(p[0])}, true
+		}
+		return nil, false
+	}
+	pt := ix.BuildMap(p[0], ranges, iv, f, beta)
+	if len(pt.m) < beta && iv.IsPeriodic() {
+		return nil, false
+	}
+	xs = ix.ProbeMap(p[len(p)-1], len(p), pt)
+	if len(xs) == 0 && len(p) == 1 {
+		return []int{ix.g.EstimateTTSeconds(p[0])}, true
+	}
+	return xs, false
+}
+
+// CountMatches returns |T^P| for the sub-query, scanning at most limit
+// matches (0 = exhaustive). It powers the longest-prefix splitter σL, whose
+// binary search needs exact cardinality tests (Section 3.3), and exact
+// q-error evaluation (Section 5.3.4).
+func (ix *Index) CountMatches(p network.Path, iv Interval, f Filter, limit int) int {
+	if len(p) == 0 {
+		return 0
+	}
+	ranges := ix.ISARanges(p)
+	total := int64(0)
+	for _, r := range ranges {
+		total += r.Ed - r.St
+	}
+	if total == 0 {
+		return 0
+	}
+	pt := ix.BuildMap(p[0], ranges, iv, f, limit)
+	return len(pt.m)
+}

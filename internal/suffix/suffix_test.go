@@ -1,0 +1,177 @@
+package suffix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSA is the reference implementation: sort suffixes lexicographically.
+func naiveSA(text []int32) []int32 {
+	sa := make([]int32, len(text))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		i, j := sa[a], sa[b]
+		for int(i) < len(text) && int(j) < len(text) {
+			if text[i] != text[j] {
+				return text[i] < text[j]
+			}
+			i++
+			j++
+		}
+		return int(i) == len(text) && int(j) != len(text)
+	})
+	return sa
+}
+
+func symbols(s string) []int32 {
+	// '$' -> 1, 'A' -> 2, 'B' -> 3, ...
+	out := make([]int32, len(s))
+	for i, c := range s {
+		if c == '$' {
+			out[i] = 1
+		} else {
+			out[i] = int32(c-'A') + 2
+		}
+	}
+	return out
+}
+
+func TestPaperTrajectoryString(t *testing.T) {
+	// T = ABE$ACDE$ABF$ABE$ (Section 4.1.1).
+	text := symbols("ABE$ACDE$ABF$ABE$")
+	k := 2 + 6 // sentinel+terminator plus A..F
+	sa := Array(text, k)
+	want := naiveSA(text)
+	for i := range sa {
+		if sa[i] != want[i] {
+			t.Fatalf("SA[%d] = %d, want %d (full: %v vs %v)", i, sa[i], want[i], sa, want)
+		}
+	}
+	// The paper: the ISA range of <A> is [4, 8) — suffixes 4..7 start
+	// with A (4 trajectories, ranked after the four $-suffixes).
+	isa := Inverse(sa)
+	countA := 0
+	for i, c := range text {
+		if c == symbols("A")[0] {
+			if isa[i] < 4 || isa[i] >= 8 {
+				t.Errorf("suffix %d starting with A has rank %d, outside [4,8)", i, isa[i])
+			}
+			countA++
+		}
+	}
+	if countA != 4 {
+		t.Fatalf("expected 4 occurrences of A, got %d", countA)
+	}
+	// BWT sanity: it is a permutation of T.
+	bwt := BWT(text, sa)
+	var ct, cb [16]int
+	for i := range text {
+		ct[text[i]]++
+		cb[bwt[i]]++
+	}
+	if ct != cb {
+		t.Errorf("BWT not a permutation: %v vs %v", ct, cb)
+	}
+}
+
+func TestArrayEdgeCases(t *testing.T) {
+	if got := Array(nil, 4); len(got) != 0 {
+		t.Errorf("empty text: %v", got)
+	}
+	if got := Array([]int32{3}, 4); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single symbol: %v", got)
+	}
+	// All-equal symbols: suffixes sort by length ascending from the end.
+	got := Array([]int32{2, 2, 2, 2}, 3)
+	want := []int32{3, 2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("all-equal: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	text := symbols("BANANA$")
+	sa := Array(text, 32)
+	isa := Inverse(sa)
+	for j, i := range sa {
+		if isa[i] != int32(j) {
+			t.Fatalf("ISA[SA[%d]] = %d", j, isa[i])
+		}
+	}
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		k := 2 + rng.Intn(6)
+		text := make([]int32, n)
+		for i := range text {
+			text[i] = int32(1 + rng.Intn(k-1))
+		}
+		got := Array(text, k)
+		want := naiveSA(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): SA mismatch at %d\ntext=%v\ngot =%v\nwant=%v",
+					trial, n, k, i, text, got, want)
+			}
+		}
+	}
+}
+
+func TestAgainstNaiveQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		text := make([]int32, len(raw))
+		for i, b := range raw {
+			text[i] = int32(b%7) + 1
+		}
+		got := Array(text, 9)
+		want := naiveSA(text)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200000
+	text := make([]int32, n)
+	for i := range text {
+		text[i] = int32(1 + rng.Intn(500))
+	}
+	sa := Array(text, 502)
+	// Spot-check sortedness at random adjacent pairs.
+	less := func(i, j int32) bool {
+		for int(i) < n && int(j) < n {
+			if text[i] != text[j] {
+				return text[i] < text[j]
+			}
+			i++
+			j++
+		}
+		return int(i) == n
+	}
+	for trial := 0; trial < 2000; trial++ {
+		p := rng.Intn(n - 1)
+		if less(sa[p+1], sa[p]) {
+			t.Fatalf("SA not sorted at %d", p)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package temporal implements the temporal indexes F = {Φe | e ∈ E} of the
+// SNT-index (Section 4.1.2): per-segment trees keyed by segment entry
+// timestamp. Leaves carry the paper's extended record (Section 4.1.3): the
+// ISA index, the trajectory id, the traversal time TT, the aggregate travel
+// time a from the trajectory's start, the sequence number seq, and the
+// temporal partition id w (Section 4.3.2).
+//
+// Two interchangeable tree implementations back the forest: the in-memory
+// B+-tree (Section 4.1.2, "BT") and the append-only cache-sensitive search
+// tree (Section 4.3.1, "CSS").
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"pathhist/internal/bptree"
+	"pathhist/internal/csstree"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// Record is the extended leaf payload (t maps to this tuple).
+type Record struct {
+	ISA  int32   // ISA index of this occurrence within partition W's FM-index
+	Traj traj.ID // trajectory identifier d
+	TT   int32   // traversal time of the segment in seconds
+	A    int32   // sum of travel times from trajectory start through this segment
+	Seq  int32   // sequence number of the segment within the trajectory
+	W    int32   // temporal partition identifier
+}
+
+// PayloadBytes is the modelled in-leaf payload size with the partition
+// field; PayloadBytesNoPartition models the single-partition layout the
+// paper mentions saves ~300 MiB ("if the partition feature is removed").
+const (
+	PayloadBytes            = 24
+	PayloadBytesNoPartition = 20
+)
+
+// TreeKind selects the forest implementation.
+type TreeKind int
+
+// The two temporal tree variants of the paper.
+const (
+	CSS TreeKind = iota // cache-sensitive search tree (default)
+	BPlus
+)
+
+func (k TreeKind) String() string {
+	if k == CSS {
+		return "CSS"
+	}
+	return "BT"
+}
+
+// Index is Φe, the temporal index of one segment.
+type Index struct {
+	kind TreeKind
+	css  *csstree.Tree[Record]
+	bt   *bptree.Tree[Record]
+}
+
+// build constructs Φe from records sorted by timestamp.
+func build(kind TreeKind, ts []int64, recs []Record) *Index {
+	x := &Index{kind: kind}
+	if kind == CSS {
+		x.css = csstree.Build(ts, recs)
+		return x
+	}
+	x.bt = bptree.New[Record]()
+	for i, t := range ts {
+		x.bt.Insert(t, recs[i])
+	}
+	return x
+}
+
+// Len returns the number of traversal records.
+func (x *Index) Len() int {
+	if x.kind == CSS {
+		return x.css.Len()
+	}
+	return x.bt.Len()
+}
+
+// Ascend scans records with lo <= t < hi in ascending time order.
+func (x *Index) Ascend(lo, hi int64, fn func(t int64, r Record) bool) {
+	if x.kind == CSS {
+		x.css.AscendRange(lo, hi, fn)
+		return
+	}
+	x.bt.AscendRange(lo, hi, fn)
+}
+
+// Descend scans records with lo <= t < hi in descending time order.
+func (x *Index) Descend(lo, hi int64, fn func(t int64, r Record) bool) {
+	if x.kind == CSS {
+		x.css.DescendRange(lo, hi, fn)
+		return
+	}
+	x.bt.DescendRange(lo, hi, fn)
+}
+
+// MinKey returns the earliest traversal time F[e]min of the segment.
+func (x *Index) MinKey() (int64, bool) {
+	if x.kind == CSS {
+		return x.css.MinKey()
+	}
+	return x.bt.MinKey()
+}
+
+// MaxKey returns the latest traversal time F[e]max of the segment.
+func (x *Index) MaxKey() (int64, bool) {
+	if x.kind == CSS {
+		return x.css.MaxKey()
+	}
+	return x.bt.MaxKey()
+}
+
+// CountRange returns the number of records with lo <= t < hi. For CSS trees
+// this is the O(log n) exact range size of Section 4.3.1; for B+-trees it
+// walks the range (which is why the paper's fast estimator modes use the
+// naive min/max formula (3) on BT).
+func (x *Index) CountRange(lo, hi int64) int {
+	if x.kind == CSS {
+		return x.css.CountRange(lo, hi)
+	}
+	return x.bt.CountRange(lo, hi)
+}
+
+// CountsExactlyInLogTime reports whether CountRange is O(log n) (CSS only).
+func (x *Index) CountsExactlyInLogTime() bool { return x.kind == CSS }
+
+// SizeBytes models the memory footprint given the per-record payload size.
+func (x *Index) SizeBytes(payloadBytes int) int {
+	if x.kind == CSS {
+		return x.css.SizeBytes(payloadBytes)
+	}
+	return x.bt.SizeBytes(payloadBytes)
+}
+
+// Forest is F: one temporal index per segment that has data.
+type Forest struct {
+	kind TreeKind
+	idx  map[network.EdgeID]*Index
+}
+
+// ForestBuilder accumulates traversal records and freezes them into a
+// Forest. Records may be added in any order; each segment's records are
+// sorted by entry timestamp at Finish (the batch build of Section 4.3.1).
+type ForestBuilder struct {
+	kind TreeKind
+	ts   map[network.EdgeID][]int64
+	recs map[network.EdgeID][]Record
+}
+
+// NewForestBuilder returns an empty builder for the given tree kind.
+func NewForestBuilder(kind TreeKind) *ForestBuilder {
+	return &ForestBuilder{
+		kind: kind,
+		ts:   make(map[network.EdgeID][]int64),
+		recs: make(map[network.EdgeID][]Record),
+	}
+}
+
+// Add records one segment traversal.
+func (b *ForestBuilder) Add(e network.EdgeID, t int64, r Record) {
+	b.ts[e] = append(b.ts[e], t)
+	b.recs[e] = append(b.recs[e], r)
+}
+
+// Finish builds the forest.
+func (b *ForestBuilder) Finish() *Forest {
+	f := &Forest{kind: b.kind, idx: make(map[network.EdgeID]*Index, len(b.ts))}
+	for e, ts := range b.ts {
+		recs := b.recs[e]
+		// Sort (ts, recs) jointly by timestamp, stably.
+		ord := make([]int, len(ts))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(i, j int) bool { return ts[ord[i]] < ts[ord[j]] })
+		st := make([]int64, len(ts))
+		sr := make([]Record, len(recs))
+		for i, o := range ord {
+			st[i] = ts[o]
+			sr[i] = recs[o]
+		}
+		f.idx[e] = build(b.kind, st, sr)
+	}
+	return f
+}
+
+// Kind returns the tree kind backing the forest.
+func (f *Forest) Kind() TreeKind { return f.kind }
+
+// Extend appends a batch of newer records to the forest (the batch-update
+// path enabled by temporal partitioning, Section 4.3.2). Per segment, the
+// batch's records are sorted and appended; every new record must carry a
+// timestamp at or after the segment's current maximum (CSS trees are
+// append-only, Section 4.3.1).
+func (f *Forest) Extend(b *ForestBuilder) error {
+	if b.kind != f.kind {
+		return fmt.Errorf("temporal: extending %v forest with %v batch", f.kind, b.kind)
+	}
+	// Validate before mutating anything.
+	type sortedBatch struct {
+		e    network.EdgeID
+		ts   []int64
+		recs []Record
+	}
+	var batches []sortedBatch
+	for e, ts := range b.ts {
+		recs := b.recs[e]
+		ord := make([]int, len(ts))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(i, j int) bool { return ts[ord[i]] < ts[ord[j]] })
+		st := make([]int64, len(ts))
+		sr := make([]Record, len(recs))
+		for i, o := range ord {
+			st[i] = ts[o]
+			sr[i] = recs[o]
+		}
+		if x := f.idx[e]; x != nil && len(st) > 0 {
+			if max, ok := x.MaxKey(); ok && st[0] < max {
+				return fmt.Errorf("temporal: segment %d batch starts at %d before existing max %d",
+					e, st[0], max)
+			}
+		}
+		batches = append(batches, sortedBatch{e: e, ts: st, recs: sr})
+	}
+	for _, sb := range batches {
+		x := f.idx[sb.e]
+		if x == nil {
+			x = newEmpty(f.kind)
+			f.idx[sb.e] = x
+		}
+		for i, t := range sb.ts {
+			x.append(t, sb.recs[i])
+		}
+		x.finish()
+	}
+	return nil
+}
+
+func newEmpty(kind TreeKind) *Index {
+	x := &Index{kind: kind}
+	if kind == CSS {
+		x.css = csstree.New[Record]()
+	} else {
+		x.bt = bptree.New[Record]()
+	}
+	return x
+}
+
+func (x *Index) append(t int64, r Record) {
+	if x.kind == CSS {
+		x.css.Append(t, r)
+		return
+	}
+	x.bt.Insert(t, r)
+}
+
+func (x *Index) finish() {
+	if x.kind == CSS {
+		x.css.Finish()
+	}
+}
+
+// Get returns Φe, or nil when the segment has no data.
+func (f *Forest) Get(e network.EdgeID) *Index { return f.idx[e] }
+
+// NumIndexes returns the number of segments with data.
+func (f *Forest) NumIndexes() int { return len(f.idx) }
+
+// NumRecords returns the total number of traversal records.
+func (f *Forest) NumRecords() int {
+	n := 0
+	for _, x := range f.idx {
+		n += x.Len()
+	}
+	return n
+}
+
+// SizeBytes models the forest's memory footprint.
+func (f *Forest) SizeBytes(payloadBytes int) int {
+	const perEntryMapOverhead = 48 // hash bucket + pointer per segment tree
+	sz := 0
+	for _, x := range f.idx {
+		sz += x.SizeBytes(payloadBytes) + perEntryMapOverhead
+	}
+	return sz
+}

@@ -1,0 +1,185 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathhist/internal/network"
+)
+
+func buildBoth(t *testing.T, n int) (*Index, *Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	bCSS := NewForestBuilder(CSS)
+	bBT := NewForestBuilder(BPlus)
+	for i := 0; i < n; i++ {
+		ts := int64(rng.Intn(100000))
+		r := Record{ISA: int32(i), Traj: 0, TT: 10, A: 10, Seq: 0, W: 0}
+		bCSS.Add(1, ts, r)
+		bBT.Add(1, ts, r)
+	}
+	fc := bCSS.Finish()
+	fb := bBT.Finish()
+	return fc.Get(1), fb.Get(1)
+}
+
+func TestKindString(t *testing.T) {
+	if CSS.String() != "CSS" || BPlus.String() != "BT" {
+		t.Error("kind names")
+	}
+}
+
+func TestBothKindsAgree(t *testing.T) {
+	css, bt := buildBoth(t, 3000)
+	if css.Len() != 3000 || bt.Len() != 3000 {
+		t.Fatalf("lens: %d %d", css.Len(), bt.Len())
+	}
+	if !css.CountsExactlyInLogTime() || bt.CountsExactlyInLogTime() {
+		t.Error("CountsExactlyInLogTime flags wrong")
+	}
+	cmin, _ := css.MinKey()
+	bmin, _ := bt.MinKey()
+	cmax, _ := css.MaxKey()
+	bmax, _ := bt.MaxKey()
+	if cmin != bmin || cmax != bmax {
+		t.Fatalf("min/max disagree: %d/%d vs %d/%d", cmin, cmax, bmin, bmax)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for q := 0; q < 100; q++ {
+		lo := int64(rng.Intn(100000))
+		hi := lo + int64(rng.Intn(20000))
+		if cc, bc := css.CountRange(lo, hi), bt.CountRange(lo, hi); cc != bc {
+			t.Fatalf("CountRange(%d,%d): CSS %d vs BT %d", lo, hi, cc, bc)
+		}
+		var ca, ba []int64
+		css.Ascend(lo, hi, func(ts int64, r Record) bool { ca = append(ca, ts); return true })
+		bt.Ascend(lo, hi, func(ts int64, r Record) bool { ba = append(ba, ts); return true })
+		if len(ca) != len(ba) {
+			t.Fatalf("ascend lengths differ: %d vs %d", len(ca), len(ba))
+		}
+		for i := range ca {
+			if ca[i] != ba[i] {
+				t.Fatalf("ascend order differs at %d", i)
+			}
+		}
+		var cd []int64
+		css.Descend(lo, hi, func(ts int64, r Record) bool { cd = append(cd, ts); return true })
+		for i := range cd {
+			if cd[i] != ca[len(ca)-1-i] {
+				t.Fatalf("descend not reverse of ascend at %d", i)
+			}
+		}
+	}
+}
+
+func TestForestBasics(t *testing.T) {
+	b := NewForestBuilder(CSS)
+	b.Add(5, 100, Record{Traj: 1, Seq: 0, TT: 7, A: 7})
+	b.Add(5, 50, Record{Traj: 2, Seq: 0, TT: 9, A: 9})
+	b.Add(9, 60, Record{Traj: 1, Seq: 1, TT: 4, A: 11})
+	f := b.Finish()
+	if f.Kind() != CSS {
+		t.Error("kind")
+	}
+	if f.NumIndexes() != 2 || f.NumRecords() != 3 {
+		t.Fatalf("NumIndexes=%d NumRecords=%d", f.NumIndexes(), f.NumRecords())
+	}
+	if f.Get(network.EdgeID(123)) != nil {
+		t.Error("missing segment should be nil")
+	}
+	// Records come back sorted by time.
+	var ts []int64
+	f.Get(5).Ascend(0, 1000, func(tt int64, r Record) bool { ts = append(ts, tt); return true })
+	if len(ts) != 2 || ts[0] != 50 || ts[1] != 100 {
+		t.Fatalf("sorted scan = %v", ts)
+	}
+	if f.SizeBytes(PayloadBytes) <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestEarlyStopScan(t *testing.T) {
+	css, bt := buildBoth(t, 500)
+	for _, x := range []*Index{css, bt} {
+		n := 0
+		x.Ascend(0, 1<<40, func(int64, Record) bool { n++; return n < 3 })
+		if n != 3 {
+			t.Errorf("%v early stop visited %d", x.kind, n)
+		}
+	}
+}
+
+func TestSizeModelOrdering(t *testing.T) {
+	css, bt := buildBoth(t, 10000)
+	// The paper: "the in-memory B+-tree forest has slightly higher memory
+	// requirements than the CSS-forest" (Section 6.3).
+	c := css.SizeBytes(PayloadBytes)
+	bb := bt.SizeBytes(PayloadBytes)
+	if c >= bb {
+		t.Errorf("CSS (%d) should be smaller than BT (%d)", c, bb)
+	}
+	if css.SizeBytes(PayloadBytesNoPartition) >= c {
+		t.Error("dropping the partition field should shrink the leaves")
+	}
+}
+
+func TestForestExtend(t *testing.T) {
+	for _, kind := range []TreeKind{CSS, BPlus} {
+		b := NewForestBuilder(kind)
+		b.Add(1, 100, Record{Traj: 0, TT: 5, A: 5})
+		b.Add(1, 200, Record{Traj: 1, TT: 6, A: 6})
+		b.Add(2, 150, Record{Traj: 0, Seq: 1, TT: 4, A: 9})
+		f := b.Finish()
+
+		// Batch touching an existing segment and a brand-new one, added
+		// out of order (Extend sorts per segment).
+		nb := NewForestBuilder(kind)
+		nb.Add(1, 400, Record{Traj: 2, TT: 7, A: 7, W: 1})
+		nb.Add(1, 300, Record{Traj: 3, TT: 8, A: 8, W: 1})
+		nb.Add(9, 350, Record{Traj: 2, Seq: 1, TT: 3, A: 10, W: 1})
+		if err := f.Extend(nb); err != nil {
+			t.Fatalf("%v: Extend: %v", kind, err)
+		}
+		if f.NumRecords() != 6 || f.NumIndexes() != 3 {
+			t.Fatalf("%v: records=%d indexes=%d", kind, f.NumRecords(), f.NumIndexes())
+		}
+		var ts []int64
+		f.Get(1).Ascend(0, 1000, func(tt int64, r Record) bool { ts = append(ts, tt); return true })
+		want := []int64{100, 200, 300, 400}
+		for i := range want {
+			if ts[i] != want[i] {
+				t.Fatalf("%v: scan after extend = %v", kind, ts)
+			}
+		}
+		if f.Get(9) == nil || f.Get(9).Len() != 1 {
+			t.Fatalf("%v: new segment index missing", kind)
+		}
+
+		// A batch older than the existing data is rejected and nothing
+		// is mutated.
+		bad := NewForestBuilder(kind)
+		bad.Add(1, 50, Record{Traj: 4, TT: 1, A: 1})
+		if err := f.Extend(bad); err == nil {
+			t.Fatalf("%v: stale batch accepted", kind)
+		}
+		if f.NumRecords() != 6 {
+			t.Fatalf("%v: failed extend mutated the forest", kind)
+		}
+	}
+	// Kind mismatch.
+	f := NewForestBuilder(CSS).Finish()
+	if err := f.Extend(NewForestBuilder(BPlus)); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestDescendEmptyRange(t *testing.T) {
+	css, bt := buildBoth(t, 100)
+	for _, x := range []*Index{css, bt} {
+		n := 0
+		x.Descend(50, 50, func(int64, Record) bool { n++; return true })
+		if n != 0 {
+			t.Errorf("%v: empty range visited %d", x.kind, n)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pathhist/internal/network"
+)
+
+// Binary serialisation of a trajectory store. The format is a simple
+// length-prefixed little-endian layout:
+//
+//	magic "NCT1" | uint32 count | per trajectory:
+//	  int32 user | uint32 len | per entry: int32 edge, int64 t, int32 tt
+//
+// Trajectory ids are positional and therefore not stored.
+
+var magic = [4]byte{'N', 'C', 'T', '1'}
+
+// WriteTo serialises the store.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(s.trajs))); err != nil {
+		return n, err
+	}
+	for i := range s.trajs {
+		tr := &s.trajs[i]
+		if err := write(int32(tr.User)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(len(tr.Seq))); err != nil {
+			return n, err
+		}
+		for _, e := range tr.Seq {
+			if err := write(int32(e.Edge)); err != nil {
+				return n, err
+			}
+			if err := write(e.T); err != nil {
+				return n, err
+			}
+			if err := write(e.TT); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadStore deserialises a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("traj: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("traj: bad magic %q", m[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("traj: reading count: %w", err)
+	}
+	s := NewStore()
+	for i := uint32(0); i < count; i++ {
+		var user int32
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &user); err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		seq := make([]Entry, l)
+		for j := range seq {
+			var edge, tt int32
+			var t int64
+			if err := binary.Read(br, binary.LittleEndian, &edge); err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d entry %d: %w", i, j, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &t); err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d entry %d: %w", i, j, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &tt); err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d entry %d: %w", i, j, err)
+			}
+			seq[j] = Entry{Edge: network.EdgeID(edge), T: t, TT: tt}
+		}
+		s.Add(UserID(user), seq)
+	}
+	return s, nil
+}

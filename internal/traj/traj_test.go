@@ -1,0 +1,238 @@
+package traj
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pathhist/internal/network"
+)
+
+// paperTrajectories builds the example trajectory set of Section 2.2:
+//
+//	tr0: (0,u1) -> <(A,0,3),(B,3,4),(E,7,4)>
+//	tr1: (1,u2) -> <(A,2,4),(C,6,2),(D,8,4),(E,12,5)>
+//	tr2: (2,u2) -> <(A,4,3),(B,7,3),(F,10,6)>
+//	tr3: (3,u1) -> <(A,6,3),(B,9,3),(E,12,4)>
+func paperTrajectories(t testing.TB) (*Store, map[string]network.EdgeID) {
+	t.Helper()
+	_, ids := network.PaperExample()
+	s := NewStore()
+	add := func(user UserID, entries ...Entry) {
+		s.Add(user, entries)
+	}
+	e := func(name string, t int64, tt int32) Entry {
+		return Entry{Edge: ids[name], T: t, TT: tt}
+	}
+	add(1, e("A", 0, 3), e("B", 3, 4), e("E", 7, 4))
+	add(2, e("A", 2, 4), e("C", 6, 2), e("D", 8, 4), e("E", 12, 5))
+	add(2, e("A", 4, 3), e("B", 7, 3), e("F", 10, 6))
+	add(1, e("A", 6, 3), e("B", 9, 3), e("E", 12, 4))
+	return s, ids
+}
+
+func TestPaperDurExamples(t *testing.T) {
+	s, ids := paperTrajectories(t)
+	p := network.Path{ids["A"], ids["B"], ids["E"]}
+	d0, err := s.Get(0).Dur(p)
+	if err != nil || d0 != 11 {
+		t.Errorf("Dur(tr0, <A,B,E>) = %d, %v; want 11", d0, err)
+	}
+	d3, err := s.Get(3).Dur(p)
+	if err != nil || d3 != 10 {
+		t.Errorf("Dur(tr3, <A,B,E>) = %d, %v; want 10", d3, err)
+	}
+	// tr1 does not traverse <A,B,E>.
+	if _, err := s.Get(1).Dur(p); err != ErrNoSubPath {
+		t.Errorf("Dur(tr1, <A,B,E>) err = %v, want ErrNoSubPath", err)
+	}
+	// Sub-path of tr1.
+	d1, err := s.Get(1).Dur(network.Path{ids["C"], ids["D"]})
+	if err != nil || d1 != 6 {
+		t.Errorf("Dur(tr1, <C,D>) = %d, %v; want 6", d1, err)
+	}
+	// Empty path is undefined.
+	if _, err := s.Get(0).Dur(nil); err != ErrNoSubPath {
+		t.Errorf("Dur(tr0, <>) should be undefined")
+	}
+	// Path longer than the trajectory.
+	long := network.Path{ids["A"], ids["B"], ids["E"], ids["F"], ids["A"]}
+	if _, err := s.Get(0).Dur(long); err != ErrNoSubPath {
+		t.Errorf("overlong path should be undefined")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s, ids := paperTrajectories(t)
+	for _, tr := range s.All() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("paper trajectory invalid: %v", err)
+		}
+	}
+	bad := Trajectory{Seq: []Entry{{Edge: ids["A"], T: 0, TT: 0}}}
+	if bad.Validate() == nil {
+		t.Error("zero TT should be invalid")
+	}
+	bad2 := Trajectory{Seq: []Entry{
+		{Edge: ids["A"], T: 5, TT: 1}, {Edge: ids["B"], T: 5, TT: 1},
+	}}
+	if bad2.Validate() == nil {
+		t.Error("non-increasing timestamps should be invalid")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s, _ := paperTrajectories(t)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.NumUsers() != 2 {
+		t.Errorf("NumUsers = %d, want 2", s.NumUsers())
+	}
+	if s.NumTraversals() != 13 {
+		t.Errorf("NumTraversals = %d, want 13", s.NumTraversals())
+	}
+	min, max := s.TimeRange()
+	if min != 0 || max != 17 {
+		t.Errorf("TimeRange = [%d, %d), want [0, 17)", min, max)
+	}
+	if s.MedianStart() != 4 {
+		t.Errorf("MedianStart = %d, want 4", s.MedianStart())
+	}
+	if got := s.Get(0).TotalDuration(); got != 11 {
+		t.Errorf("TotalDuration(tr0) = %d", got)
+	}
+	if p := s.Get(1).Path(); len(p) != 4 {
+		t.Errorf("Path(tr1) = %v", p)
+	}
+}
+
+func TestSortByStart(t *testing.T) {
+	s := NewStore()
+	s.Add(1, []Entry{{Edge: 0, T: 100, TT: 5}})
+	s.Add(1, []Entry{{Edge: 0, T: 50, TT: 5}})
+	s.Add(2, []Entry{{Edge: 0, T: 75, TT: 5}})
+	s.SortByStart()
+	var prev int64 = -1
+	for i, tr := range s.All() {
+		if tr.ID != ID(i) {
+			t.Errorf("id %d at position %d", tr.ID, i)
+		}
+		if tr.StartTime() < prev {
+			t.Errorf("not sorted at %d", i)
+		}
+		prev = tr.StartTime()
+	}
+}
+
+func TestSplitGaps(t *testing.T) {
+	seq := []Entry{
+		{Edge: 0, T: 0, TT: 10},
+		{Edge: 1, T: 10, TT: 10},   // contiguous
+		{Edge: 2, T: 150, TT: 10},  // 130 s idle: within MaxGap
+		{Edge: 3, T: 400, TT: 10},  // 240 s idle: split
+		{Edge: 4, T: 411, TT: 10},  // contiguous-ish
+		{Edge: 5, T: 7000, TT: 10}, // split again
+	}
+	parts := SplitGaps(seq, MaxGap)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3 (%v)", len(parts), parts)
+	}
+	if len(parts[0]) != 3 || len(parts[1]) != 2 || len(parts[2]) != 1 {
+		t.Errorf("part sizes = %d,%d,%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	if SplitGaps(nil, MaxGap) != nil {
+		t.Error("empty input should return nil")
+	}
+	one := SplitGaps(seq[:1], MaxGap)
+	if len(one) != 1 || len(one[0]) != 1 {
+		t.Error("single entry should be one part")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, _ := paperTrajectories(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatalf("ReadStore: %v", err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip lost trajectories: %d vs %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		a, b := s.Get(ID(i)), got.Get(ID(i))
+		if a.User != b.User || len(a.Seq) != len(b.Seq) {
+			t.Fatalf("trajectory %d differs", i)
+		}
+		for j := range a.Seq {
+			if a.Seq[j] != b.Seq[j] {
+				t.Fatalf("entry %d/%d differs: %+v vs %+v", i, j, a.Seq[j], b.Seq[j])
+			}
+		}
+	}
+}
+
+func TestReadStoreErrors(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte("BAD!xxxx"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadStore(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated payload.
+	s, _ := paperTrajectories(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadStore(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+// Property: SplitGaps never loses or reorders entries and every split point
+// is a real gap.
+func TestSplitGapsProperty(t *testing.T) {
+	f := func(deltas []uint16, tts []uint8) bool {
+		n := len(deltas)
+		if len(tts) < n {
+			n = len(tts)
+		}
+		if n == 0 {
+			return true
+		}
+		seq := make([]Entry, n)
+		var tcur int64
+		for i := 0; i < n; i++ {
+			tcur += int64(deltas[i]%400) + 1
+			seq[i] = Entry{Edge: network.EdgeID(i), T: tcur, TT: int32(tts[i]%50) + 1}
+			tcur = seq[i].T
+		}
+		parts := SplitGaps(seq, MaxGap)
+		total := 0
+		for pi, p := range parts {
+			total += len(p)
+			for i := 1; i < len(p); i++ {
+				if p[i].T > p[i-1].T+int64(p[i-1].TT)+MaxGap {
+					return false // gap inside a part
+				}
+			}
+			if pi > 0 {
+				prev := parts[pi-1]
+				last := prev[len(prev)-1]
+				if p[0].T <= last.T+int64(last.TT)+MaxGap {
+					return false // split without a gap
+				}
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

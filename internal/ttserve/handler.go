@@ -1,0 +1,149 @@
+// Package ttserve implements the HTTP JSON handler behind cmd/ttserve: a
+// thin, concurrency-safe service layer over a pathhist.Engine.
+package ttserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pathhist"
+)
+
+// Response is the JSON shape of a /query answer.
+type Response struct {
+	MeanSeconds float64       `json:"mean_seconds"`
+	P05         float64       `json:"p05_seconds"`
+	P50         float64       `json:"p50_seconds"`
+	P95         float64       `json:"p95_seconds"`
+	SubQueries  []SubResponse `json:"sub_queries"`
+	IndexScans  int           `json:"index_scans"`
+	Histogram   []Bucket      `json:"histogram"`
+}
+
+// SubResponse describes one final sub-query.
+type SubResponse struct {
+	Segments int     `json:"segments"`
+	Samples  int     `json:"samples"`
+	MeanTT   float64 `json:"mean_seconds"`
+	Fallback bool    `json:"speed_limit_fallback,omitempty"`
+}
+
+// Bucket is one histogram bucket [From, From+Width) with its mass share.
+type Bucket struct {
+	From     int     `json:"from_seconds"`
+	Width    int     `json:"width_seconds"`
+	Fraction float64 `json:"fraction"`
+}
+
+// NewHandler returns the service mux for an engine.
+func NewHandler(eng *pathhist.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := eng.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(toResponse(res)); err != nil {
+			// Too late for a status change; the connection is gone.
+			return
+		}
+	})
+	return mux
+}
+
+// parseQuery decodes the /query parameters.
+func parseQuery(r *http.Request) (pathhist.Query, error) {
+	var q pathhist.Query
+	raw := r.URL.Query().Get("path")
+	if raw == "" {
+		return q, fmt.Errorf("missing ?path=<edge,edge,...>")
+	}
+	for _, tok := range strings.Split(raw, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || id < 0 {
+			return q, fmt.Errorf("bad edge id %q", tok)
+		}
+		q.Path = append(q.Path, pathhist.EdgeID(id))
+	}
+	if tod := r.URL.Query().Get("tod"); tod != "" {
+		parts := strings.SplitN(tod, ":", 2)
+		if len(parts) != 2 {
+			return q, fmt.Errorf("bad tod %q, want HH:MM", tod)
+		}
+		hh, err1 := strconv.Atoi(parts[0])
+		mm, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || hh < 0 || hh > 23 || mm < 0 || mm > 59 {
+			return q, fmt.Errorf("bad tod %q", tod)
+		}
+		// Any timestamp with this time of day works; day 1 avoids the
+		// zero value that means "fixed interval".
+		q.Around = 86400 + int64(hh*3600+mm*60)
+	}
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		w, err := strconv.ParseInt(ws, 10, 64)
+		if err != nil || w <= 0 {
+			return q, fmt.Errorf("bad window %q", ws)
+		}
+		q.WindowSeconds = w
+	}
+	if bs := r.URL.Query().Get("beta"); bs != "" {
+		b, err := strconv.Atoi(bs)
+		if err != nil || b < 0 {
+			return q, fmt.Errorf("bad beta %q", bs)
+		}
+		q.Beta = b
+	}
+	if us := r.URL.Query().Get("user"); us != "" {
+		u, err := strconv.Atoi(us)
+		if err != nil || u < 0 {
+			return q, fmt.Errorf("bad user %q", us)
+		}
+		q.FilterUser = true
+		q.User = pathhist.UserID(u)
+	}
+	return q, nil
+}
+
+func toResponse(res *pathhist.Result) Response {
+	out := Response{
+		MeanSeconds: res.MeanSeconds,
+		P05:         res.Histogram.Quantile(0.05),
+		P50:         res.Histogram.Quantile(0.5),
+		P95:         res.Histogram.Quantile(0.95),
+		IndexScans:  res.IndexScans,
+	}
+	for _, s := range res.Subs {
+		out.SubQueries = append(out.SubQueries, SubResponse{
+			Segments: len(s.Path),
+			Samples:  s.Samples,
+			MeanTT:   s.MeanTT,
+			Fallback: s.Fallback,
+		})
+	}
+	h := res.Histogram
+	w := h.BucketWidth()
+	total := h.Total()
+	lo := h.Min() / w * w
+	for b := lo; b <= h.Max(); b += w {
+		if m := h.Count(b); m > 0 {
+			out.Histogram = append(out.Histogram, Bucket{
+				From: b, Width: w, Fraction: m / total,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package ttserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pathhist"
+)
+
+func testEngine(t *testing.T) (*pathhist.Engine, map[string]pathhist.EdgeID) {
+	t.Helper()
+	g, ids := pathhist.PaperExampleNetwork()
+	s := pathhist.NewStore()
+	e := func(name string, at int64, tt int32) pathhist.Entry {
+		return pathhist.Entry{Edge: ids[name], T: at, TT: tt}
+	}
+	s.Add(1, []pathhist.Entry{e("A", 0, 3), e("B", 3, 4), e("E", 7, 4)})
+	s.Add(2, []pathhist.Entry{e("A", 2, 4), e("C", 6, 2), e("D", 8, 4), e("E", 12, 5)})
+	s.Add(2, []pathhist.Entry{e("A", 4, 3), e("B", 7, 3), e("F", 10, 6)})
+	s.Add(1, []pathhist.Entry{e("A", 6, 3), e("B", 9, 3), e("E", 12, 4)})
+	eng, err := pathhist.NewEngine(g, s, pathhist.Options{
+		Partition:     pathhist.NoPartition,
+		BucketSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ids
+}
+
+func TestHealthz(t *testing.T) {
+	eng, _ := testEngine(t)
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	url := fmt.Sprintf("%s/query?path=%d,%d,%d&beta=2", srv.URL, ids["A"], ids["B"], ids["E"])
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	// Fixed interval over all data: both full-path matches (10 and 11 s).
+	if math.Abs(out.MeanSeconds-10.5) > 1e-9 {
+		t.Errorf("mean = %v, want 10.5", out.MeanSeconds)
+	}
+	if len(out.SubQueries) != 1 || out.SubQueries[0].Samples != 2 {
+		t.Errorf("subs = %+v", out.SubQueries)
+	}
+	var totalFrac float64
+	for _, b := range out.Histogram {
+		totalFrac += b.Fraction
+	}
+	if math.Abs(totalFrac-1) > 1e-9 {
+		t.Errorf("histogram fractions sum to %v", totalFrac)
+	}
+	if out.IndexScans < 1 {
+		t.Error("index scans missing")
+	}
+}
+
+func TestQueryEndpointUserAndTod(t *testing.T) {
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	url := fmt.Sprintf("%s/query?path=%d&tod=00:00&window=900&beta=1&user=2", srv.URL, ids["A"])
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MeanSeconds <= 0 {
+		t.Errorf("mean = %v", out.MeanSeconds)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"missing path", "/query", http.StatusBadRequest},
+		{"bad edge", "/query?path=abc", http.StatusBadRequest},
+		{"negative edge", "/query?path=-3", http.StatusBadRequest},
+		{"bad tod", fmt.Sprintf("/query?path=%d&tod=25:99", ids["A"]), http.StatusBadRequest},
+		{"bad tod format", fmt.Sprintf("/query?path=%d&tod=8am", ids["A"]), http.StatusBadRequest},
+		{"bad window", fmt.Sprintf("/query?path=%d&window=-5", ids["A"]), http.StatusBadRequest},
+		{"bad beta", fmt.Sprintf("/query?path=%d&beta=x", ids["A"]), http.StatusBadRequest},
+		{"bad user", fmt.Sprintf("/query?path=%d&user=-2", ids["A"]), http.StatusBadRequest},
+		// <A, D> is not traversable: semantic error, 422.
+		{"untraversable", fmt.Sprintf("/query?path=%d,%d", ids["A"], ids["D"]), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}

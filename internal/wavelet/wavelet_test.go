@@ -1,0 +1,143 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func checkRanks(t *testing.T, seq []int32, tr *Tree) {
+	t.Helper()
+	counts := map[int32]int{}
+	distinct := map[int32]bool{}
+	for _, s := range seq {
+		distinct[s] = true
+	}
+	for i := 0; i <= len(seq); i++ {
+		for s := range distinct {
+			if got := tr.Rank(s, i); got != counts[s] {
+				t.Fatalf("Rank(%d, %d) = %d, want %d", s, i, got, counts[s])
+			}
+		}
+		if i < len(seq) {
+			counts[seq[i]]++
+		}
+	}
+}
+
+func TestRankSmall(t *testing.T) {
+	// The paper's BWT-ish sequence: EFEE$$$$AAAACBDBB with $=1, A=2, ...
+	seq := []int32{6, 7, 6, 6, 1, 1, 1, 1, 2, 2, 2, 2, 4, 3, 5, 3, 3}
+	tr := New(seq)
+	checkRanks(t, seq, tr)
+	if tr.Len() != len(seq) {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Example from Procedure 2's walkthrough: rank_A(Tbwt, 8) = 0 and
+	// rank_A(Tbwt, 11) = 3 on the real paper BWT; verify on this layout:
+	if got := tr.Rank(2, 8); got != 0 {
+		t.Errorf("rank_A(8) = %d, want 0", got)
+	}
+	if got := tr.Rank(2, 12); got != 4 {
+		t.Errorf("rank_A(12) = %d, want 4", got)
+	}
+	// Absent symbol.
+	if got := tr.Rank(99, 17); got != 0 {
+		t.Errorf("rank of absent symbol = %d", got)
+	}
+}
+
+func TestAccess(t *testing.T) {
+	seq := []int32{5, 1, 4, 4, 2, 9, 1, 5, 5, 3}
+	tr := New(seq)
+	for i, s := range seq {
+		if got := tr.Access(i); got != s {
+			t.Errorf("Access(%d) = %d, want %d", i, got, s)
+		}
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	seq := []int32{7, 7, 7, 7}
+	tr := New(seq)
+	if got := tr.Rank(7, 3); got != 3 {
+		t.Errorf("single-symbol rank = %d", got)
+	}
+	if got := tr.Rank(5, 3); got != 0 {
+		t.Errorf("absent rank = %d", got)
+	}
+	if got := tr.Access(2); got != 7 {
+		t.Errorf("Access = %d", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 || tr.Rank(3, 10) != 0 {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestSkewedFrequencies(t *testing.T) {
+	// Heavily skewed: Huffman shape differs strongly from balanced.
+	var seq []int32
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		switch {
+		case rng.Intn(100) < 80:
+			seq = append(seq, 1)
+		case rng.Intn(100) < 90:
+			seq = append(seq, 2)
+		default:
+			seq = append(seq, int32(3+rng.Intn(60)))
+		}
+	}
+	tr := New(seq)
+	// Spot-check rank at random prefixes for random symbols.
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(len(seq) + 1)
+		s := seq[rng.Intn(len(seq))]
+		want := 0
+		for j := 0; j < i; j++ {
+			if seq[j] == s {
+				want++
+			}
+		}
+		if got := tr.Rank(s, i); got != want {
+			t.Fatalf("Rank(%d, %d) = %d, want %d", s, i, got, want)
+		}
+	}
+}
+
+func TestRankQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := make([]int32, len(raw))
+		for i, b := range raw {
+			seq[i] = int32(b % 11)
+		}
+		tr := New(seq)
+		counts := map[int32]int{}
+		for i := 0; i <= len(seq); i++ {
+			for s := int32(0); s < 11; s++ {
+				if tr.Rank(s, i) != counts[s] {
+					return false
+				}
+			}
+			if i < len(seq) {
+				counts[seq[i]]++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytesGrowsWithNodes(t *testing.T) {
+	small := New([]int32{1, 2, 1, 2})
+	big := New([]int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Errorf("wider alphabet should cost more: %d vs %d", big.SizeBytes(), small.SizeBytes())
+	}
+}

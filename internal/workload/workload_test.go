@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+
+	"pathhist/internal/gps"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// tinyConfig keeps the test fast.
+func tinyConfig() Config {
+	cfg := SmallConfig()
+	cfg.Net.Cities = 3
+	cfg.Net.GridSize = 5
+	cfg.Drivers = 20
+	cfg.Days = 40
+	cfg.TargetTrips = 800
+	return cfg
+}
+
+func TestBuildDataset(t *testing.T) {
+	cfg := tinyConfig()
+	ds := BuildDataset(cfg)
+	if ds.Store.Len() < cfg.TargetTrips/3 {
+		t.Fatalf("only %d trajectories (target %d)", ds.Store.Len(), cfg.TargetTrips)
+	}
+	if got := ds.Store.Len(); got > cfg.TargetTrips*3 {
+		t.Fatalf("%d trajectories, far over target %d", got, cfg.TargetTrips)
+	}
+	if len(ds.Drivers) != cfg.Drivers {
+		t.Error("drivers")
+	}
+	// All trajectories valid and traversable.
+	for i := 0; i < ds.Store.Len(); i++ {
+		tr := ds.Store.Get(traj.ID(i))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trajectory %d invalid: %v", i, err)
+		}
+		if !ds.G.IsTraversable(tr.Path()) {
+			t.Fatalf("trajectory %d path not traversable", i)
+		}
+		if tr.ID != traj.ID(i) {
+			t.Fatal("ids not positional after SortByStart")
+		}
+	}
+	// Timestamps within the configured period.
+	tmin, tmax := ds.Store.TimeRange()
+	if tmin < cfg.StartUnix || tmax > cfg.StartUnix+int64(cfg.Days+1)*gps.Day {
+		t.Errorf("time range [%d, %d] outside config", tmin, tmax)
+	}
+	// Zones were assigned: city edges exist.
+	zones := map[network.Zone]int{}
+	for i := 0; i < ds.G.NumEdges(); i++ {
+		zones[ds.G.Edge(network.EdgeID(i)).Zone]++
+	}
+	if zones[network.ZoneCity] == 0 || zones[network.ZoneRural] == 0 {
+		t.Errorf("zone mix missing: %v", zones)
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	cfg := tinyConfig()
+	a := BuildDataset(cfg)
+	b := BuildDataset(cfg)
+	if a.Store.Len() != b.Store.Len() || a.Store.NumTraversals() != b.Store.NumTraversals() {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d trajectories/traversals",
+			a.Store.Len(), a.Store.NumTraversals(), b.Store.Len(), b.Store.NumTraversals())
+	}
+	for i := 0; i < a.Store.Len(); i++ {
+		ta, tb := a.Store.Get(traj.ID(i)), b.Store.Get(traj.ID(i))
+		if ta.User != tb.User || ta.StartTime() != tb.StartTime() || ta.Len() != tb.Len() {
+			t.Fatalf("trajectory %d differs", i)
+		}
+	}
+}
+
+func TestCommutePeaks(t *testing.T) {
+	ds := BuildDataset(tinyConfig())
+	// Weekday trip departures must cluster in the two commute windows.
+	var morning, evening, night int
+	for i := 0; i < ds.Store.Len(); i++ {
+		tr := ds.Store.Get(traj.ID(i))
+		t0 := tr.StartTime()
+		if gps.IsWeekend(t0) {
+			continue
+		}
+		tod := gps.TimeOfDay(t0)
+		switch {
+		case tod >= 6*3600 && tod < 10*3600:
+			morning++
+		case tod >= 14*3600 && tod < 19*3600:
+			evening++
+		case tod < 5*3600 || tod >= 22*3600:
+			night++
+		}
+	}
+	if morning < 10 || evening < 10 {
+		t.Fatalf("no commute peaks: morning=%d evening=%d", morning, evening)
+	}
+	if night > morning/5 {
+		t.Errorf("too many night trips: %d vs morning %d", night, morning)
+	}
+}
+
+func TestMakeQueries(t *testing.T) {
+	ds := BuildDataset(tinyConfig())
+	qs := ds.MakeQueries(0.2, 5, 7)
+	if len(qs) == 0 {
+		t.Fatal("no queries derived")
+	}
+	median := ds.Store.MedianStart()
+	for _, q := range qs {
+		if q.T0 <= median {
+			t.Fatal("query before median timestamp")
+		}
+		if len(q.Path) < 5 {
+			t.Fatal("query below minimum length")
+		}
+		tr := ds.Store.Get(q.Traj)
+		if q.Actual != tr.TotalDuration() || q.User != tr.User {
+			t.Fatal("query ground truth mismatch")
+		}
+	}
+	// Deterministic given the same seed.
+	qs2 := ds.MakeQueries(0.2, 5, 7)
+	if len(qs) != len(qs2) || qs[0].Traj != qs2[0].Traj {
+		t.Error("query sampling not deterministic")
+	}
+	// Stats plausible.
+	km, segs, secs := ds.AvgQueryStats(qs)
+	if km <= 0 || segs < 5 || secs <= 0 {
+		t.Errorf("stats: %v km, %v segs, %v s", km, segs, secs)
+	}
+	if k, s, c := ds.AvgQueryStats(nil); k != 0 || s != 0 || c != 0 {
+		t.Error("empty stats")
+	}
+}
+
+func TestUserRoutineRepetition(t *testing.T) {
+	// Commuters repeat their route: the same (user, first edge) pair must
+	// recur many times, which is what user-filtered SPQs rely on.
+	ds := BuildDataset(tinyConfig())
+	type key struct {
+		u traj.UserID
+		e network.EdgeID
+	}
+	counts := map[key]int{}
+	for i := 0; i < ds.Store.Len(); i++ {
+		tr := ds.Store.Get(traj.ID(i))
+		counts[key{tr.User, tr.Seq[0].Edge}]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if best < 5 {
+		t.Errorf("no repeated user routes (max %d)", best)
+	}
+}

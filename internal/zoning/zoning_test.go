@@ -1,0 +1,122 @@
+package zoning
+
+import (
+	"testing"
+
+	"pathhist/internal/network"
+)
+
+func square(x0, y0, x1, y1 float64, t network.Zone) Polygon {
+	return Polygon{
+		Pts:  []Point{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}},
+		Type: t,
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := square(0, 0, 10, 10, network.ZoneCity)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{-1, 5}, false},
+		{Point{11, 5}, false},
+		{Point{5, -1}, false},
+		{Point{5, 11}, false},
+		{Point{0.001, 0.001}, true},
+		{Point{9.999, 9.999}, true},
+	}
+	for _, c := range cases {
+		if got := sq.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shape: big square with the top-right quadrant removed.
+	l := Polygon{
+		Pts: []Point{
+			{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10},
+		},
+		Type: network.ZoneCity,
+	}
+	if !l.Contains(Point{2, 8}) {
+		t.Error("point in upper-left arm should be inside")
+	}
+	if l.Contains(Point{8, 8}) {
+		t.Error("point in removed quadrant should be outside")
+	}
+	if !l.Contains(Point{8, 2}) {
+		t.Error("point in lower-right arm should be inside")
+	}
+}
+
+func TestTypeAt(t *testing.T) {
+	m := NewMap([]Polygon{
+		square(0, 0, 10, 10, network.ZoneCity),
+		square(8, 8, 20, 20, network.ZoneSummerHouse),
+		square(30, 30, 40, 40, network.ZoneCity),
+		square(32, 32, 38, 38, network.ZoneCity), // same-type overlap: not ambiguous
+	})
+	cases := []struct {
+		p    Point
+		want network.Zone
+	}{
+		{Point{5, 5}, network.ZoneCity},
+		{Point{15, 15}, network.ZoneSummerHouse},
+		{Point{9, 9}, network.ZoneAmbiguous}, // city ∩ summer house
+		{Point{100, 100}, network.ZoneRural}, // uncovered
+		{Point{35, 35}, network.ZoneCity},    // overlapping same type
+	}
+	for _, c := range cases {
+		if got := m.TypeAt(c.p); got != c.want {
+			t.Errorf("TypeAt(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	g := network.New()
+	v0 := g.AddVertex(1, 5)  // inside city square
+	v1 := g.AddVertex(9, 5)  // inside city square
+	v2 := g.AddVertex(25, 5) // outside
+	v3 := g.AddVertex(40, 5) // outside
+	eCity := g.AddEdge(network.Edge{From: v0, To: v1, Cat: network.Residential, SpeedLimit: 30})
+	eCross := g.AddEdge(network.Edge{From: v1, To: v2, Cat: network.Primary, SpeedLimit: 50})
+	eRural := g.AddEdge(network.Edge{From: v2, To: v3, Cat: network.Primary, SpeedLimit: 80})
+	m := NewMap([]Polygon{square(0, 0, 10, 10, network.ZoneCity)})
+	m.Assign(g)
+	if got := g.Edge(eCity).Zone; got != network.ZoneCity {
+		t.Errorf("city edge zone = %v", got)
+	}
+	if got := g.Edge(eCross).Zone; got != network.ZoneAmbiguous {
+		t.Errorf("crossing edge zone = %v", got)
+	}
+	if got := g.Edge(eRural).Zone; got != network.ZoneRural {
+		t.Errorf("rural edge zone = %v", got)
+	}
+}
+
+func TestFromGenResultZonesMix(t *testing.T) {
+	cfg := network.DefaultGenConfig()
+	cfg.Cities = 4
+	cfg.GridSize = 7
+	res := network.Generate(cfg)
+	m := FromGenResult(res, cfg.GridSpacing*0.9)
+	m.Assign(res.Graph)
+	counts := map[network.Zone]int{}
+	for i := 0; i < res.Graph.NumEdges(); i++ {
+		counts[res.Graph.Edge(network.EdgeID(i)).Zone]++
+	}
+	for _, z := range []network.Zone{network.ZoneCity, network.ZoneRural,
+		network.ZoneSummerHouse, network.ZoneAmbiguous} {
+		if counts[z] == 0 {
+			t.Errorf("zone %v absent after join (counts=%v)", z, counts)
+		}
+	}
+	if counts[network.ZoneCity] < counts[network.ZoneSummerHouse] {
+		t.Errorf("expected more city than summer-house edges: %v", counts)
+	}
+}

@@ -1,0 +1,361 @@
+// Package pathhist is a library for online travel-time histogram retrieval
+// over network-constrained trajectories, reproducing Waury, Jensen, Koide,
+// Ishikawa and Xiao: "Indexing Trajectories for Travel-Time Histogram
+// Retrieval" (EDBT 2019).
+//
+// Given a road network and a set of map-matched trajectories, an Engine
+// answers travel-time queries for arbitrary paths: the path is partitioned
+// into sub-paths (by road category, zone type, or fixed length), each
+// sub-path is answered with a strict path query against an extended
+// SNT-index (an FM-index over the trajectory string plus a temporal tree
+// forest holding traversal times), failing sub-queries are greedily relaxed
+// (interval widening, path splitting, predicate dropping, speed-limit
+// fallback), and the per-sub-path histograms are convolved into a histogram
+// for the full path. A cardinality estimator skips index scans for
+// sub-queries that cannot meet their sample-size requirement.
+//
+// Quick start:
+//
+//	g, ids := pathhist.PaperExampleNetwork()
+//	store := pathhist.NewStore()
+//	// ... add trajectories ...
+//	eng, err := pathhist.NewEngine(g, store, pathhist.Options{})
+//	res, err := eng.Query(pathhist.Query{
+//	    Path: pathhist.Path{ids["A"], ids["B"], ids["E"]},
+//	    Around: t0, WindowSeconds: 900, Beta: 20,
+//	})
+//	fmt.Println(res.Histogram.Mean(), res.Histogram.Quantile(0.95))
+//
+// The internal packages implement each subsystem: see DESIGN.md for the
+// inventory and EXPERIMENTS.md for the reproduced evaluation.
+package pathhist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pathhist/internal/card"
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/query"
+	"pathhist/internal/snt"
+	"pathhist/internal/temporal"
+	"pathhist/internal/traj"
+)
+
+// Re-exported core types. The network and trajectory models are the
+// library's vocabulary; aliases keep one canonical definition.
+type (
+	// Graph is the spatial road network G = (V, E, F).
+	Graph = network.Graph
+	// Path is a traversable sequence of directed edges.
+	Path = network.Path
+	// EdgeID identifies a directed edge.
+	EdgeID = network.EdgeID
+	// Store holds the trajectory set T.
+	Store = traj.Store
+	// Entry is one traversed segment of a trajectory.
+	Entry = traj.Entry
+	// TrajID identifies a trajectory.
+	TrajID = traj.ID
+	// UserID identifies a driver.
+	UserID = traj.UserID
+	// Histogram is a travel-time histogram.
+	Histogram = hist.Histogram
+)
+
+// NoUser disables user filtering.
+const NoUser = traj.NoUser
+
+// Zone is the zone type of a road segment.
+type Zone = network.Zone
+
+// Zone types.
+const (
+	ZoneCity        = network.ZoneCity
+	ZoneRural       = network.ZoneRural
+	ZoneSummerHouse = network.ZoneSummerHouse
+	ZoneAmbiguous   = network.ZoneAmbiguous
+)
+
+// NewStore returns an empty trajectory store.
+func NewStore() *Store { return traj.NewStore() }
+
+// NewGraph returns an empty road network.
+func NewGraph() *Graph { return network.New() }
+
+// ReadGraph deserialises a road network written with Graph.WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) { return network.ReadGraph(r) }
+
+// ReadStore deserialises a trajectory store written with Store.WriteTo.
+func ReadStore(r io.Reader) (*Store, error) { return traj.ReadStore(r) }
+
+// PaperExampleNetwork returns the Figure 1 / Table 1 example network and a
+// name-to-edge mapping for segments "A".."F".
+func PaperExampleNetwork() (*Graph, map[string]EdgeID) { return network.PaperExample() }
+
+// TreeKind selects the temporal forest implementation.
+type TreeKind = temporal.TreeKind
+
+// Temporal tree kinds.
+const (
+	CSSTree   = temporal.CSS
+	BPlusTree = temporal.BPlus
+)
+
+// PartitionMethod selects the initial query partitioning π (Section 3.2).
+type PartitionMethod int
+
+// Partitioning methods.
+const (
+	// ByZone splits sub-paths at zone-type changes (πZ, the paper's best).
+	ByZone PartitionMethod = iota
+	// ByCategory splits at road-category changes (πC).
+	ByCategory
+	// ByZoneAndCategory splits at either change (πZC).
+	ByZoneAndCategory
+	// NoPartition processes the whole path as one sub-query (πN).
+	NoPartition
+	// MainRoadUserFilters is πMDM: like ByCategory, with user filters
+	// applied only on main roads.
+	MainRoadUserFilters
+	// EverySegment is π1 (the pre-computable per-segment baseline).
+	EverySegment
+)
+
+func (m PartitionMethod) partitioner() query.Partitioner {
+	switch m {
+	case ByCategory:
+		return query.Partitioner{Kind: query.Category}
+	case ByZoneAndCategory:
+		return query.Partitioner{Kind: query.ZoneCategory}
+	case NoPartition:
+		return query.Partitioner{Kind: query.None}
+	case MainRoadUserFilters:
+		return query.Partitioner{Kind: query.MDM}
+	case EverySegment:
+		return query.Partitioner{Kind: query.Regular, P: 1}
+	default:
+		return query.Partitioner{Kind: query.ZoneKind}
+	}
+}
+
+// EstimatorMode selects the cardinality estimator (Section 4.4).
+type EstimatorMode = card.Mode
+
+// Estimator modes.
+const (
+	EstimatorOff     = card.Off
+	EstimatorISA     = card.ISA
+	EstimatorBTFast  = card.BTFast
+	EstimatorBTAcc   = card.BTAcc
+	EstimatorCSSFast = card.CSSFast
+	EstimatorCSSAcc  = card.CSSAcc
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Tree selects the temporal index implementation (CSS by default; the
+	// paper finds it at least as fast as the B+-tree and smaller).
+	Tree TreeKind
+	// PartitionDays enables temporal index partitioning with the given
+	// partition size in days (0 = one partition).
+	PartitionDays int
+	// Partition selects π (ByZone by default).
+	Partition PartitionMethod
+	// RegularP, when > 0, overrides Partition with the regular πp
+	// partitioning into sub-paths of length p (the paper's baselines use
+	// p = 1, 2, 3).
+	RegularP int
+	// LongestPrefixSplitting uses σL instead of the default (and per the
+	// paper both faster and more accurate) regular halving σR.
+	LongestPrefixSplitting bool
+	// Estimator enables cardinality estimation. EstimatorCSSFast pairs
+	// with CSSTree; EstimatorBTFast/BTAcc with BPlusTree.
+	Estimator EstimatorMode
+	// BucketSeconds is the histogram bucket width h (default 10 s).
+	BucketSeconds int
+	// IntervalSizes is the widening ladder A in seconds (default: 15, 30,
+	// 45, 60, 90, 120 minutes).
+	IntervalSizes []int64
+	// OldestFirst scans temporal data forward in time instead of the
+	// default newest-first order.
+	OldestFirst bool
+	// ZoneBetas overrides a query's Beta per initial sub-query by the
+	// zone of its first segment — e.g. a smaller sample-size requirement
+	// in rural zones (the extension suggested in the paper's outlook).
+	ZoneBetas map[Zone]int
+}
+
+// Engine answers travel-time queries over an indexed trajectory set.
+type Engine struct {
+	g   *network.Graph
+	ix  *snt.Index
+	cfg query.Config
+}
+
+// NewEngine indexes the store and returns a query engine. The store is
+// sorted by trajectory start time as a side effect.
+func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
+	if g == nil || store == nil {
+		return nil, errors.New("pathhist: nil graph or store")
+	}
+	if store.Len() == 0 {
+		return nil, errors.New("pathhist: empty trajectory store")
+	}
+	todBucket := 0
+	if opts.Estimator == card.BTAcc || opts.Estimator == card.CSSAcc {
+		todBucket = 900
+	}
+	ix := snt.Build(g, store, snt.Options{
+		Tree:             opts.Tree,
+		PartitionDays:    opts.PartitionDays,
+		TodBucketSeconds: todBucket,
+		OldestFirst:      opts.OldestFirst,
+	})
+	splitter := query.SigmaR
+	if opts.LongestPrefixSplitting {
+		splitter = query.SigmaL
+	}
+	partitioner := opts.Partition.partitioner()
+	if opts.RegularP > 0 {
+		partitioner = query.Partitioner{Kind: query.Regular, P: opts.RegularP}
+	}
+	var est *card.Estimator
+	if opts.Estimator != card.Off {
+		est = card.New(ix, opts.Estimator)
+	}
+	cfg := query.Config{
+		Partitioner: partitioner,
+		Splitter:    splitter,
+		Alphas:      opts.IntervalSizes,
+		BucketWidth: opts.BucketSeconds,
+		Estimator:   est,
+		ZoneBetas:   opts.ZoneBetas,
+	}
+	return &Engine{g: g, ix: ix, cfg: cfg}, nil
+}
+
+// Query describes a travel-time question.
+type Query struct {
+	// Path is the path whose travel-time distribution is requested.
+	Path Path
+	// Around, when non-zero, asks for the periodic time-of-day window of
+	// WindowSeconds centred on that unix timestamp's time of day.
+	Around int64
+	// WindowSeconds is the periodic window width (default 900 = 15 min).
+	WindowSeconds int64
+	// From/Until, when Around is zero, give a fixed interval [From, Until).
+	// Until == 0 means the end of the indexed data.
+	From, Until int64
+	// FilterUser restricts results to User's trajectories (user ids are
+	// valid from 0 up, so an explicit flag avoids ambiguity).
+	FilterUser bool
+	User       UserID
+	// Beta is the per-sub-query sample-size requirement (default 20, the
+	// paper's accuracy sweet spot).
+	Beta int
+	// ExcludeTraj hides one trajectory from retrieval (useful in
+	// evaluation); 0 value means no exclusion (use -1 explicitly too).
+	ExcludeTraj TrajID
+}
+
+// SubEstimate describes one final sub-query of a result.
+type SubEstimate struct {
+	Path      Path
+	MeanTT    float64
+	Samples   int
+	Fallback  bool // speed-limit estimate, no data
+	Histogram *Histogram
+}
+
+// Result is a travel-time distribution for a full path.
+type Result struct {
+	// Histogram is the convolved travel-time distribution in seconds.
+	Histogram *Histogram
+	// MeanSeconds is the summed sub-query sample means (the paper's point
+	// estimate).
+	MeanSeconds float64
+	// Subs are the final sub-queries in path order.
+	Subs []SubEstimate
+	// IndexScans and EstimatorSkips expose the processing effort.
+	IndexScans     int
+	EstimatorSkips int
+}
+
+// Query answers a travel-time query.
+func (e *Engine) Query(q Query) (*Result, error) {
+	if len(q.Path) == 0 {
+		return nil, errors.New("pathhist: empty query path")
+	}
+	if !e.g.IsTraversable(q.Path) {
+		return nil, fmt.Errorf("pathhist: path is not traversable")
+	}
+	beta := q.Beta
+	if beta == 0 {
+		beta = 20
+	}
+	var iv snt.Interval
+	switch {
+	case q.Around != 0:
+		w := q.WindowSeconds
+		if w <= 0 {
+			w = 900
+		}
+		iv = snt.PeriodicAround(q.Around, w)
+	default:
+		until := q.Until
+		if until == 0 {
+			_, tmax := e.ix.TimeRange()
+			until = tmax + 1
+		}
+		iv = snt.NewFixed(q.From, until)
+	}
+	excl := q.ExcludeTraj
+	if excl == 0 {
+		excl = -1
+	}
+	user := traj.NoUser
+	if q.FilterUser {
+		user = q.User
+	}
+	spq := query.SPQ{
+		Path:     q.Path,
+		Interval: iv,
+		Filter:   snt.Filter{User: user, ExcludeTraj: excl},
+		Beta:     beta,
+	}
+	res := query.NewEngine(e.ix, e.cfg).TripQuery(spq)
+	out := &Result{
+		Histogram:      res.Hist,
+		MeanSeconds:    res.PredictedMean(),
+		IndexScans:     res.IndexScans,
+		EstimatorSkips: res.EstimatorSkips,
+	}
+	for i := range res.Subs {
+		s := &res.Subs[i]
+		out.Subs = append(out.Subs, SubEstimate{
+			Path:      s.Path,
+			MeanTT:    s.MeanX(),
+			Samples:   len(s.X),
+			Fallback:  s.Fallback,
+			Histogram: s.Hist,
+		})
+	}
+	return out, nil
+}
+
+// SpeedLimitEstimate returns the data-free travel-time estimate for a path
+// in seconds (the estimateTT baseline).
+func (e *Engine) SpeedLimitEstimate(p Path) float64 { return e.g.EstimatePathTT(p) }
+
+// IndexMemory returns the modelled index memory footprint in bytes by
+// component: C arrays, wavelet trees, user container, temporal forest.
+func (e *Engine) IndexMemory() (c, wt, user, forest int) {
+	m := e.ix.Memory()
+	return m.CBytes, m.WTBytes, m.UserBytes, m.ForestBytes
+}
+
+// Partitions returns the number of temporal partitions.
+func (e *Engine) Partitions() int { return e.ix.NumPartitions() }
