@@ -1,0 +1,139 @@
+// Command benchrecord runs the repository's hot-path benchmarks and writes
+// the parsed numbers to a JSON file, so every PR leaves a machine-readable
+// point on the performance trajectory:
+//
+//	go run ./cmd/benchrecord -out BENCH_pr1.json
+//
+// The default benchmark selection covers the TripQuery hot path (the
+// sequential baseline, the parallel+cached serving path, and the raw scan
+// primitives); -bench overrides the regexp and -benchtime the duration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON document benchrecord writes.
+type File struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	Bench       string            `json:"bench_regexp"`
+	Records     []Record          `json:"records"`
+	Derived     map[string]string `json:"derived,omitempty"`
+}
+
+const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" +
+	"BenchmarkFig5aTemporalPiZ$|BenchmarkGetTravelTimes|BenchmarkThroughputParallel|" +
+	"BenchmarkPublicAPIQuery"
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(raw)
+
+	f := File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Bench:       *bench,
+		Records:     parse(string(raw)),
+	}
+	if v, err := exec.Command("go", "version").Output(); err == nil {
+		f.GoVersion = strings.TrimSpace(string(v))
+	}
+	f.Derived = derive(f.Records)
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: wrote %d records to %s\n", len(f.Records), *out)
+}
+
+var lineRe = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse extracts records from `go test -bench` output. Each measurement is
+// a "<value> <unit>" pair; ns/op, B/op and allocs/op map to fixed fields,
+// anything else (b.ReportMetric output) lands in Metrics.
+func parse(out string) []Record {
+	var recs []Record
+	for _, line := range strings.Split(out, "\n") {
+		m := lineRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Record{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = val
+			}
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// derive computes the headline ratios the acceptance criteria track.
+func derive(recs []Record) map[string]string {
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	out := map[string]string{}
+	seq, haveSeq := byName["BenchmarkTripQuerySequential"]
+	if par, ok := byName["BenchmarkTripQueryParallel"]; ok && haveSeq && par.NsPerOp > 0 {
+		out["parallel_speedup_vs_sequential"] = fmt.Sprintf("%.2fx", seq.NsPerOp/par.NsPerOp)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package pathhist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"pathhist/internal/workload"
+)
+
+// sameResults compares the caller-visible parts of two results.
+func sameResults(a, b *Result) error {
+	if a.MeanSeconds != b.MeanSeconds {
+		return fmt.Errorf("mean %v vs %v", a.MeanSeconds, b.MeanSeconds)
+	}
+	if len(a.Subs) != len(b.Subs) {
+		return fmt.Errorf("subs %d vs %d", len(a.Subs), len(b.Subs))
+	}
+	for i := range a.Subs {
+		sa, sb := &a.Subs[i], &b.Subs[i]
+		if sa.Samples != sb.Samples || sa.MeanTT != sb.MeanTT || sa.Fallback != sb.Fallback || len(sa.Path) != len(sb.Path) {
+			return fmt.Errorf("sub %d: %+v vs %+v", i, sa, sb)
+		}
+	}
+	if a.Histogram.Total() != b.Histogram.Total() ||
+		a.Histogram.Min() != b.Histogram.Min() ||
+		a.Histogram.Max() != b.Histogram.Max() ||
+		math.Abs(a.Histogram.Mean()-b.Histogram.Mean()) > 1e-9 {
+		return fmt.Errorf("histogram mismatch")
+	}
+	return nil
+}
+
+// TestConcurrentEngineMatchesSequential hammers one shared Engine from many
+// goroutines with mixed periodic and fixed queries (run under -race in CI),
+// asserting every answer equals the sequential no-cache reference. This is
+// the library-level statement of the concurrency model: the index is
+// immutable after NewEngine, so a single Engine serves arbitrary concurrent
+// traffic.
+func TestConcurrentEngineMatchesSequential(t *testing.T) {
+	e := env(t)
+	seq, err := NewEngine(e.DS.G, e.DS.Store, Options{Workers: 1, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewEngine(e.DS.G, e.DS.Store, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := e.Queries
+	if len(qs) > 24 {
+		qs = qs[:24]
+	}
+	mkQuery := func(i int, q workload.Query) Query {
+		out := Query{Path: q.Path, Beta: 20, ExcludeTraj: q.Traj}
+		switch i % 3 {
+		case 0:
+			out.Around = q.T0
+		case 1:
+			out.Around = q.T0
+			out.FilterUser = true
+			out.User = q.User
+		default:
+			out.From, out.Until = 0, q.T0
+		}
+		return out
+	}
+	want := make([]*Result, len(qs))
+	for i, q := range qs {
+		r, err := seq.Query(mkQuery(i, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	const goroutines = 8
+	const rounds = 2
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range qs {
+					j := (i + g) % len(qs)
+					got, err := shared.Query(mkQuery(j, qs[j]))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := sameResults(want[j], got); err != nil {
+						errs <- fmt.Errorf("goroutine %d query %d: %w", g, j, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := shared.CacheStats(); st.Hits == 0 {
+		t.Fatalf("shared engine recorded no cache hits: %+v", st)
+	}
+}
+
+// TestCacheDisabledEngine checks the opt-out leaves counters at zero.
+func TestCacheDisabledEngine(t *testing.T) {
+	e := env(t)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, Options{DisableCache: true, Tree: CSSTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e.Queries[0]
+	for i := 0; i < 3; i++ {
+		res, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, ExcludeTraj: q.Traj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHits != 0 || res.CacheMisses != 0 {
+			t.Fatalf("cache counters nonzero with cache disabled: %+v", res)
+		}
+	}
+	if st := eng.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("engine cache stats nonzero: %+v", st)
+	}
+}

@@ -1,0 +1,3 @@
+module pathhist
+
+go 1.24

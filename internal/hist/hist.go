@@ -10,6 +10,7 @@ package hist
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Histogram is a travel-time histogram with integer bucket width h seconds:
@@ -26,6 +27,44 @@ type Histogram struct {
 	// (Section 4.2).
 	min, max int
 	n        int // number of underlying samples (product after convolution)
+}
+
+// histPool recycles Histogram structs together with their count buffers so
+// that steady-state query processing reuses instead of reallocating them.
+// Only histograms that are provably unreachable go back: the query engine
+// recycles its intermediate convolution results, nothing else (sub-query
+// histograms are shared through the sub-result cache and must stay live).
+var histPool = sync.Pool{New: func() any { return new(Histogram) }}
+
+// newHist returns a histogram with a zeroed count buffer of length n,
+// reusing a recycled histogram when one fits.
+func newHist(h, offset, n int) *Histogram {
+	hg := histPool.Get().(*Histogram)
+	if cap(hg.counts) >= n {
+		hg.counts = hg.counts[:n]
+		for i := range hg.counts {
+			hg.counts[i] = 0
+		}
+	} else {
+		hg.counts = make([]float64, n)
+	}
+	hg.h = h
+	hg.offset = offset
+	hg.total = 0
+	hg.min, hg.max, hg.n = 0, 0, 0
+	return hg
+}
+
+// Recycle returns the histogram to the package pool. It must only be called
+// on histograms no other code can reach — in practice the query engine's
+// intermediate convolution results. The histogram is unusable afterwards.
+func (hg *Histogram) Recycle() {
+	if hg == nil {
+		return
+	}
+	hg.counts = hg.counts[:0]
+	hg.total = 0
+	histPool.Put(hg)
 }
 
 // FromSamples builds a histogram with bucket width h from travel-time
@@ -47,14 +86,8 @@ func FromSamples(xs []int, h int) *Histogram {
 		}
 	}
 	lo, hi := min/h, max/h
-	hg := &Histogram{
-		h:      h,
-		offset: lo,
-		counts: make([]float64, hi-lo+1),
-		min:    min,
-		max:    max,
-		n:      len(xs),
-	}
+	hg := newHist(h, lo, hi-lo+1)
+	hg.min, hg.max, hg.n = min, max, len(xs)
 	for _, x := range xs {
 		hg.counts[x/h-lo]++
 		hg.total++
@@ -142,14 +175,10 @@ func (hg *Histogram) Convolve(other *Histogram) *Histogram {
 	if hg.h != other.h {
 		panic(fmt.Sprintf("hist: convolving width %d with %d", hg.h, other.h))
 	}
-	out := &Histogram{
-		h:      hg.h,
-		offset: hg.offset + other.offset,
-		counts: make([]float64, len(hg.counts)+len(other.counts)-1),
-		min:    hg.min + other.min,
-		max:    hg.max + other.max,
-		n:      hg.n * other.n,
-	}
+	out := newHist(hg.h, hg.offset+other.offset, len(hg.counts)+len(other.counts)-1)
+	out.min = hg.min + other.min
+	out.max = hg.max + other.max
+	out.n = hg.n * other.n
 	for i, a := range hg.counts {
 		if a == 0 {
 			continue

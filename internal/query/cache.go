@@ -1,0 +1,237 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/snt"
+)
+
+// The sub-result cache memoises completed sub-query scans. A cache entry is
+// a proven fact about the immutable index — "path P scanned over interval I
+// under filter f with requirement β yields exactly these travel times" — so
+// entries never expire and are only evicted for capacity. Empty scan
+// results are cached as negative entries: a periodic sub-query that fails
+// its β requirement fails deterministically, and the Procedure 1 relaxation
+// chain re-issues the same failing scans on every repeat of a query, so
+// negative entries are what make warm relaxation-heavy queries cheap. The
+// cache is sharded by key hash to keep lock contention negligible under
+// concurrent query traffic, and each shard maintains its own LRU list.
+//
+// β is part of the key even though the issue's shorthand is (path,
+// interval, filter): Procedure 5 stops scanning after β matches and rejects
+// periodic intervals with fewer than β matches, so the same (P, I, f) can
+// yield different sample sets under different β.
+
+// cacheShards must be a power of two.
+const cacheShards = 16
+
+// DefaultCacheCapacity is the default total number of cached sub-results.
+const DefaultCacheCapacity = 4096
+
+// cacheEntry is one cached sub-result plus its LRU linkage. The xs slice
+// and histogram are shared by every Result that hits the entry and must be
+// treated as immutable by all readers. A nil xs is a negative entry: the
+// scan completed and found nothing.
+type cacheEntry struct {
+	hash     uint64
+	path     network.Path // private copy, never aliased to caller memory
+	iv       snt.Interval
+	f        snt.Filter
+	beta     int
+	xs       []int
+	hist     *hist.Histogram
+	fallback bool
+
+	prev, next *cacheEntry
+}
+
+func (en *cacheEntry) matches(p network.Path, iv snt.Interval, f snt.Filter, beta int) bool {
+	if en.iv != iv || en.f != f || en.beta != beta || len(en.path) != len(p) {
+		return false
+	}
+	for i, e := range p {
+		if en.path[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheShard is one lock domain: a hash map for lookup plus an intrusive
+// doubly-linked LRU list (head = most recent).
+type cacheShard struct {
+	mu         sync.Mutex
+	m          map[uint64]*cacheEntry
+	head, tail *cacheEntry
+	capacity   int
+}
+
+func (s *cacheShard) unlink(en *cacheEntry) {
+	if en.prev != nil {
+		en.prev.next = en.next
+	} else {
+		s.head = en.next
+	}
+	if en.next != nil {
+		en.next.prev = en.prev
+	} else {
+		s.tail = en.prev
+	}
+	en.prev, en.next = nil, nil
+}
+
+func (s *cacheShard) pushFront(en *cacheEntry) {
+	en.next = s.head
+	if s.head != nil {
+		s.head.prev = en
+	}
+	s.head = en
+	if s.tail == nil {
+		s.tail = en
+	}
+}
+
+// subCache is the sharded LRU cache shared by all queries of one Engine.
+type subCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newSubCache(capacity int) *subCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c := &subCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*cacheEntry)
+		c.shards[i].capacity = per
+	}
+	return c
+}
+
+// cacheHash is FNV-1a over the full sub-query key.
+func cacheHash(p network.Path, iv snt.Interval, f snt.Filter, beta int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, e := range p {
+		mix(uint64(uint32(e)))
+	}
+	mix(uint64(iv.Kind))
+	mix(uint64(iv.Start))
+	mix(uint64(iv.End))
+	mix(uint64(iv.TodStart))
+	mix(uint64(iv.Width))
+	mix(uint64(uint32(f.User)))
+	mix(uint64(uint32(f.ExcludeTraj)))
+	mix(uint64(beta))
+	return h
+}
+
+func (c *subCache) shard(hash uint64) *cacheShard {
+	return &c.shards[hash&(cacheShards-1)]
+}
+
+// get returns the cached sub-result for the key, marking the entry most
+// recently used. The returned samples and histogram are shared and
+// immutable; ok with nil xs is a negative entry (the scan is known to come
+// back empty).
+func (c *subCache) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) (xs []int, hg *hist.Histogram, fallback, ok bool) {
+	hash := cacheHash(p, iv, f, beta)
+	s := c.shard(hash)
+	s.mu.Lock()
+	en := s.m[hash]
+	if en != nil && en.matches(p, iv, f, beta) {
+		if s.head != en {
+			s.unlink(en)
+			s.pushFront(en)
+		}
+		xs, hg, fallback = en.xs, en.hist, en.fallback
+		ok = true
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return
+}
+
+// put stores a completed sub-result (nil xs for a negative entry). The
+// path is copied; the samples and histogram are retained as-is (and shared
+// with the Result that produced them), so they must never be mutated or
+// recycled.
+func (c *subCache) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, xs []int, hg *hist.Histogram, fallback bool) {
+	hash := cacheHash(p, iv, f, beta)
+	en := &cacheEntry{
+		hash:     hash,
+		path:     append(network.Path(nil), p...),
+		iv:       iv,
+		f:        f,
+		beta:     beta,
+		xs:       xs,
+		hist:     hg,
+		fallback: fallback,
+	}
+	s := c.shard(hash)
+	s.mu.Lock()
+	if old := s.m[hash]; old != nil {
+		s.unlink(old)
+	}
+	s.m[hash] = en
+	s.pushFront(en)
+	if len(s.m) > s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		if s.m[victim.hash] == victim {
+			delete(s.m, victim.hash)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *subCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats reports cumulative lookup traffic across all queries. The
+// counters measure the cache (every get, including speculative attempts
+// whose outcome reconciliation later discards), so the hit ratio can read
+// higher than the per-Result CacheHits/CacheMisses, which book only
+// adopted outcomes.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (c *subCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+}

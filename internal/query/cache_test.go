@@ -1,0 +1,124 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/snt"
+)
+
+func testKey(i int) (network.Path, snt.Interval, snt.Filter, int) {
+	return network.Path{network.EdgeID(i), network.EdgeID(i + 1)},
+		snt.NewPeriodic(int64(i)*60, 900), snt.NoFilter, 20
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := newSubCache(64)
+	p, iv, f, beta := testKey(1)
+	if _, _, _, ok := c.get(p, iv, f, beta); ok {
+		t.Fatal("hit on empty cache")
+	}
+	xs := []int{100, 110, 120}
+	hg := hist.FromSamples(xs, 10)
+	c.put(p, iv, f, beta, xs, hg, false)
+	gxs, ghg, fallback, ok := c.get(p, iv, f, beta)
+	if !ok || fallback || ghg != hg || len(gxs) != 3 {
+		t.Fatalf("get = %v %v %v %v", gxs, ghg, fallback, ok)
+	}
+	// Key sensitivity: every component participates.
+	if _, _, _, ok := c.get(p[:1], iv, f, beta); ok {
+		t.Error("hit with different path")
+	}
+	if _, _, _, ok := c.get(p, iv.Resize(1800), f, beta); ok {
+		t.Error("hit with different interval")
+	}
+	if _, _, _, ok := c.get(p, iv, snt.Filter{User: 3, ExcludeTraj: -1}, beta); ok {
+		t.Error("hit with different filter")
+	}
+	if _, _, _, ok := c.get(p, iv, f, beta+1); ok {
+		t.Error("hit with different beta")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newSubCache(cacheShards) // one entry per shard
+	var paths []network.Path
+	for i := 0; i < cacheShards*4; i++ {
+		p, iv, f, beta := testKey(i)
+		paths = append(paths, p)
+		c.put(p, iv, f, beta, []int{i}, hist.FromSamples([]int{i + 1}, 10), false)
+	}
+	if n := c.Len(); n > cacheShards {
+		t.Fatalf("cache holds %d entries, capacity %d", n, cacheShards)
+	}
+	// The survivors must still be retrievable and correct.
+	found := 0
+	for i, p := range paths {
+		_, iv, f, beta := testKey(i)
+		if xs, _, _, ok := c.get(p, iv, f, beta); ok {
+			found++
+			if len(xs) != 1 || xs[0] != i {
+				t.Fatalf("entry %d corrupted: %v", i, xs)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("eviction removed everything")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newSubCache(cacheShards * 2) // two entries per shard
+	// Three keys that land in the same shard would be needed for a strict
+	// LRU assertion; instead verify the weaker invariant directly per
+	// shard: a re-accessed entry survives a subsequent insert that evicts.
+	p0, iv, f, beta := testKey(0)
+	c.put(p0, iv, f, beta, []int{0}, hist.FromSamples([]int{1}, 10), false)
+	sh := c.shard(cacheHash(p0, iv, f, beta))
+	// Fill the same shard with synthetic entries until eviction happens,
+	// touching p0 before each insert so it stays most recently used.
+	for i := 1; i < 64; i++ {
+		p, piv, pf, pbeta := testKey(i)
+		if c.shard(cacheHash(p, piv, pf, pbeta)) != sh {
+			continue
+		}
+		c.get(p0, iv, f, beta)
+		c.put(p, piv, pf, pbeta, []int{i}, hist.FromSamples([]int{i}, 10), false)
+	}
+	if _, _, _, ok := c.get(p0, iv, f, beta); !ok {
+		t.Fatal("most-recently-used entry was evicted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newSubCache(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p, iv, f, beta := testKey(i % 100)
+				if xs, _, _, ok := c.get(p, iv, f, beta); ok {
+					if len(xs) != 1 || xs[0] != i%100 {
+						t.Errorf("corrupt entry for key %d: %v", i%100, xs)
+						return
+					}
+					continue
+				}
+				c.put(p, iv, f, beta, []int{i % 100}, hist.FromSamples([]int{i%100 + 1}, 10), false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("no lookups recorded: %+v", st)
+	}
+}

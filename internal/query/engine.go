@@ -1,6 +1,9 @@
 package query
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathhist/internal/card"
@@ -51,12 +54,26 @@ type Config struct {
 	// DisableShiftEnlarge turns off the Dai-et-al periodic interval
 	// adaptation of Section 4.2 (ablation support).
 	DisableShiftEnlarge bool
+	// Workers bounds the worker pool of the speculative parallel first
+	// pass of TripQuery: 0 uses GOMAXPROCS, 1 forces the purely
+	// sequential Procedure 6, larger values cap the pool. The result is
+	// identical either way (see TripQuery).
+	Workers int
+	// DisableCache turns off the shared sub-result cache.
+	DisableCache bool
+	// CacheCapacity is the total number of cached sub-results
+	// (DefaultCacheCapacity when 0).
+	CacheCapacity int
 }
 
-// Engine processes travel-time queries against an SNT-index.
+// Engine processes travel-time queries against an SNT-index. An Engine is
+// safe for concurrent use: the index is immutable after snt.Build, all
+// per-query scan state lives in pooled snt.Scratch buffers, and the shared
+// sub-result cache is internally synchronised.
 type Engine struct {
-	ix  *snt.Index
-	cfg Config
+	ix    *snt.Index
+	cfg   Config
+	cache *subCache
 }
 
 // NewEngine returns an engine. Zero-value config fields get defaults
@@ -69,10 +86,19 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 	if cfg.BucketWidth <= 0 {
 		cfg.BucketWidth = 10
 	}
-	return &Engine{ix: ix, cfg: cfg}
+	e := &Engine{ix: ix, cfg: cfg}
+	if !cfg.DisableCache {
+		e.cache = newSubCache(cfg.CacheCapacity)
+	}
+	return e
 }
 
+// Cache reports the cumulative sub-result cache statistics.
+func (e *Engine) Cache() CacheStats { return e.cache.Stats() }
+
 // SubResult is one completed sub-query with its retrieved travel times.
+// X and Hist may be shared with the engine's sub-result cache and with
+// other Results; treat both as immutable.
 type SubResult struct {
 	Path     network.Path
 	Interval snt.Interval // effective (shifted) interval that produced X
@@ -96,6 +122,12 @@ type Result struct {
 	IndexScans int
 	// EstimatorSkips counts sub-queries relaxed on the estimate alone.
 	EstimatorSkips int
+	// CacheHits and CacheMisses count sub-query scans served by the
+	// sub-result cache versus scans that had to reach the index (both
+	// stay zero with the cache disabled; a cache hit does not count as an
+	// index scan).
+	CacheHits   int
+	CacheMisses int
 	// Elapsed is the wall-clock processing time.
 	Elapsed time.Duration
 }
@@ -136,20 +168,166 @@ type subQ struct {
 	terminal bool // the Procedure 1 line 12 fallback: fixed [0,tmax), no β
 }
 
+// outcome is the result of one attempt at a sub-query: an estimator skip, a
+// scan (or cache hit) that succeeded, or one that came back empty.
+type outcome struct {
+	xs       []int // owned by the outcome (or shared immutably via cache)
+	hist     *hist.Histogram
+	fallback bool
+	skipped  bool // estimator said β̂ < β; no scan was issued
+	cached   bool // served from the sub-result cache; no scan was issued
+}
+
+func (o *outcome) success() bool { return !o.skipped && len(o.xs) > 0 }
+
+// attempt runs one sub-query attempt at the given effective interval:
+// cardinality estimation first (Procedure 6 semantics — never for terminal
+// sub-queries, which have no β), then the sub-result cache, then the
+// Procedure 3-5 index scan. Attempts are deterministic given the cache
+// state; with the cache disabled they are fully deterministic, which is
+// what makes speculative execution exact (see TripQuery).
+func (e *Engine) attempt(sub *subQ, iv snt.Interval, sc *snt.Scratch) outcome {
+	if sub.beta > 0 && e.cfg.Estimator.Enabled() {
+		if bhat, ok := e.cfg.Estimator.Estimate(sub.path, iv, sub.filter); ok && bhat < float64(sub.beta) {
+			return outcome{skipped: true}
+		}
+	}
+	if e.cache != nil {
+		if xs, hg, fallback, ok := e.cache.get(sub.path, iv, sub.filter, sub.beta); ok {
+			return outcome{xs: xs, hist: hg, fallback: fallback, cached: true}
+		}
+	}
+	view, fallback := e.ix.GetTravelTimesWith(sc, sub.path, iv, sub.filter, sub.beta)
+	if len(view) == 0 {
+		if e.cache != nil {
+			e.cache.put(sub.path, iv, sub.filter, sub.beta, nil, nil, false)
+		}
+		return outcome{}
+	}
+	xs := make([]int, len(view))
+	copy(xs, view)
+	hg := hist.FromSamples(xs, e.cfg.BucketWidth)
+	if e.cache != nil {
+		e.cache.put(sub.path, iv, sub.filter, sub.beta, xs, hg, fallback)
+	}
+	return outcome{xs: xs, hist: hg, fallback: fallback}
+}
+
+// count books an attempt's effort into the result counters.
+func (e *Engine) count(r *Result, o *outcome) {
+	switch {
+	case o.skipped:
+		r.EstimatorSkips++
+	case o.cached:
+		r.CacheHits++
+	default:
+		r.IndexScans++
+		if e.cache != nil {
+			r.CacheMisses++
+		}
+	}
+}
+
+// accept appends a successful outcome as a completed sub-query and folds
+// its extremes into the shift-and-enlarge accumulators (Section 4.2):
+// S = Σ H_j^min, R = Σ (H_j^max - H_j^min).
+func (r *Result) accept(sub *subQ, iv snt.Interval, o *outcome, shiftS, shiftR *int64) {
+	r.Subs = append(r.Subs, SubResult{
+		Path:     sub.path,
+		Interval: iv,
+		Filter:   sub.filter,
+		X:        o.xs,
+		Hist:     o.hist,
+		Fallback: o.fallback,
+	})
+	*shiftS += int64(o.hist.Min())
+	*shiftR += int64(o.hist.Max() - o.hist.Min())
+}
+
+// effective applies the lazy shift-and-enlarge adaptation to a sub-query's
+// base interval given the completed predecessors.
+func (e *Engine) effective(base snt.Interval, done int, shiftS, shiftR int64) snt.Interval {
+	if base.IsPeriodic() && done > 0 && !e.cfg.DisableShiftEnlarge {
+		return base.ShiftEnlarge(shiftS, shiftR)
+	}
+	return base
+}
+
 // TripQuery is Procedure 6: partition, process with relaxation, convolve.
+//
+// Processing runs in two passes. A speculative parallel first pass issues
+// every initial sub-query concurrently on a bounded worker pool, scanning
+// with the un-shifted base interval (the shift-and-enlarge offsets of
+// Section 4.2 depend on the preceding sub-queries' results and are unknown
+// at that point). A sequential reconciliation pass then walks the initial
+// sub-queries in path order, maintaining the exact shift accumulators of
+// the sequential algorithm: a speculative result is accepted verbatim when
+// its interval equals the shift-adjusted interval the sequential pass would
+// have used (always true for the first sub-query, and for every sub-query
+// of fixed-interval or shift-disabled queries); otherwise the sub-query is
+// re-processed sequentially, including the full Procedure 1 relaxation
+// chain. Failed attempts relax sequentially in both modes, so the produced
+// Subs and Hist are identical to the purely sequential execution. With the
+// cache disabled, attempts are fully deterministic and IndexScans and
+// EstimatorSkips are identical too; with it enabled, scan and hit/miss
+// counts can vary run to run, because concurrent attempts race on shared
+// cache entries (the retrieved values never differ — every entry is a
+// deterministic function of the immutable index).
+//
+// Speculation trades CPU for latency: on a periodic query with
+// shift-and-enlarge active, every accepted sub-query after the first
+// shifts its successors' windows, so their speculative base-interval
+// outcomes are discarded and re-scanned — extra parallel work, but the
+// sequential replay bounds wall-clock at the purely sequential cost, and
+// on warm repeats the speculative attempts resolve as cache hits. For
+// fixed intervals or DisableShiftEnlarge every speculative outcome
+// reconciles, and the pass is pure speedup.
 func (e *Engine) TripQuery(q SPQ) Result {
 	start := time.Now()
 	var res Result
-	initial := e.cfg.Partitioner.Partition(e.ix.Graph(), q)
-	queue := make([]subQ, 0, len(initial)*2)
-	for _, s := range initial {
+	initial := e.initialSubs(q)
+	var spec []outcome
+	if w := e.workers(); w > 1 && len(initial) > 1 {
+		spec = e.speculate(initial, w)
+	}
+	sc := snt.AcquireScratch()
+	var shiftS, shiftR int64
+	for i := range initial {
+		sub := initial[i]
+		iv := e.effective(sub.base, len(res.Subs), shiftS, shiftR)
+		if spec != nil && iv == sub.base {
+			// The speculative attempt used exactly this interval, and
+			// attempts are deterministic: adopt its outcome instead of
+			// re-scanning.
+			o := spec[i]
+			e.count(&res, &o)
+			if o.success() {
+				res.accept(&sub, iv, &o, &shiftS, &shiftR)
+				continue
+			}
+			e.drain(e.relax(sub, iv), &res, &shiftS, &shiftR, sc)
+			continue
+		}
+		e.drain([]subQ{sub}, &res, &shiftS, &shiftR, sc)
+	}
+	snt.ReleaseScratch(sc)
+	res.Hist = convolveSubs(res.Subs)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// initialSubs partitions the query and applies the per-zone β overrides.
+func (e *Engine) initialSubs(q SPQ) []subQ {
+	parts := e.cfg.Partitioner.Partition(e.ix.Graph(), q)
+	subs := make([]subQ, 0, len(parts))
+	for _, s := range parts {
 		beta := s.Beta
 		if e.cfg.ZoneBetas != nil && beta > 0 {
 			if zb, ok := e.cfg.ZoneBetas[e.ix.Graph().Edge(s.Path[0]).Zone]; ok {
 				beta = zb
 			}
 		}
-		queue = append(queue, subQ{
+		subs = append(subs, subQ{
 			path:     s.Path,
 			base:     s.Interval,
 			filter:   s.Filter,
@@ -157,51 +335,81 @@ func (e *Engine) TripQuery(q SPQ) Result {
 			widenIdx: e.widenIndexOf(s.Interval),
 		})
 	}
-	// Shift-and-enlarge accumulators over completed sub-queries (Section
-	// 4.2): S = Σ H_j^min, R = Σ (H_j^max - H_j^min).
-	var shiftS, shiftR int64
+	return subs
+}
+
+// workers resolves the speculative pool bound.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// speculate is the parallel first pass: attempt every initial sub-query
+// concurrently with its un-shifted base interval. Each worker holds one
+// scratch for its whole batch.
+func (e *Engine) speculate(initial []subQ, workers int) []outcome {
+	if workers > len(initial) {
+		workers = len(initial)
+	}
+	out := make([]outcome, len(initial))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := snt.AcquireScratch()
+			defer snt.ReleaseScratch(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(initial) {
+					return
+				}
+				out[i] = e.attempt(&initial[i], initial[i].base, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// drain runs the sequential Procedure 6 loop over a queue seeded with one
+// (possibly already-relaxed) sub-query, prepending Procedure 1 relaxations
+// until the queue is empty.
+func (e *Engine) drain(queue []subQ, res *Result, shiftS, shiftR *int64, sc *snt.Scratch) {
 	for len(queue) > 0 {
 		sub := queue[0]
 		queue = queue[1:]
-		iv := sub.base
-		if iv.IsPeriodic() && len(res.Subs) > 0 && !e.cfg.DisableShiftEnlarge {
-			iv = iv.ShiftEnlarge(shiftS, shiftR)
-		}
-		// Cardinality estimation: skip the scan when β̂ < β (never for
-		// terminal sub-queries, which have no β).
-		if sub.beta > 0 && e.cfg.Estimator.Enabled() {
-			if bhat, ok := e.cfg.Estimator.Estimate(sub.path, iv, sub.filter); ok && bhat < float64(sub.beta) {
-				res.EstimatorSkips++
-				queue = append(e.relax(sub, iv), queue...)
-				continue
-			}
-		}
-		res.IndexScans++
-		xs, fallback := e.ix.GetTravelTimes(sub.path, iv, sub.filter, sub.beta)
-		if len(xs) == 0 {
+		iv := e.effective(sub.base, len(res.Subs), *shiftS, *shiftR)
+		o := e.attempt(&sub, iv, sc)
+		e.count(res, &o)
+		if !o.success() {
 			queue = append(e.relax(sub, iv), queue...)
 			continue
 		}
-		h := hist.FromSamples(xs, e.cfg.BucketWidth)
-		res.Subs = append(res.Subs, SubResult{
-			Path:     sub.path,
-			Interval: iv,
-			Filter:   sub.filter,
-			X:        xs,
-			Hist:     h,
-			Fallback: fallback,
-		})
-		shiftS += int64(h.Min())
-		shiftR += int64(h.Max() - h.Min())
+		res.accept(&sub, iv, &o, shiftS, shiftR)
 	}
-	// Convolve in path order.
+}
+
+// convolveSubs folds the sub-query histograms in path order, recycling the
+// intermediate convolution results (which nothing else can reach; the
+// operands and the returned final histogram stay live).
+func convolveSubs(subs []SubResult) *hist.Histogram {
 	var conv *hist.Histogram
-	for i := range res.Subs {
-		conv = conv.Convolve(res.Subs[i].Hist)
+	owned := false
+	for i := range subs {
+		next := conv.Convolve(subs[i].Hist)
+		if owned && next != conv {
+			conv.Recycle()
+		}
+		// next is a fresh intermediate only when both operands existed;
+		// otherwise Convolve returned an operand we must not recycle.
+		owned = conv != nil && subs[i].Hist != nil
+		conv = next
 	}
-	res.Hist = conv
-	res.Elapsed = time.Since(start)
-	return res
+	return conv
 }
 
 // widenIndexOf locates the interval's width in A (the largest index whose

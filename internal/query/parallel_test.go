@@ -1,0 +1,210 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pathhist/internal/snt"
+	"pathhist/internal/traj"
+	"pathhist/internal/workload"
+)
+
+// The tests in this file pin down the tentpole contract of the parallel
+// query path: speculative parallel execution, with or without the
+// sub-result cache, must produce exactly the sequential Procedure 6 result.
+
+var (
+	parEnvOnce sync.Once
+	parIx      *snt.Index
+	parQueries []SPQ
+)
+
+// parEnv builds a shared small synthetic dataset with a mixed query set:
+// periodic, user-filtered periodic, and fixed-interval queries.
+func parEnv(t testing.TB) (*snt.Index, []SPQ) {
+	t.Helper()
+	parEnvOnce.Do(func() {
+		cfg := workload.SmallConfig()
+		cfg.TargetTrips = 1500
+		cfg.Days = 45
+		ds := workload.BuildDataset(cfg)
+		parIx = snt.Build(ds.G, ds.Store, snt.Options{})
+		for i, q := range ds.MakeQueries(0.05, 5, cfg.Seed+1) {
+			f := snt.Filter{User: traj.NoUser, ExcludeTraj: q.Traj}
+			var iv snt.Interval
+			switch i % 3 {
+			case 0:
+				iv = snt.PeriodicAround(q.T0, DefaultAlphas[0])
+			case 1:
+				iv = snt.PeriodicAround(q.T0, DefaultAlphas[0])
+				f.User = q.User
+			default:
+				iv = snt.NewFixed(0, q.T0)
+			}
+			parQueries = append(parQueries, SPQ{Path: q.Path, Interval: iv, Filter: f, Beta: 20})
+		}
+	})
+	if len(parQueries) == 0 {
+		t.Fatal("no queries in parallel test env")
+	}
+	return parIx, parQueries
+}
+
+// sameHist compares two histograms bucket by bucket.
+func sameHist(a, b interface {
+	Min() int
+	Max() int
+	Total() float64
+	BucketWidth() int
+	Count(int) float64
+}) error {
+	if a.Min() != b.Min() || a.Max() != b.Max() || a.Total() != b.Total() || a.BucketWidth() != b.BucketWidth() {
+		return fmt.Errorf("shape: min %d/%d max %d/%d total %v/%v",
+			a.Min(), b.Min(), a.Max(), b.Max(), a.Total(), b.Total())
+	}
+	for x := a.Min(); x <= a.Max(); x += a.BucketWidth() {
+		if a.Count(x) != b.Count(x) {
+			return fmt.Errorf("bucket at %d: %v vs %v", x, a.Count(x), b.Count(x))
+		}
+	}
+	return nil
+}
+
+// sameResult compares the semantically defined parts of two results: the
+// final sub-queries (paths, effective intervals, filters, samples,
+// fallback flags) and the convolved histogram.
+func sameResult(a, b *Result) error {
+	if len(a.Subs) != len(b.Subs) {
+		return fmt.Errorf("sub count %d vs %d", len(a.Subs), len(b.Subs))
+	}
+	for i := range a.Subs {
+		sa, sb := &a.Subs[i], &b.Subs[i]
+		if len(sa.Path) != len(sb.Path) {
+			return fmt.Errorf("sub %d path len %d vs %d", i, len(sa.Path), len(sb.Path))
+		}
+		for j := range sa.Path {
+			if sa.Path[j] != sb.Path[j] {
+				return fmt.Errorf("sub %d path[%d] %d vs %d", i, j, sa.Path[j], sb.Path[j])
+			}
+		}
+		if sa.Interval != sb.Interval {
+			return fmt.Errorf("sub %d interval %v vs %v", i, sa.Interval, sb.Interval)
+		}
+		if sa.Filter != sb.Filter || sa.Fallback != sb.Fallback {
+			return fmt.Errorf("sub %d filter/fallback mismatch", i)
+		}
+		if len(sa.X) != len(sb.X) {
+			return fmt.Errorf("sub %d samples %d vs %d", i, len(sa.X), len(sb.X))
+		}
+		for j := range sa.X {
+			if sa.X[j] != sb.X[j] {
+				return fmt.Errorf("sub %d X[%d] %d vs %d", i, j, sa.X[j], sb.X[j])
+			}
+		}
+	}
+	if (a.Hist == nil) != (b.Hist == nil) {
+		return fmt.Errorf("hist nil mismatch")
+	}
+	if a.Hist != nil {
+		if err := sameHist(a.Hist, b.Hist); err != nil {
+			return fmt.Errorf("hist: %w", err)
+		}
+	}
+	return nil
+}
+
+// TestParallelMatchesSequential is the reconciliation correctness test: for
+// every query in the workload, speculative parallel execution (with and
+// without the cache, cold and warm) reproduces the sequential result
+// exactly, and without the cache even the effort counters agree.
+func TestParallelMatchesSequential(t *testing.T) {
+	ix, qs := parEnv(t)
+	base := Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10}
+
+	seqCfg := base
+	seqCfg.Workers = 1
+	seqCfg.DisableCache = true
+	seq := NewEngine(ix, seqCfg)
+
+	parCfg := base
+	parCfg.Workers = 4
+	parCfg.DisableCache = true
+	par := NewEngine(ix, parCfg)
+
+	cachedCfg := base
+	cachedCfg.Workers = 4
+	cached := NewEngine(ix, cachedCfg)
+
+	for i, q := range qs {
+		want := seq.TripQuery(q)
+		got := par.TripQuery(q)
+		if err := sameResult(&want, &got); err != nil {
+			t.Fatalf("query %d parallel/no-cache: %v", i, err)
+		}
+		if want.IndexScans != got.IndexScans || want.EstimatorSkips != got.EstimatorSkips {
+			t.Fatalf("query %d counters: scans %d vs %d, skips %d vs %d",
+				i, want.IndexScans, got.IndexScans, want.EstimatorSkips, got.EstimatorSkips)
+		}
+		cold := cached.TripQuery(q)
+		if err := sameResult(&want, &cold); err != nil {
+			t.Fatalf("query %d parallel/cache cold: %v", i, err)
+		}
+		warm := cached.TripQuery(q)
+		if err := sameResult(&want, &warm); err != nil {
+			t.Fatalf("query %d parallel/cache warm: %v", i, err)
+		}
+		if warm.CacheHits == 0 {
+			t.Fatalf("query %d: warm re-run had no cache hits (%d misses)", i, warm.CacheMisses)
+		}
+	}
+	if st := cached.Cache(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats not recorded: %+v", st)
+	}
+}
+
+// TestConcurrentTripQuery hammers one shared engine from many goroutines
+// with mixed periodic/fixed queries under -race, asserting every result is
+// identical to the sequential reference.
+func TestConcurrentTripQuery(t *testing.T) {
+	ix, qs := parEnv(t)
+	base := Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10}
+
+	seqCfg := base
+	seqCfg.Workers = 1
+	seqCfg.DisableCache = true
+	seq := NewEngine(ix, seqCfg)
+	want := make([]Result, len(qs))
+	for i, q := range qs {
+		want[i] = seq.TripQuery(q)
+	}
+
+	sharedCfg := base
+	sharedCfg.Workers = 4
+	shared := NewEngine(ix, sharedCfg)
+	const goroutines = 8
+	const rounds = 3
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range qs {
+					j := (i + g) % len(qs)
+					got := shared.TripQuery(qs[j])
+					if err := sameResult(&want[j], &got); err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d query %d: %w", g, r, j, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package snt
 
 import (
+	"pathhist/internal/fmindex"
 	"pathhist/internal/network"
 	"pathhist/internal/temporal"
 	"pathhist/internal/traj"
@@ -40,31 +41,19 @@ func (ix *Index) admit(f Filter, r *temporal.Record) bool {
 	return true
 }
 
-// mapKey identifies one traversal occurrence: trajectory id plus the
-// sequence number of the occurrence's first segment. The sequence number
-// guards against trajectories with circular paths (Section 4.1.3).
-type mapKey struct {
-	d   traj.ID
-	seq int32
-}
-
-// probeTable is the output of Procedure 3: the mapping (d, seq) -> a0 - TT0
-// plus the scan bounds needed to restrict the Procedure 4 scan.
-type probeTable struct {
-	m          map[mapKey]int32
-	minT, maxT int64
-}
-
-// BuildMap is Procedure 3: scan the temporal index of the path's first
+// buildMap is Procedure 3: scan the temporal index of the path's first
 // segment, keep records whose entry time satisfies the interval, whose ISA
 // index falls in the partition's range, and which pass the filter, and map
-// (d, seq) to the antecedent aggregate a - TT. The scan stops once beta
-// trajectories are found (beta <= 0 scans exhaustively).
-func (ix *Index) BuildMap(e network.EdgeID, ranges []Range, iv Interval, f Filter, beta int) probeTable {
-	pt := probeTable{m: make(map[mapKey]int32)}
+// (d, seq) to the antecedent aggregate a - TT in the scratch probe table.
+// The sequence number in the key guards against trajectories with circular
+// paths (Section 4.1.3). The scan stops once beta trajectories are found
+// (beta <= 0 scans exhaustively). It returns the scan bounds needed to
+// restrict the Procedure 4 scan.
+func (ix *Index) buildMap(sc *Scratch, e network.EdgeID, ranges []Range, iv Interval, f Filter, beta int) (minT, maxT int64) {
+	sc.resetTable(beta)
 	phi := ix.forest.Get(e)
 	if phi == nil {
-		return pt
+		return 0, 0
 	}
 	visit := func(t int64, r temporal.Record) bool {
 		rg := ranges[r.W]
@@ -74,14 +63,14 @@ func (ix *Index) BuildMap(e network.EdgeID, ranges []Range, iv Interval, f Filte
 		if !ix.admit(f, &r) {
 			return true
 		}
-		if len(pt.m) == 0 || t < pt.minT {
-			pt.minT = t
+		if sc.n == 0 || t < minT {
+			minT = t
 		}
-		if len(pt.m) == 0 || t > pt.maxT {
-			pt.maxT = t
+		if sc.n == 0 || t > maxT {
+			maxT = t
 		}
-		pt.m[mapKey{d: r.Traj, seq: r.Seq}] = r.A - r.TT
-		return beta <= 0 || len(pt.m) < beta
+		sc.insert(packKey(int32(r.Traj), r.Seq), r.A-r.TT)
+		return beta <= 0 || sc.n < beta
 	}
 	iv.EachRange(ix.tmin, ix.tmax, !ix.opts.OldestFirst, func(lo, hi int64) bool {
 		done := false
@@ -99,30 +88,55 @@ func (ix *Index) BuildMap(e network.EdgeID, ranges []Range, iv Interval, f Filte
 		}
 		return !done
 	})
-	return pt
+	return minT, maxT
 }
 
-// ProbeMap is Procedure 4: scan the temporal index of the path's last
+// probeMap is Procedure 4: scan the temporal index of the path's last
 // segment and, for every record whose (d, seq+1-l) key is present in the
 // probe table, emit the path travel time a_{l-1} - (a_0 - TT_0). The scan is
 // restricted to the only timestamps a matching record can have: within
-// [minT, maxT + maxTrajectoryDuration] of the matched first segments.
-func (ix *Index) ProbeMap(e network.EdgeID, l int, pt probeTable) []int {
-	if len(pt.m) == 0 {
+// [minT, maxT + maxTrajectoryDuration] of the matched first segments. The
+// samples are appended to the scratch buffer, which is returned.
+func (ix *Index) probeMap(sc *Scratch, e network.EdgeID, l int, minT, maxT int64) []int {
+	sc.xs = sc.xs[:0]
+	if sc.n == 0 {
 		return nil
 	}
 	phi := ix.forest.Get(e)
 	if phi == nil {
 		return nil
 	}
-	var xs []int
-	phi.Ascend(pt.minT, pt.maxT+ix.maxTrajDur+1, func(t int64, r temporal.Record) bool {
-		if diff, ok := pt.m[mapKey{d: r.Traj, seq: r.Seq + 1 - int32(l)}]; ok {
-			xs = append(xs, int(r.A-diff))
+	phi.Ascend(minT, maxT+ix.maxTrajDur+1, func(t int64, r temporal.Record) bool {
+		if diff, ok := sc.lookup(packKey(int32(r.Traj), r.Seq+1-int32(l))); ok {
+			sc.xs = append(sc.xs, int(r.A-diff))
 		}
 		return true
 	})
-	return xs
+	return sc.xs
+}
+
+// isaRanges is Procedure 2 over the scratch buffers: it fills sc.ranges
+// with the per-partition ISA ranges of p and returns them with the summed
+// range size c_P.
+func (ix *Index) isaRanges(sc *Scratch, p network.Path) ([]Range, int64) {
+	if cap(sc.syms) < len(p) {
+		sc.syms = make([]int32, len(p))
+	}
+	syms := sc.syms[:len(p)]
+	for i, e := range p {
+		syms[i] = int32(e) + fmindex.MinEdgeSymbol
+	}
+	if cap(sc.ranges) < len(ix.parts) {
+		sc.ranges = make([]Range, len(ix.parts))
+	}
+	ranges := sc.ranges[:len(ix.parts)]
+	total := int64(0)
+	for w := range ix.parts {
+		st, ed := ix.parts[w].fm.GetISARange(syms)
+		ranges[w] = Range{St: st, Ed: ed}
+		total += ed - st
+	}
+	return ranges, total
 }
 
 // GetTravelTimes is Procedure 5: retrieve the travel times of up to beta
@@ -136,28 +150,46 @@ func (ix *Index) ProbeMap(e network.EdgeID, l int, pt probeTable) []int {
 //   - periodic intervals require at least beta matches, otherwise nil
 //     (Procedure 5 line 7-8) so that the caller relaxes the sub-query;
 //   - fixed intervals accept any non-empty match set regardless of beta.
+//
+// The returned slice is freshly allocated and owned by the caller. Hot
+// paths that issue many scans should use GetTravelTimesWith with a held
+// Scratch instead.
 func (ix *Index) GetTravelTimes(p network.Path, iv Interval, f Filter, beta int) (xs []int, fallback bool) {
+	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
+	view, fallback := ix.GetTravelTimesWith(sc, p, iv, f, beta)
+	if view == nil {
+		return nil, fallback
+	}
+	xs = make([]int, len(view))
+	copy(xs, view)
+	return xs, fallback
+}
+
+// GetTravelTimesWith is GetTravelTimes over caller-held scratch state. The
+// returned slice aliases the scratch sample buffer and is only valid until
+// the next *With call on the same Scratch; callers that retain the samples
+// must copy them out.
+func (ix *Index) GetTravelTimesWith(sc *Scratch, p network.Path, iv Interval, f Filter, beta int) (xs []int, fallback bool) {
 	if len(p) == 0 {
 		return nil, false
 	}
-	ranges := ix.ISARanges(p)
-	total := int64(0)
-	for _, r := range ranges {
-		total += r.Ed - r.St
-	}
+	ranges, total := ix.isaRanges(sc, p)
 	if total == 0 {
 		if len(p) == 1 {
-			return []int{ix.g.EstimateTTSeconds(p[0])}, true
+			sc.xs = append(sc.xs[:0], ix.g.EstimateTTSeconds(p[0]))
+			return sc.xs, true
 		}
 		return nil, false
 	}
-	pt := ix.BuildMap(p[0], ranges, iv, f, beta)
-	if len(pt.m) < beta && iv.IsPeriodic() {
+	minT, maxT := ix.buildMap(sc, p[0], ranges, iv, f, beta)
+	if sc.n < beta && iv.IsPeriodic() {
 		return nil, false
 	}
-	xs = ix.ProbeMap(p[len(p)-1], len(p), pt)
+	xs = ix.probeMap(sc, p[len(p)-1], len(p), minT, maxT)
 	if len(xs) == 0 && len(p) == 1 {
-		return []int{ix.g.EstimateTTSeconds(p[0])}, true
+		sc.xs = append(sc.xs[:0], ix.g.EstimateTTSeconds(p[0]))
+		return sc.xs, true
 	}
 	return xs, false
 }
@@ -167,17 +199,20 @@ func (ix *Index) GetTravelTimes(p network.Path, iv Interval, f Filter, beta int)
 // binary search needs exact cardinality tests (Section 3.3), and exact
 // q-error evaluation (Section 5.3.4).
 func (ix *Index) CountMatches(p network.Path, iv Interval, f Filter, limit int) int {
+	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
+	return ix.CountMatchesWith(sc, p, iv, f, limit)
+}
+
+// CountMatchesWith is CountMatches over caller-held scratch state.
+func (ix *Index) CountMatchesWith(sc *Scratch, p network.Path, iv Interval, f Filter, limit int) int {
 	if len(p) == 0 {
 		return 0
 	}
-	ranges := ix.ISARanges(p)
-	total := int64(0)
-	for _, r := range ranges {
-		total += r.Ed - r.St
-	}
+	ranges, total := ix.isaRanges(sc, p)
 	if total == 0 {
 		return 0
 	}
-	pt := ix.BuildMap(p[0], ranges, iv, f, limit)
-	return len(pt.m)
+	ix.buildMap(sc, p[0], ranges, iv, f, limit)
+	return sc.n
 }

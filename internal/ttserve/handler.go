@@ -1,5 +1,9 @@
 // Package ttserve implements the HTTP JSON handler behind cmd/ttserve: a
-// thin, concurrency-safe service layer over a pathhist.Engine.
+// thin, concurrency-safe service layer over a pathhist.Engine. One Engine
+// is shared by all requests without additional locking — the engine is safe
+// for concurrent use (immutable index, per-query scratch state, internally
+// synchronised sub-result cache; DESIGN.md §6), so the handler's
+// concurrency model is simply net/http's goroutine-per-request.
 package ttserve
 
 import (
@@ -20,7 +24,20 @@ type Response struct {
 	P95         float64       `json:"p95_seconds"`
 	SubQueries  []SubResponse `json:"sub_queries"`
 	IndexScans  int           `json:"index_scans"`
+	CacheHits   int           `json:"cache_hits"`
+	CacheMisses int           `json:"cache_misses"`
 	Histogram   []Bucket      `json:"histogram"`
+}
+
+// Stats is the JSON shape of a /statsz answer: cumulative engine-level
+// observability for capacity planning and cache tuning.
+type Stats struct {
+	Partitions    int     `json:"partitions"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	IndexBytes    int     `json:"index_bytes"`
 }
 
 // SubResponse describes one final sub-query.
@@ -44,6 +61,22 @@ func NewHandler(eng *pathhist.Engine) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		cs := eng.CacheStats()
+		c, wt, user, forest := eng.IndexMemory()
+		st := Stats{
+			Partitions:   eng.Partitions(),
+			CacheHits:    cs.Hits,
+			CacheMisses:  cs.Misses,
+			CacheEntries: cs.Entries,
+			IndexBytes:   c + wt + user + forest,
+		}
+		if total := cs.Hits + cs.Misses; total > 0 {
+			st.CacheHitRatio = float64(cs.Hits) / float64(total)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := parseQuery(r)
@@ -125,6 +158,8 @@ func toResponse(res *pathhist.Result) Response {
 		P50:         res.Histogram.Quantile(0.5),
 		P95:         res.Histogram.Quantile(0.95),
 		IndexScans:  res.IndexScans,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
 	}
 	for _, s := range res.Subs {
 		out.SubQueries = append(out.SubQueries, SubResponse{

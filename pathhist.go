@@ -186,13 +186,29 @@ type Options struct {
 	// zone of its first segment — e.g. a smaller sample-size requirement
 	// in rural zones (the extension suggested in the paper's outlook).
 	ZoneBetas map[Zone]int
+	// Workers bounds the per-query worker pool that executes a query's
+	// initial sub-queries speculatively in parallel: 0 uses GOMAXPROCS,
+	// 1 forces the paper's sequential Procedure 6. Results are identical
+	// either way; see DESIGN.md §6.
+	Workers int
+	// DisableCache turns off the engine's shared sub-result cache.
+	DisableCache bool
+	// CacheCapacity is the total number of cached sub-results (a default
+	// applies when 0).
+	CacheCapacity int
 }
 
 // Engine answers travel-time queries over an indexed trajectory set.
+//
+// An Engine is safe for concurrent use by any number of goroutines: the
+// index is immutable after construction, per-query scan state lives in
+// pooled scratch buffers, and the shared sub-result cache is internally
+// synchronised. A single Engine is meant to be shared by all request
+// handlers of a server (see internal/ttserve).
 type Engine struct {
-	g   *network.Graph
-	ix  *snt.Index
-	cfg query.Config
+	g  *network.Graph
+	ix *snt.Index
+	qe *query.Engine
 }
 
 // NewEngine indexes the store and returns a query engine. The store is
@@ -227,14 +243,17 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 		est = card.New(ix, opts.Estimator)
 	}
 	cfg := query.Config{
-		Partitioner: partitioner,
-		Splitter:    splitter,
-		Alphas:      opts.IntervalSizes,
-		BucketWidth: opts.BucketSeconds,
-		Estimator:   est,
-		ZoneBetas:   opts.ZoneBetas,
+		Partitioner:   partitioner,
+		Splitter:      splitter,
+		Alphas:        opts.IntervalSizes,
+		BucketWidth:   opts.BucketSeconds,
+		Estimator:     est,
+		ZoneBetas:     opts.ZoneBetas,
+		Workers:       opts.Workers,
+		DisableCache:  opts.DisableCache,
+		CacheCapacity: opts.CacheCapacity,
 	}
-	return &Engine{g: g, ix: ix, cfg: cfg}, nil
+	return &Engine{g: g, ix: ix, qe: query.NewEngine(ix, cfg)}, nil
 }
 
 // Query describes a travel-time question.
@@ -282,12 +301,21 @@ type Result struct {
 	// IndexScans and EstimatorSkips expose the processing effort.
 	IndexScans     int
 	EstimatorSkips int
+	// CacheHits and CacheMisses count sub-queries served by the engine's
+	// shared sub-result cache versus scans that reached the index.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Query answers a travel-time query.
 func (e *Engine) Query(q Query) (*Result, error) {
 	if len(q.Path) == 0 {
 		return nil, errors.New("pathhist: empty query path")
+	}
+	for _, edge := range q.Path {
+		if int(edge) < 0 || int(edge) >= e.g.NumEdges() {
+			return nil, fmt.Errorf("pathhist: edge id %d out of range [0, %d)", edge, e.g.NumEdges())
+		}
 	}
 	if !e.g.IsTraversable(q.Path) {
 		return nil, fmt.Errorf("pathhist: path is not traversable")
@@ -326,12 +354,14 @@ func (e *Engine) Query(q Query) (*Result, error) {
 		Filter:   snt.Filter{User: user, ExcludeTraj: excl},
 		Beta:     beta,
 	}
-	res := query.NewEngine(e.ix, e.cfg).TripQuery(spq)
+	res := e.qe.TripQuery(spq)
 	out := &Result{
 		Histogram:      res.Hist,
 		MeanSeconds:    res.PredictedMean(),
 		IndexScans:     res.IndexScans,
 		EstimatorSkips: res.EstimatorSkips,
+		CacheHits:      res.CacheHits,
+		CacheMisses:    res.CacheMisses,
 	}
 	for i := range res.Subs {
 		s := &res.Subs[i]
@@ -359,3 +389,10 @@ func (e *Engine) IndexMemory() (c, wt, user, forest int) {
 
 // Partitions returns the number of temporal partitions.
 func (e *Engine) Partitions() int { return e.ix.NumPartitions() }
+
+// CacheStats reports the cumulative sub-result cache statistics.
+type CacheStats = query.CacheStats
+
+// CacheStats snapshots the engine's shared sub-result cache counters (all
+// zero when the cache is disabled).
+func (e *Engine) CacheStats() CacheStats { return e.qe.Cache() }

@@ -39,6 +39,12 @@ func TestEngineErrors(t *testing.T) {
 	if _, err := eng.Query(Query{Path: Path{ids["A"], ids["D"]}}); err == nil {
 		t.Error("non-traversable path accepted")
 	}
+	if _, err := eng.Query(Query{Path: Path{EdgeID(999999)}}); err == nil {
+		t.Error("out-of-range edge id accepted")
+	}
+	if _, err := eng.Query(Query{Path: Path{EdgeID(-1), ids["A"]}}); err == nil {
+		t.Error("negative edge id accepted")
+	}
 }
 
 func TestQueryPaperExample(t *testing.T) {
