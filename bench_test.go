@@ -59,7 +59,8 @@ func BenchmarkTable1EstimateTT(b *testing.B) {
 func benchGridCell(b *testing.B, qt experiments.QueryType, pt query.Partitioner, sp query.Splitter, beta int) {
 	e := env(b)
 	ix := e.Index(temporal.CSS, 0, 0)
-	eng := query.NewEngine(ix, query.Config{Partitioner: pt, Splitter: sp, BucketWidth: 10, DisableCache: true})
+	eng := query.NewEngine(ix, query.Config{Partitioner: pt, Splitter: sp, BucketWidth: 10,
+		DisableCache: true, DisableFullResultCache: true})
 	qs := e.Queries
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -191,10 +192,11 @@ func BenchmarkFig11bEstimatorRuntime(b *testing.B) {
 				est = card.New(ix, cfg.mode)
 			}
 			eng := query.NewEngine(ix, query.Config{
-				Partitioner:  query.Partitioner{Kind: query.ZoneKind},
-				BucketWidth:  10,
-				Estimator:    est,
-				DisableCache: true,
+				Partitioner:            query.Partitioner{Kind: query.ZoneKind},
+				BucketWidth:            10,
+				Estimator:              est,
+				DisableCache:           true,
+				DisableFullResultCache: true,
 			})
 			qs := e.Queries
 			b.ReportAllocs()
@@ -218,8 +220,10 @@ func BenchmarkAblationScanOrder(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			ix := snt.Build(e.DS.G, e.DS.Store, snt.Options{OldestFirst: oldest})
+			// Both caches off: the cell compares raw scan orders.
 			eng := query.NewEngine(ix, query.Config{
 				Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+				DisableCache: true, DisableFullResultCache: true,
 			})
 			qs := e.Queries
 			b.ResetTimer()
@@ -242,7 +246,8 @@ func BenchmarkThroughputParallel(b *testing.B) {
 	e := env(b)
 	ix := e.Index(temporal.CSS, 0, 0)
 	eng := query.NewEngine(ix, query.Config{
-		Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10, DisableCache: true,
+		Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+		DisableCache: true, DisableFullResultCache: true,
 	})
 	qs := e.Queries
 	var next int64
@@ -265,7 +270,7 @@ func BenchmarkTripQuerySequential(b *testing.B) {
 	ix := e.Index(temporal.CSS, 0, 0)
 	eng := query.NewEngine(ix, query.Config{
 		Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
-		Workers: 1, DisableCache: true,
+		Workers: 1, DisableCache: true, DisableFullResultCache: true,
 	})
 	qs := e.Queries
 	b.ReportAllocs()
@@ -277,11 +282,11 @@ func BenchmarkTripQuerySequential(b *testing.B) {
 }
 
 // BenchmarkTripQueryParallel is the production serving path: one shared
-// engine with speculative parallel sub-query execution and the sub-result
-// cache, driven by concurrent clients via b.RunParallel. Steady state is
-// cache-hit dominated, which is precisely the serving scenario the cache
-// exists for; compare against BenchmarkTripQuerySequential for the
-// engine-level speedup.
+// engine with speculative parallel sub-query execution and both caches,
+// driven by concurrent clients via b.RunParallel. Steady state is
+// dominated by full-result cache hits, which is precisely the serving
+// scenario the caches exist for; compare against
+// BenchmarkTripQuerySequential for the engine-level speedup.
 func BenchmarkTripQueryParallel(b *testing.B) {
 	e := env(b)
 	ix := e.Index(temporal.CSS, 0, 0)
@@ -299,6 +304,30 @@ func BenchmarkTripQueryParallel(b *testing.B) {
 			_ = eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
 		}
 	})
+}
+
+// BenchmarkTripQueryFullCacheHit is the warm serving fast path: repeated
+// identical trips answered whole from the full-result cache (no
+// partitioning, scans or convolution).
+func BenchmarkTripQueryFullCacheHit(b *testing.B) {
+	e := env(b)
+	ix := e.Index(temporal.CSS, 0, 0)
+	eng := query.NewEngine(ix, query.Config{
+		Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+	})
+	qs := e.Queries
+	for _, q := range qs {
+		_ = eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		res := eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
+		if !res.FullCacheHit {
+			b.Fatal("warm query missed the full-result cache")
+		}
+	}
 }
 
 // --- Micro-benchmarks of the substrates ---

@@ -23,12 +23,15 @@ import (
 
 // Record is one parsed benchmark result line.
 type Record struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BaselineNsPerOp is the same benchmark's ns/op from the -baseline
+	// file, when given — the before/after pair of a perf PR.
+	BaselineNsPerOp float64            `json:"baseline_ns_per_op,omitempty"`
+	BytesPerOp      float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp     float64            `json:"allocs_per_op,omitempty"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the JSON document benchrecord writes.
@@ -41,6 +44,7 @@ type File struct {
 }
 
 const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" +
+	"BenchmarkTripQueryFullCacheHit|" +
 	"BenchmarkFig5aTemporalPiZ$|BenchmarkGetTravelTimes|BenchmarkThroughputParallel|" +
 	"BenchmarkPublicAPIQuery"
 
@@ -49,7 +53,20 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
 	out := flag.String("out", "BENCH.json", "output JSON path")
+	baseline := flag.String("baseline", "", "previous benchrecord JSON to diff against (before/after ns/op)")
 	flag.Parse()
+
+	// Load the baseline before the (multi-minute) benchmark run so a bad
+	// path fails fast instead of discarding the run.
+	var prev *File
+	if *baseline != "" {
+		loaded, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrecord: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		prev = loaded
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
 		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "."}
@@ -69,6 +86,9 @@ func main() {
 	}
 	if v, err := exec.Command("go", "version").Output(); err == nil {
 		f.GoVersion = strings.TrimSpace(string(v))
+	}
+	if prev != nil {
+		attachBaseline(&f, prev, *baseline)
 	}
 	f.Derived = derive(f.Records)
 
@@ -124,6 +144,40 @@ func parse(out string) []Record {
 	return recs
 }
 
+// loadBaseline reads and parses an earlier benchrecord file.
+func loadBaseline(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev File
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, err
+	}
+	return &prev, nil
+}
+
+// attachBaseline stores the baseline's ns/op next to each matching record,
+// so the output carries its own before/after comparison. Zero matches is
+// only a warning at this point — the benchmark run already happened and
+// its output is worth keeping.
+func attachBaseline(f *File, prev *File, path string) {
+	byName := map[string]Record{}
+	for _, r := range prev.Records {
+		byName[r.Name] = r
+	}
+	matched := 0
+	for i := range f.Records {
+		if b, ok := byName[f.Records[i].Name]; ok {
+			f.Records[i].BaselineNsPerOp = b.NsPerOp
+			matched++
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchrecord: warning: no benchmark names in %s match this run (different -bench selection?)\n", path)
+	}
+}
+
 // derive computes the headline ratios the acceptance criteria track.
 func derive(recs []Record) map[string]string {
 	byName := map[string]Record{}
@@ -134,6 +188,14 @@ func derive(recs []Record) map[string]string {
 	seq, haveSeq := byName["BenchmarkTripQuerySequential"]
 	if par, ok := byName["BenchmarkTripQueryParallel"]; ok && haveSeq && par.NsPerOp > 0 {
 		out["parallel_speedup_vs_sequential"] = fmt.Sprintf("%.2fx", seq.NsPerOp/par.NsPerOp)
+	}
+	if full, ok := byName["BenchmarkTripQueryFullCacheHit"]; ok && haveSeq && full.NsPerOp > 0 {
+		out["full_cache_speedup_vs_sequential"] = fmt.Sprintf("%.2fx", seq.NsPerOp/full.NsPerOp)
+	}
+	for _, r := range recs {
+		if r.BaselineNsPerOp > 0 && r.NsPerOp > 0 {
+			out[r.Name+"_vs_baseline"] = fmt.Sprintf("%+.1f%% ns/op", (r.NsPerOp/r.BaselineNsPerOp-1)*100)
+		}
 	}
 	return out
 }

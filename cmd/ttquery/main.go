@@ -150,8 +150,12 @@ func printResult(res *pathhist.Result, groundTruth int64) {
 	h := res.Histogram
 	fmt.Printf("distribution: p05=%.0fs  p50=%.0fs  p95=%.0fs\n",
 		h.Quantile(0.05), h.Quantile(0.5), h.Quantile(0.95))
-	fmt.Printf("%d sub-queries (index scans %d, estimator skips %d, cache %d/%d hit/miss):\n",
-		len(res.Subs), res.IndexScans, res.EstimatorSkips, res.CacheHits, res.CacheMisses)
+	cacheNote := ""
+	if res.FullCacheHit {
+		cacheNote = ", served from full-result cache"
+	}
+	fmt.Printf("%d sub-queries (index scans %d, estimator skips %d, cache %d/%d hit/miss%s):\n",
+		len(res.Subs), res.IndexScans, res.EstimatorSkips, res.CacheHits, res.CacheMisses, cacheNote)
 	for i, s := range res.Subs {
 		note := ""
 		if s.Fallback {

@@ -102,21 +102,20 @@ func (e *Estimator) selTf(e0 network.EdgeID, iv snt.Interval) float64 {
 		// A periodic predicate recurs over the whole timeframe.
 		return 1
 	}
-	phi := e.ix.Forest().Get(e0)
+	phi := e.ix.Frozen().Get(e0)
 	if phi == nil || phi.Len() == 0 {
 		return 0
 	}
 	switch e.mode {
 	case CSSFast, CSSAcc:
-		// Exact range size in O(log n) on the CSS-tree (Section 4.3.1).
-		// (On a B+-forest this degrades to a range walk; the pairing of
-		// estimator mode and tree kind is the caller's responsibility, as
-		// in the paper's Figure 11b grid.)
+		// Exact range size in O(log n) — an offset subtraction on the
+		// frozen columnar index (Section 4.3.1's CSS-tree property, which
+		// freezing extends to every tree kind; the BT modes keep formula 3
+		// to reproduce the paper's estimator grid).
 		return float64(phi.CountRange(iv.Start, iv.End)) / float64(phi.Len())
 	default:
 		// Formula (3): naive ratio over [F[e0]min, F[e0]max].
-		min, _ := phi.MinKey()
-		max, _ := phi.MaxKey()
+		min, max := phi.MinKey(), phi.MaxKey()
 		span := max - min
 		if span <= 0 {
 			if iv.Contains(min) {

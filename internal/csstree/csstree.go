@@ -76,6 +76,11 @@ func (t *Tree[V]) rebuild() {
 // Len returns the number of entries.
 func (t *Tree[V]) Len() int { return len(t.keys) }
 
+// Export returns the tree's sorted key and value arrays — the freeze export
+// counterpart of bptree.Export. The returned slices alias the tree's
+// internal storage and must be treated as read-only.
+func (t *Tree[V]) Export() ([]int64, []V) { return t.keys, t.vals }
+
 // Key returns the i-th key in sorted order.
 func (t *Tree[V]) Key(i int) int64 { return t.keys[i] }
 

@@ -153,6 +153,13 @@ func TestRunMemoryShape(t *testing.T) {
 	if bt.ForestMiB <= full.ForestMiB {
 		t.Errorf("BT forest (%v) should exceed CSS forest (%v)", bt.ForestMiB, full.ForestMiB)
 	}
+	// The served (frozen columnar) forest must undercut both tree layouts.
+	for _, r := range []MemoryRow{full, bt} {
+		if r.FrozenMiB >= r.ForestMiB {
+			t.Errorf("%s: frozen forest (%v MiB) not smaller than tree layout (%v MiB)",
+				r.Label, r.FrozenMiB, r.ForestMiB)
+		}
+	}
 	if weekly.SetupSeconds <= 0 || full.TotalMiB <= 0 {
 		t.Error("missing stats")
 	}

@@ -9,21 +9,27 @@ import (
 	"pathhist/internal/snt"
 )
 
-// The sub-result cache memoises completed sub-query scans. A cache entry is
-// a proven fact about the immutable index — "path P scanned over interval I
-// under filter f with requirement β yields exactly these travel times" — so
-// entries never expire and are only evicted for capacity. Empty scan
-// results are cached as negative entries: a periodic sub-query that fails
-// its β requirement fails deterministically, and the Procedure 1 relaxation
-// chain re-issues the same failing scans on every repeat of a query, so
-// negative entries are what make warm relaxation-heavy queries cheap. The
-// cache is sharded by key hash to keep lock contention negligible under
-// concurrent query traffic, and each shard maintains its own LRU list.
+// Result caching. Two caches share one sharded-LRU implementation, both
+// keyed by the strict-path-query tuple (path, interval, filter, β):
 //
-// β is part of the key even though the issue's shorthand is (path,
-// interval, filter): Procedure 5 stops scanning after β matches and rejects
-// periodic intervals with fewer than β matches, so the same (P, I, f) can
-// yield different sample sets under different β.
+//   - the sub-result cache memoises completed sub-query scans (PR 1): entry
+//     values are the retrieved travel times and their histogram, including
+//     empty "negative" results — a periodic sub-query that fails its β
+//     requirement fails deterministically, and the Procedure 1 relaxation
+//     chain re-issues the same failing scans on every repeat of a query;
+//   - the full-result cache memoises the final convolved histogram and
+//     final sub-queries of a whole TripQuery, so a repeated trip skips
+//     partitioning, scanning and convolution entirely.
+//
+// A cache entry is a proven fact about the immutable index, so entries
+// never expire and are only evicted for capacity. Each cache is sharded by
+// key hash to keep lock contention negligible under concurrent query
+// traffic, and each shard maintains its own LRU list.
+//
+// β is part of the key even though the shorthand is (path, interval,
+// filter): Procedure 5 stops scanning after β matches and rejects periodic
+// intervals with fewer than β matches, so the same (P, I, f) can yield
+// different sample sets under different β.
 
 // cacheShards must be a power of two.
 const cacheShards = 16
@@ -31,24 +37,42 @@ const cacheShards = 16
 // DefaultCacheCapacity is the default total number of cached sub-results.
 const DefaultCacheCapacity = 4096
 
-// cacheEntry is one cached sub-result plus its LRU linkage. The xs slice
-// and histogram are shared by every Result that hits the entry and must be
+// DefaultFullCacheCapacity is the default total number of cached full
+// results.
+const DefaultFullCacheCapacity = 1024
+
+// subValue is the payload of one cached sub-result. The xs slice and
+// histogram are shared by every Result that hits the entry and must be
 // treated as immutable by all readers. A nil xs is a negative entry: the
 // scan completed and found nothing.
-type cacheEntry struct {
-	hash     uint64
-	path     network.Path // private copy, never aliased to caller memory
-	iv       snt.Interval
-	f        snt.Filter
-	beta     int
+type subValue struct {
 	xs       []int
 	hist     *hist.Histogram
 	fallback bool
-
-	prev, next *cacheEntry
 }
 
-func (en *cacheEntry) matches(p network.Path, iv snt.Interval, f snt.Filter, beta int) bool {
+// fullValue is the payload of one cached full result: the convolved
+// histogram and the final sub-queries of a completed TripQuery. Both are
+// shared with every Result that hits the entry and must be treated as
+// immutable.
+type fullValue struct {
+	hist *hist.Histogram
+	subs []SubResult
+}
+
+// cacheEntry is one cached result plus its LRU linkage.
+type cacheEntry[V any] struct {
+	hash uint64
+	path network.Path // private copy, never aliased to caller memory
+	iv   snt.Interval
+	f    snt.Filter
+	beta int
+	val  V
+
+	prev, next *cacheEntry[V]
+}
+
+func (en *cacheEntry[V]) matches(p network.Path, iv snt.Interval, f snt.Filter, beta int) bool {
 	if en.iv != iv || en.f != f || en.beta != beta || len(en.path) != len(p) {
 		return false
 	}
@@ -62,14 +86,14 @@ func (en *cacheEntry) matches(p network.Path, iv snt.Interval, f snt.Filter, bet
 
 // cacheShard is one lock domain: a hash map for lookup plus an intrusive
 // doubly-linked LRU list (head = most recent).
-type cacheShard struct {
+type cacheShard[V any] struct {
 	mu         sync.Mutex
-	m          map[uint64]*cacheEntry
-	head, tail *cacheEntry
+	m          map[uint64]*cacheEntry[V]
+	head, tail *cacheEntry[V]
 	capacity   int
 }
 
-func (s *cacheShard) unlink(en *cacheEntry) {
+func (s *cacheShard[V]) unlink(en *cacheEntry[V]) {
 	if en.prev != nil {
 		en.prev.next = en.next
 	} else {
@@ -83,7 +107,7 @@ func (s *cacheShard) unlink(en *cacheEntry) {
 	en.prev, en.next = nil, nil
 }
 
-func (s *cacheShard) pushFront(en *cacheEntry) {
+func (s *cacheShard[V]) pushFront(en *cacheEntry[V]) {
 	en.next = s.head
 	if s.head != nil {
 		s.head.prev = en
@@ -94,27 +118,37 @@ func (s *cacheShard) pushFront(en *cacheEntry) {
 	}
 }
 
-// subCache is the sharded LRU cache shared by all queries of one Engine.
-type subCache struct {
-	shards [cacheShards]cacheShard
+// spqCache is a sharded LRU cache keyed by the strict-path-query tuple,
+// shared by all queries of one Engine.
+type spqCache[V any] struct {
+	shards [cacheShards]cacheShard[V]
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
-func newSubCache(capacity int) *subCache {
+// newSPQCache returns a cache holding up to capacity entries in total.
+func newSPQCache[V any](capacity, defaultCapacity int) *spqCache[V] {
 	if capacity <= 0 {
-		capacity = DefaultCacheCapacity
+		capacity = defaultCapacity
 	}
 	per := (capacity + cacheShards - 1) / cacheShards
-	c := &subCache{}
+	c := &spqCache[V]{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[uint64]*cacheEntry)
+		c.shards[i].m = make(map[uint64]*cacheEntry[V])
 		c.shards[i].capacity = per
 	}
 	return c
 }
 
-// cacheHash is FNV-1a over the full sub-query key.
+func newSubCache(capacity int) *spqCache[subValue] {
+	return newSPQCache[subValue](capacity, DefaultCacheCapacity)
+}
+
+func newFullCache(capacity int) *spqCache[fullValue] {
+	return newSPQCache[fullValue](capacity, DefaultFullCacheCapacity)
+}
+
+// cacheHash is FNV-1a over the full query key.
 func cacheHash(p network.Path, iv snt.Interval, f snt.Filter, beta int) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -142,15 +176,13 @@ func cacheHash(p network.Path, iv snt.Interval, f snt.Filter, beta int) uint64 {
 	return h
 }
 
-func (c *subCache) shard(hash uint64) *cacheShard {
+func (c *spqCache[V]) shard(hash uint64) *cacheShard[V] {
 	return &c.shards[hash&(cacheShards-1)]
 }
 
-// get returns the cached sub-result for the key, marking the entry most
-// recently used. The returned samples and histogram are shared and
-// immutable; ok with nil xs is a negative entry (the scan is known to come
-// back empty).
-func (c *subCache) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) (xs []int, hg *hist.Histogram, fallback, ok bool) {
+// get returns the cached value for the key, marking the entry most recently
+// used. The returned value's contents are shared and immutable.
+func (c *spqCache[V]) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) (val V, ok bool) {
 	hash := cacheHash(p, iv, f, beta)
 	s := c.shard(hash)
 	s.mu.Lock()
@@ -160,7 +192,7 @@ func (c *subCache) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) 
 			s.unlink(en)
 			s.pushFront(en)
 		}
-		xs, hg, fallback = en.xs, en.hist, en.fallback
+		val = en.val
 		ok = true
 	}
 	s.mu.Unlock()
@@ -172,21 +204,18 @@ func (c *subCache) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) 
 	return
 }
 
-// put stores a completed sub-result (nil xs for a negative entry). The
-// path is copied; the samples and histogram are retained as-is (and shared
-// with the Result that produced them), so they must never be mutated or
-// recycled.
-func (c *subCache) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, xs []int, hg *hist.Histogram, fallback bool) {
+// put stores a completed result. The path is copied; the value is retained
+// as-is (and shared with the Result that produced it), so its contents must
+// never be mutated or recycled.
+func (c *spqCache[V]) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, val V) {
 	hash := cacheHash(p, iv, f, beta)
-	en := &cacheEntry{
-		hash:     hash,
-		path:     append(network.Path(nil), p...),
-		iv:       iv,
-		f:        f,
-		beta:     beta,
-		xs:       xs,
-		hist:     hg,
-		fallback: fallback,
+	en := &cacheEntry[V]{
+		hash: hash,
+		path: append(network.Path(nil), p...),
+		iv:   iv,
+		f:    f,
+		beta: beta,
+		val:  val,
 	}
 	s := c.shard(hash)
 	s.mu.Lock()
@@ -206,7 +235,7 @@ func (c *subCache) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, 
 }
 
 // Len returns the number of cached entries.
-func (c *subCache) Len() int {
+func (c *spqCache[V]) Len() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -229,7 +258,7 @@ type CacheStats struct {
 }
 
 // Stats snapshots the cache counters.
-func (c *subCache) Stats() CacheStats {
+func (c *spqCache[V]) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}

@@ -17,27 +17,27 @@ func testKey(i int) (network.Path, snt.Interval, snt.Filter, int) {
 func TestCacheGetPut(t *testing.T) {
 	c := newSubCache(64)
 	p, iv, f, beta := testKey(1)
-	if _, _, _, ok := c.get(p, iv, f, beta); ok {
+	if _, ok := c.get(p, iv, f, beta); ok {
 		t.Fatal("hit on empty cache")
 	}
 	xs := []int{100, 110, 120}
 	hg := hist.FromSamples(xs, 10)
-	c.put(p, iv, f, beta, xs, hg, false)
-	gxs, ghg, fallback, ok := c.get(p, iv, f, beta)
-	if !ok || fallback || ghg != hg || len(gxs) != 3 {
-		t.Fatalf("get = %v %v %v %v", gxs, ghg, fallback, ok)
+	c.put(p, iv, f, beta, subValue{xs: xs, hist: hg})
+	v, ok := c.get(p, iv, f, beta)
+	if !ok || v.fallback || v.hist != hg || len(v.xs) != 3 {
+		t.Fatalf("get = %+v %v", v, ok)
 	}
 	// Key sensitivity: every component participates.
-	if _, _, _, ok := c.get(p[:1], iv, f, beta); ok {
+	if _, ok := c.get(p[:1], iv, f, beta); ok {
 		t.Error("hit with different path")
 	}
-	if _, _, _, ok := c.get(p, iv.Resize(1800), f, beta); ok {
+	if _, ok := c.get(p, iv.Resize(1800), f, beta); ok {
 		t.Error("hit with different interval")
 	}
-	if _, _, _, ok := c.get(p, iv, snt.Filter{User: 3, ExcludeTraj: -1}, beta); ok {
+	if _, ok := c.get(p, iv, snt.Filter{User: 3, ExcludeTraj: -1}, beta); ok {
 		t.Error("hit with different filter")
 	}
-	if _, _, _, ok := c.get(p, iv, f, beta+1); ok {
+	if _, ok := c.get(p, iv, f, beta+1); ok {
 		t.Error("hit with different beta")
 	}
 	st := c.Stats()
@@ -52,7 +52,7 @@ func TestCacheEviction(t *testing.T) {
 	for i := 0; i < cacheShards*4; i++ {
 		p, iv, f, beta := testKey(i)
 		paths = append(paths, p)
-		c.put(p, iv, f, beta, []int{i}, hist.FromSamples([]int{i + 1}, 10), false)
+		c.put(p, iv, f, beta, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i + 1}, 10)})
 	}
 	if n := c.Len(); n > cacheShards {
 		t.Fatalf("cache holds %d entries, capacity %d", n, cacheShards)
@@ -61,10 +61,10 @@ func TestCacheEviction(t *testing.T) {
 	found := 0
 	for i, p := range paths {
 		_, iv, f, beta := testKey(i)
-		if xs, _, _, ok := c.get(p, iv, f, beta); ok {
+		if v, ok := c.get(p, iv, f, beta); ok {
 			found++
-			if len(xs) != 1 || xs[0] != i {
-				t.Fatalf("entry %d corrupted: %v", i, xs)
+			if len(v.xs) != 1 || v.xs[0] != i {
+				t.Fatalf("entry %d corrupted: %v", i, v.xs)
 			}
 		}
 	}
@@ -79,7 +79,7 @@ func TestCacheLRUOrder(t *testing.T) {
 	// LRU assertion; instead verify the weaker invariant directly per
 	// shard: a re-accessed entry survives a subsequent insert that evicts.
 	p0, iv, f, beta := testKey(0)
-	c.put(p0, iv, f, beta, []int{0}, hist.FromSamples([]int{1}, 10), false)
+	c.put(p0, iv, f, beta, subValue{xs: []int{0}, hist: hist.FromSamples([]int{1}, 10)})
 	sh := c.shard(cacheHash(p0, iv, f, beta))
 	// Fill the same shard with synthetic entries until eviction happens,
 	// touching p0 before each insert so it stays most recently used.
@@ -89,9 +89,9 @@ func TestCacheLRUOrder(t *testing.T) {
 			continue
 		}
 		c.get(p0, iv, f, beta)
-		c.put(p, piv, pf, pbeta, []int{i}, hist.FromSamples([]int{i}, 10), false)
+		c.put(p, piv, pf, pbeta, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i}, 10)})
 	}
-	if _, _, _, ok := c.get(p0, iv, f, beta); !ok {
+	if _, ok := c.get(p0, iv, f, beta); !ok {
 		t.Fatal("most-recently-used entry was evicted")
 	}
 }
@@ -105,14 +105,14 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				p, iv, f, beta := testKey(i % 100)
-				if xs, _, _, ok := c.get(p, iv, f, beta); ok {
-					if len(xs) != 1 || xs[0] != i%100 {
-						t.Errorf("corrupt entry for key %d: %v", i%100, xs)
+				if v, ok := c.get(p, iv, f, beta); ok {
+					if len(v.xs) != 1 || v.xs[0] != i%100 {
+						t.Errorf("corrupt entry for key %d: %v", i%100, v.xs)
 						return
 					}
 					continue
 				}
-				c.put(p, iv, f, beta, []int{i % 100}, hist.FromSamples([]int{i%100 + 1}, 10), false)
+				c.put(p, iv, f, beta, subValue{xs: []int{i % 100}, hist: hist.FromSamples([]int{i%100 + 1}, 10)})
 			}
 		}(g)
 	}

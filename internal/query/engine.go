@@ -64,16 +64,24 @@ type Config struct {
 	// CacheCapacity is the total number of cached sub-results
 	// (DefaultCacheCapacity when 0).
 	CacheCapacity int
+	// DisableFullResultCache turns off the shared full-result cache, which
+	// memoises the final convolved histogram per (path, interval, filter,
+	// β) so repeated trips skip partitioning, scans and convolution.
+	DisableFullResultCache bool
+	// FullResultCacheCapacity is the total number of cached full results
+	// (DefaultFullCacheCapacity when 0).
+	FullResultCacheCapacity int
 }
 
 // Engine processes travel-time queries against an SNT-index. An Engine is
 // safe for concurrent use: the index is immutable after snt.Build, all
 // per-query scan state lives in pooled snt.Scratch buffers, and the shared
-// sub-result cache is internally synchronised.
+// caches are internally synchronised.
 type Engine struct {
 	ix    *snt.Index
 	cfg   Config
-	cache *subCache
+	cache *spqCache[subValue]
+	full  *spqCache[fullValue]
 }
 
 // NewEngine returns an engine. Zero-value config fields get defaults
@@ -90,11 +98,17 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 	if !cfg.DisableCache {
 		e.cache = newSubCache(cfg.CacheCapacity)
 	}
+	if !cfg.DisableFullResultCache {
+		e.full = newFullCache(cfg.FullResultCacheCapacity)
+	}
 	return e
 }
 
 // Cache reports the cumulative sub-result cache statistics.
 func (e *Engine) Cache() CacheStats { return e.cache.Stats() }
+
+// FullCache reports the cumulative full-result cache statistics.
+func (e *Engine) FullCache() CacheStats { return e.full.Stats() }
 
 // SubResult is one completed sub-query with its retrieved travel times.
 // X and Hist may be shared with the engine's sub-result cache and with
@@ -128,6 +142,10 @@ type Result struct {
 	// index scan).
 	CacheHits   int
 	CacheMisses int
+	// FullCacheHit marks a result served whole from the full-result cache:
+	// Hist and Subs are the memoised outcome of an earlier identical query
+	// and every other effort counter is zero.
+	FullCacheHit bool
 	// Elapsed is the wall-clock processing time.
 	Elapsed time.Duration
 }
@@ -193,14 +211,14 @@ func (e *Engine) attempt(sub *subQ, iv snt.Interval, sc *snt.Scratch) outcome {
 		}
 	}
 	if e.cache != nil {
-		if xs, hg, fallback, ok := e.cache.get(sub.path, iv, sub.filter, sub.beta); ok {
-			return outcome{xs: xs, hist: hg, fallback: fallback, cached: true}
+		if v, ok := e.cache.get(sub.path, iv, sub.filter, sub.beta); ok {
+			return outcome{xs: v.xs, hist: v.hist, fallback: v.fallback, cached: true}
 		}
 	}
 	view, fallback := e.ix.GetTravelTimesWith(sc, sub.path, iv, sub.filter, sub.beta)
 	if len(view) == 0 {
 		if e.cache != nil {
-			e.cache.put(sub.path, iv, sub.filter, sub.beta, nil, nil, false)
+			e.cache.put(sub.path, iv, sub.filter, sub.beta, subValue{})
 		}
 		return outcome{}
 	}
@@ -208,7 +226,7 @@ func (e *Engine) attempt(sub *subQ, iv snt.Interval, sc *snt.Scratch) outcome {
 	copy(xs, view)
 	hg := hist.FromSamples(xs, e.cfg.BucketWidth)
 	if e.cache != nil {
-		e.cache.put(sub.path, iv, sub.filter, sub.beta, xs, hg, fallback)
+		e.cache.put(sub.path, iv, sub.filter, sub.beta, subValue{xs: xs, hist: hg, fallback: fallback})
 	}
 	return outcome{xs: xs, hist: hg, fallback: fallback}
 }
@@ -255,6 +273,12 @@ func (e *Engine) effective(base snt.Interval, done int, shiftS, shiftR int64) sn
 
 // TripQuery is Procedure 6: partition, process with relaxation, convolve.
 //
+// A full-result cache sits above everything (unless disabled): repeated
+// queries for the same (path, interval, filter, β) return the memoised
+// convolved histogram and sub-queries directly, marked by Result.
+// FullCacheHit. Entries are deterministic functions of the immutable
+// index, so a hit is bit-identical to recomputation.
+//
 // Processing runs in two passes. A speculative parallel first pass issues
 // every initial sub-query concurrently on a bounded worker pool, scanning
 // with the un-shifted base interval (the shift-and-enlarge offsets of
@@ -284,6 +308,20 @@ func (e *Engine) effective(base snt.Interval, done int, shiftS, shiftR int64) sn
 // reconciles, and the pass is pure speedup.
 func (e *Engine) TripQuery(q SPQ) Result {
 	start := time.Now()
+	// The full-result cache short-circuits everything: a whole trip's final
+	// histogram and sub-queries are a deterministic function of the
+	// immutable index and the query key, so a hit returns the memoised
+	// (shared, immutable) outcome with no partitioning, scans or
+	// convolution.
+	if e.full != nil {
+		if v, ok := e.full.get(q.Path, q.Interval, q.Filter, q.Beta); ok {
+			return Result{Hist: v.hist, Subs: v.subs, FullCacheHit: true, Elapsed: time.Since(start)}
+		}
+		// The final Subs hold sub-paths sliced out of q.Path and are about
+		// to be retained engine-lifetime in the cache: rebind the query to
+		// a private copy so no cached result ever aliases caller memory.
+		q.Path = append(network.Path(nil), q.Path...)
+	}
 	var res Result
 	initial := e.initialSubs(q)
 	var spec []outcome
@@ -312,6 +350,13 @@ func (e *Engine) TripQuery(q SPQ) Result {
 	}
 	snt.ReleaseScratch(sc)
 	res.Hist = convolveSubs(res.Subs)
+	if e.full != nil {
+		// Hist and Subs become shared with future hits; both are immutable
+		// from here on (the final histogram is never recycled, and Subs'
+		// samples/histograms are already shared through the sub-result
+		// cache contract).
+		e.full.put(q.Path, q.Interval, q.Filter, q.Beta, fullValue{hist: res.Hist, subs: res.Subs})
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }

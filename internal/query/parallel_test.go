@@ -120,7 +120,11 @@ func sameResult(a, b *Result) error {
 // exactly, and without the cache even the effort counters agree.
 func TestParallelMatchesSequential(t *testing.T) {
 	ix, qs := parEnv(t)
-	base := Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10}
+	// The full-result cache is disabled throughout: this test pins down the
+	// sub-result cache and the effort counters of actual processing, which
+	// a whole-result hit would short-circuit (see fullcache_test.go).
+	base := Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10,
+		DisableFullResultCache: true}
 
 	seqCfg := base
 	seqCfg.Workers = 1

@@ -14,8 +14,8 @@ import (
 // additional temporal partition — the batch-update path that temporal
 // partitioning exists for (Section 4.3.2): the FM-index does not support
 // appends, so the batch gets its own trajectory string, suffix array and
-// wavelet tree, while the append-only temporal forest absorbs the new leaf
-// records in place.
+// wavelet tree, while the frozen temporal columns (append-only, like the
+// CSS-tree they replace) absorb the new records in place.
 //
 // Every trajectory in the batch must start after the currently indexed data
 // ends (partitions are ordered by start time); the batch's trajectory ids
@@ -50,7 +50,7 @@ func (ix *Index) Extend(add *traj.Store) error {
 
 	// Collect the forest batch (and validate it) before committing any
 	// index state, so a failed Extend leaves the index untouched.
-	fb := temporal.NewForestBuilder(ix.forest.Kind())
+	fb := temporal.NewForestBuilder(ix.opts.Tree)
 	var todNew []*hist.TodHistogram
 	if ix.tod != nil {
 		todNew = make([]*hist.TodHistogram, ix.g.NumEdges())
@@ -88,7 +88,7 @@ func (ix *Index) Extend(add *traj.Store) error {
 			maxDur = d
 		}
 	}
-	if err := ix.forest.Extend(fb); err != nil {
+	if err := ix.frozen.Extend(fb); err != nil {
 		return err
 	}
 

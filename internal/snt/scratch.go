@@ -16,6 +16,7 @@ type Scratch struct {
 	n    int // occupied slots
 
 	xs     []int   // travel-time sample buffer (ProbeMap output)
+	hits   []int32 // accepted column offsets of the single-segment fast path
 	syms   []int32 // trajectory-string symbols of the query path
 	ranges []Range // per-partition ISA ranges
 }

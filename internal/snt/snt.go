@@ -47,9 +47,11 @@ type Index struct {
 	g     *network.Graph
 	opts  Options
 	parts []partition
-	// forest is F; users is the associative container U mapping trajectory
-	// ids to user ids (Section 4.1.3).
-	forest *temporal.Forest
+	// frozen is F in its immutable columnar layout (see temporal.Freeze);
+	// the temporal trees it was built from are dropped after construction.
+	// users is the associative container U mapping trajectory ids to user
+	// ids (Section 4.1.3).
+	frozen *temporal.FrozenForest
 	users  []traj.UserID
 	// tod[w][e] is the time-of-day histogram of segment e in partition w
 	// (nil when the segment has no data in the partition).
@@ -67,6 +69,10 @@ type BuildStats struct {
 	Partitions int
 	Records    int
 	Trajs      int
+	// TreeBytes is the modelled footprint of the construction-time temporal
+	// tree forest (per Options.Tree) just before it was frozen and dropped —
+	// the Figure 10a per-layout comparison, and the memory freezing releases.
+	TreeBytes int
 }
 
 // Build constructs the index over the trajectory store. The store is sorted
@@ -160,12 +166,22 @@ func Build(g *network.Graph, store *traj.Store, opts Options) *Index {
 			}
 		}
 	}
-	ix.forest = fb.Finish()
+	// Build the temporal trees (Section 4.1.2/4.3.1), then freeze them into
+	// the immutable columnar layout the scan path reads; the trees are only
+	// needed during construction and are dropped here.
+	forest := fb.Finish()
+	payload := temporal.PayloadBytes
+	if numParts == 1 {
+		payload = temporal.PayloadBytesNoPartition
+	}
+	treeBytes := forest.SizeBytes(payload)
+	ix.frozen = forest.Freeze()
 	ix.stats = BuildStats{
 		SetupTime:  time.Since(startedAt),
 		Partitions: numParts,
 		Records:    records,
 		Trajs:      store.Len(),
+		TreeBytes:  treeBytes,
 	}
 	return ix
 }
@@ -186,8 +202,9 @@ func (ix *Index) NumPartitions() int { return len(ix.parts) }
 // User returns the user id of a trajectory (the container U).
 func (ix *Index) User(d traj.ID) traj.UserID { return ix.users[d] }
 
-// Forest exposes the temporal forest (used by the cardinality estimator).
-func (ix *Index) Forest() *temporal.Forest { return ix.forest }
+// Frozen exposes the frozen temporal forest (used by the cardinality
+// estimator for its O(log n) exact range counts).
+func (ix *Index) Frozen() *temporal.FrozenForest { return ix.frozen }
 
 // pathSymbols converts a network path to trajectory-string symbols.
 func (ix *Index) pathSymbols(p network.Path) []int32 {
@@ -248,11 +265,15 @@ func (ix *Index) TodSelectivity(e network.EdgeID, iv Interval) (float64, bool) {
 }
 
 // MemoryStats is the per-component memory model of Figure 10a/10b.
+// ForestBytes reports the frozen columnar footprint the index actually
+// serves from — smaller than the tree layouts it was built from, because
+// the columns carry no node headers, child pointers or slack capacity, and
+// the partition column is elided entirely for single-partition indexes.
 type MemoryStats struct {
 	CBytes      int // segment counters, all partitions
 	WTBytes     int // wavelet trees, all partitions
 	UserBytes   int // the associative container U
-	ForestBytes int // temporal tree forest
+	ForestBytes int // frozen columnar temporal forest
 	TodBytes    int // time-of-day histograms (Figure 10b)
 }
 
@@ -270,11 +291,7 @@ func (ix *Index) Memory() MemoryStats {
 		m.WTBytes += p.fm.WTSizeBytes()
 	}
 	m.UserBytes = 24 + len(ix.users)*4
-	payload := temporal.PayloadBytes
-	if len(ix.parts) == 1 {
-		payload = temporal.PayloadBytesNoPartition
-	}
-	m.ForestBytes = ix.forest.SizeBytes(payload)
+	m.ForestBytes = ix.frozen.SizeBytes()
 	for _, per := range ix.tod {
 		for _, h := range per {
 			if h != nil {

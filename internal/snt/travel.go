@@ -3,7 +3,6 @@ package snt
 import (
 	"pathhist/internal/fmindex"
 	"pathhist/internal/network"
-	"pathhist/internal/temporal"
 	"pathhist/internal/traj"
 )
 
@@ -29,90 +28,6 @@ func (f Filter) HasPredicate() bool { return f.User != traj.NoUser }
 // self-exclusion kept.
 func (f Filter) DropPredicates() Filter {
 	return Filter{User: traj.NoUser, ExcludeTraj: f.ExcludeTraj}
-}
-
-func (ix *Index) admit(f Filter, r *temporal.Record) bool {
-	if r.Traj == f.ExcludeTraj {
-		return false
-	}
-	if f.User != traj.NoUser && ix.users[r.Traj] != f.User {
-		return false
-	}
-	return true
-}
-
-// buildMap is Procedure 3: scan the temporal index of the path's first
-// segment, keep records whose entry time satisfies the interval, whose ISA
-// index falls in the partition's range, and which pass the filter, and map
-// (d, seq) to the antecedent aggregate a - TT in the scratch probe table.
-// The sequence number in the key guards against trajectories with circular
-// paths (Section 4.1.3). The scan stops once beta trajectories are found
-// (beta <= 0 scans exhaustively). It returns the scan bounds needed to
-// restrict the Procedure 4 scan.
-func (ix *Index) buildMap(sc *Scratch, e network.EdgeID, ranges []Range, iv Interval, f Filter, beta int) (minT, maxT int64) {
-	sc.resetTable(beta)
-	phi := ix.forest.Get(e)
-	if phi == nil {
-		return 0, 0
-	}
-	visit := func(t int64, r temporal.Record) bool {
-		rg := ranges[r.W]
-		if int64(r.ISA) < rg.St || int64(r.ISA) >= rg.Ed {
-			return true
-		}
-		if !ix.admit(f, &r) {
-			return true
-		}
-		if sc.n == 0 || t < minT {
-			minT = t
-		}
-		if sc.n == 0 || t > maxT {
-			maxT = t
-		}
-		sc.insert(packKey(int32(r.Traj), r.Seq), r.A-r.TT)
-		return beta <= 0 || sc.n < beta
-	}
-	iv.EachRange(ix.tmin, ix.tmax, !ix.opts.OldestFirst, func(lo, hi int64) bool {
-		done := false
-		scan := func(t int64, r temporal.Record) bool {
-			cont := visit(t, r)
-			if !cont {
-				done = true
-			}
-			return cont
-		}
-		if ix.opts.OldestFirst {
-			phi.Ascend(lo, hi, scan)
-		} else {
-			phi.Descend(lo, hi, scan)
-		}
-		return !done
-	})
-	return minT, maxT
-}
-
-// probeMap is Procedure 4: scan the temporal index of the path's last
-// segment and, for every record whose (d, seq+1-l) key is present in the
-// probe table, emit the path travel time a_{l-1} - (a_0 - TT_0). The scan is
-// restricted to the only timestamps a matching record can have: within
-// [minT, maxT + maxTrajectoryDuration] of the matched first segments. The
-// samples are appended to the scratch buffer, which is returned.
-func (ix *Index) probeMap(sc *Scratch, e network.EdgeID, l int, minT, maxT int64) []int {
-	sc.xs = sc.xs[:0]
-	if sc.n == 0 {
-		return nil
-	}
-	phi := ix.forest.Get(e)
-	if phi == nil {
-		return nil
-	}
-	phi.Ascend(minT, maxT+ix.maxTrajDur+1, func(t int64, r temporal.Record) bool {
-		if diff, ok := sc.lookup(packKey(int32(r.Traj), r.Seq+1-int32(l))); ok {
-			sc.xs = append(sc.xs, int(r.A-diff))
-		}
-		return true
-	})
-	return sc.xs
 }
 
 // isaRanges is Procedure 2 over the scratch buffers: it fills sc.ranges
@@ -182,15 +97,23 @@ func (ix *Index) GetTravelTimesWith(sc *Scratch, p network.Path, iv Interval, f 
 		}
 		return nil, false
 	}
+	if len(p) == 1 {
+		// Single-segment fast path: no probe table, no Procedure 4 re-scan.
+		xs, n := ix.scanSingle(sc, p[0], ranges, iv, f, beta)
+		if n < beta && iv.IsPeriodic() {
+			return nil, false
+		}
+		if len(xs) == 0 {
+			sc.xs = append(sc.xs[:0], ix.g.EstimateTTSeconds(p[0]))
+			return sc.xs, true
+		}
+		return xs, false
+	}
 	minT, maxT := ix.buildMap(sc, p[0], ranges, iv, f, beta)
 	if sc.n < beta && iv.IsPeriodic() {
 		return nil, false
 	}
 	xs = ix.probeMap(sc, p[len(p)-1], len(p), minT, maxT)
-	if len(xs) == 0 && len(p) == 1 {
-		sc.xs = append(sc.xs[:0], ix.g.EstimateTTSeconds(p[0]))
-		return sc.xs, true
-	}
 	return xs, false
 }
 

@@ -1,0 +1,225 @@
+// Frozen columnar temporal indexes. After construction the temporal forest
+// is read-only (DESIGN.md §6), so the pointer-chasing trees pay for
+// flexibility nobody uses: every per-day range scan descends the tree and
+// invokes a per-record callback. Freezing converts each Φe into an immutable
+// struct-of-arrays layout — one sorted timestamp column plus parallel packed
+// record columns — built once from the tree leaves (which are then dropped).
+// Range bounds become two binary searches into one contiguous array, range
+// sizes become an O(log n) offset subtraction on every tree kind (the
+// CSS-tree asymmetry of Section 4.3.1, now universal), and scans become
+// tight loops over sequential memory with no callbacks.
+package temporal
+
+import (
+	"fmt"
+
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// FrozenIndex is Φe in frozen columnar form. The exported columns share one
+// index space: record i is (Ts[i], Traj[i], Seq[i], W[i], ISA[i], A[i],
+// TT[i]), and Ts is sorted ascending with ties in the same stable order the
+// source tree stored them. All columns are immutable after freezing (Extend
+// is the single-writer exception, mirroring the build path); any number of
+// goroutines may read them concurrently.
+//
+// W is nil while every record lives in partition 0 — the single-partition
+// layout the paper credits with the memory saving of dropping the partition
+// feature. Readers must treat a nil W column as all zeros.
+type FrozenIndex struct {
+	Ts   []int64
+	Traj []traj.ID
+	Seq  []int32
+	W    []int32
+	ISA  []int32
+	A    []int32
+	TT   []int32
+}
+
+// freezeIndex builds the columnar layout from sorted (ts, recs).
+func freezeIndex(ts []int64, recs []Record) *FrozenIndex {
+	n := len(ts)
+	fx := &FrozenIndex{
+		Ts:   make([]int64, n),
+		Traj: make([]traj.ID, n),
+		Seq:  make([]int32, n),
+		ISA:  make([]int32, n),
+		A:    make([]int32, n),
+		TT:   make([]int32, n),
+	}
+	copy(fx.Ts, ts)
+	hasW := false
+	for i := range recs {
+		r := &recs[i]
+		fx.Traj[i] = r.Traj
+		fx.Seq[i] = r.Seq
+		fx.ISA[i] = r.ISA
+		fx.A[i] = r.A
+		fx.TT[i] = r.TT
+		if r.W != 0 {
+			hasW = true
+		}
+	}
+	if hasW {
+		fx.W = make([]int32, n)
+		for i := range recs {
+			fx.W[i] = recs[i].W
+		}
+	}
+	return fx
+}
+
+// Len returns the number of traversal records.
+func (fx *FrozenIndex) Len() int { return len(fx.Ts) }
+
+// MinKey returns the earliest traversal time F[e]min. A FrozenIndex only
+// exists for segments with data, so the column is never empty.
+func (fx *FrozenIndex) MinKey() int64 { return fx.Ts[0] }
+
+// MaxKey returns the latest traversal time F[e]max.
+func (fx *FrozenIndex) MaxKey() int64 { return fx.Ts[len(fx.Ts)-1] }
+
+// LowerBoundTs returns the first index in ts with ts[i] >= t (len(ts) if
+// none). Manual binary search — no per-probe closure call, this sits on
+// the scan hot paths (also used directly by the fused scans in snt).
+func LowerBoundTs(ts []int64, t int64) int {
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ts[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LowerBound returns the first offset whose timestamp is >= t (Len if none).
+func (fx *FrozenIndex) LowerBound(t int64) int { return LowerBoundTs(fx.Ts, t) }
+
+// CountRange returns, exactly and in O(log n), the number of records with
+// lo <= t < hi — the offset subtraction that replaces the B+-tree's O(n)
+// leaf walk once the index is frozen.
+func (fx *FrozenIndex) CountRange(lo, hi int64) int {
+	if hi <= lo {
+		return 0
+	}
+	return fx.LowerBound(hi) - fx.LowerBound(lo)
+}
+
+// SizeBytes is the actual columnar footprint: the timestamp column, the
+// record columns that are materialised, and the slice headers. There is no
+// per-node overhead and no slack capacity — the saving over the tree
+// layouts.
+func (fx *FrozenIndex) SizeBytes() int {
+	const sliceHeader = 24
+	sz := 7*sliceHeader + len(fx.Ts)*8
+	sz += (len(fx.Traj) + len(fx.Seq) + len(fx.W) + len(fx.ISA) + len(fx.A) + len(fx.TT)) * 4
+	return sz
+}
+
+// appendBatch extends the columns with a sorted batch whose timestamps all
+// follow the current maximum (validated by the caller).
+func (fx *FrozenIndex) appendBatch(ts []int64, recs []Record) {
+	needW := fx.W != nil
+	if !needW {
+		for i := range recs {
+			if recs[i].W != 0 {
+				needW = true
+				break
+			}
+		}
+		if needW && len(fx.Ts) > 0 {
+			fx.W = make([]int32, len(fx.Ts), len(fx.Ts)+len(ts))
+		}
+	}
+	fx.Ts = append(fx.Ts, ts...)
+	for i := range recs {
+		r := &recs[i]
+		fx.Traj = append(fx.Traj, r.Traj)
+		fx.Seq = append(fx.Seq, r.Seq)
+		fx.ISA = append(fx.ISA, r.ISA)
+		fx.A = append(fx.A, r.A)
+		fx.TT = append(fx.TT, r.TT)
+		if needW {
+			fx.W = append(fx.W, r.W)
+		}
+	}
+}
+
+// FrozenForest is F frozen: one immutable columnar index per segment with
+// data.
+type FrozenForest struct {
+	idx map[network.EdgeID]*FrozenIndex
+}
+
+// Freeze exports every segment tree into its frozen columnar layout. The
+// forest (and its trees) can be dropped afterwards — construction is the
+// only phase that needs them.
+func (f *Forest) Freeze() *FrozenForest {
+	ff := &FrozenForest{idx: make(map[network.EdgeID]*FrozenIndex, len(f.idx))}
+	for e, x := range f.idx {
+		ts, recs := x.Export()
+		ff.idx[e] = freezeIndex(ts, recs)
+	}
+	return ff
+}
+
+// Get returns the frozen Φe, or nil when the segment has no data.
+func (f *FrozenForest) Get(e network.EdgeID) *FrozenIndex { return f.idx[e] }
+
+// Each calls fn for every segment with data, in unspecified order.
+func (f *FrozenForest) Each(fn func(network.EdgeID, *FrozenIndex)) {
+	for e, fx := range f.idx {
+		fn(e, fx)
+	}
+}
+
+// NumIndexes returns the number of segments with data.
+func (f *FrozenForest) NumIndexes() int { return len(f.idx) }
+
+// NumRecords returns the total number of traversal records.
+func (f *FrozenForest) NumRecords() int {
+	n := 0
+	for _, fx := range f.idx {
+		n += fx.Len()
+	}
+	return n
+}
+
+// SizeBytes is the forest's actual columnar footprint.
+func (f *FrozenForest) SizeBytes() int {
+	const perEntryMapOverhead = 48 // hash bucket + pointer per segment index
+	sz := 0
+	for _, fx := range f.idx {
+		sz += fx.SizeBytes() + perEntryMapOverhead
+	}
+	return sz
+}
+
+// Extend appends a batch of newer records (the batch-update path of Section
+// 4.3.2). The frozen columns are append-only exactly like the CSS-tree:
+// per segment, every new record must carry a timestamp at or after the
+// segment's current maximum. The whole batch is validated before any column
+// is touched, so a failed Extend leaves the forest unchanged. Extend is a
+// write and requires the same exclusive access as index construction.
+func (f *FrozenForest) Extend(b *ForestBuilder) error {
+	batches := b.sortedBatches()
+	for _, sb := range batches {
+		if fx := f.idx[sb.e]; fx != nil && len(sb.ts) > 0 && sb.ts[0] < fx.MaxKey() {
+			return fmt.Errorf("temporal: segment %d batch starts at %d before existing max %d",
+				sb.e, sb.ts[0], fx.MaxKey())
+		}
+	}
+	for _, sb := range batches {
+		fx := f.idx[sb.e]
+		if fx == nil {
+			fx = &FrozenIndex{}
+			f.idx[sb.e] = fx
+		}
+		fx.appendBatch(sb.ts, sb.recs)
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// randomBuilder fills a builder with records over nEdges segments; equal
+// timestamps are common (the tie order is part of the frozen contract).
+func randomBuilder(rng *rand.Rand, kind TreeKind, nEdges, nRecs int) *ForestBuilder {
+	b := NewForestBuilder(kind)
+	for i := 0; i < nRecs; i++ {
+		e := network.EdgeID(rng.Intn(nEdges))
+		t := int64(rng.Intn(nRecs / 2)) // dense keyspace forces duplicates
+		b.Add(e, t, Record{
+			ISA:  int32(i),
+			Traj: traj.ID(i % 97),
+			TT:   int32(1 + rng.Intn(300)),
+			A:    int32(rng.Intn(10000)),
+			Seq:  int32(rng.Intn(40)),
+			W:    int32(rng.Intn(3)),
+		})
+	}
+	return b
+}
+
+// TestFreezeMatchesTreeScans: for both tree kinds, the frozen columns hold
+// exactly the tree's entries in exactly the tree's ascending scan order
+// (including ties), and bounds/counts agree on random ranges.
+func TestFreezeMatchesTreeScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, kind := range []TreeKind{CSS, BPlus} {
+		f := randomBuilder(rng, kind, 7, 4000).Finish()
+		ff := f.Freeze()
+		if ff.NumIndexes() != f.NumIndexes() || ff.NumRecords() != f.NumRecords() {
+			t.Fatalf("%v: frozen shape %d/%d vs forest %d/%d", kind,
+				ff.NumIndexes(), ff.NumRecords(), f.NumIndexes(), f.NumRecords())
+		}
+		ff.Each(func(e network.EdgeID, fx *FrozenIndex) {
+			x := f.Get(e)
+			if x == nil || x.Len() != fx.Len() {
+				t.Fatalf("%v edge %d: length mismatch", kind, e)
+			}
+			// Full ascending enumeration must match the columns pairwise.
+			i := 0
+			x.Ascend(minInt64, maxInt64, func(ts int64, r Record) bool {
+				if fx.Ts[i] != ts || fx.Traj[i] != r.Traj || fx.Seq[i] != r.Seq ||
+					fx.ISA[i] != r.ISA || fx.A[i] != r.A || fx.TT[i] != r.TT {
+					t.Fatalf("%v edge %d offset %d: column mismatch", kind, e, i)
+				}
+				w := int32(0)
+				if fx.W != nil {
+					w = fx.W[i]
+				}
+				if w != r.W {
+					t.Fatalf("%v edge %d offset %d: W %d vs %d", kind, e, i, w, r.W)
+				}
+				i++
+				return true
+			})
+			if i != fx.Len() {
+				t.Fatalf("%v edge %d: enumerated %d of %d", kind, e, i, fx.Len())
+			}
+			if min, _ := x.MinKey(); min != fx.MinKey() {
+				t.Fatalf("%v edge %d: MinKey", kind, e)
+			}
+			if max, _ := x.MaxKey(); max != fx.MaxKey() {
+				t.Fatalf("%v edge %d: MaxKey", kind, e)
+			}
+			for trial := 0; trial < 50; trial++ {
+				lo := int64(rng.Intn(2200)) - 100
+				hi := lo + int64(rng.Intn(500))
+				if got, want := fx.CountRange(lo, hi), x.CountRange(lo, hi); got != want {
+					t.Fatalf("%v edge %d: CountRange(%d,%d) = %d, want %d", kind, e, lo, hi, got, want)
+				}
+				if got := fx.LowerBound(lo); got < fx.Len() && fx.Ts[got] < lo ||
+					got > 0 && fx.Ts[got-1] >= lo {
+					t.Fatalf("%v edge %d: LowerBound(%d) = %d", kind, e, lo, got)
+				}
+			}
+		})
+	}
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// TestFrozenExtendMatchesForestExtend: appending a sorted newer batch to
+// the frozen columns yields the same layout as extending the tree forest
+// and re-freezing it.
+func TestFrozenExtendMatchesForestExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomBuilder(rng, CSS, 5, 1000)
+	f := base.Finish()
+	ff := f.Freeze()
+
+	batch := NewForestBuilder(CSS)
+	for i := 0; i < 400; i++ {
+		e := network.EdgeID(rng.Intn(5))
+		t := int64(3000 + rng.Intn(500)) // strictly after every base key
+		batch.Add(e, t, Record{Traj: traj.ID(i), Seq: int32(i % 9), TT: 5, A: 10, W: 3, ISA: int32(i)})
+	}
+	if err := ff.Extend(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Extend(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := f.Freeze()
+	if want.NumRecords() != ff.NumRecords() {
+		t.Fatalf("records %d vs %d", ff.NumRecords(), want.NumRecords())
+	}
+	want.Each(func(e network.EdgeID, wx *FrozenIndex) {
+		fx := ff.Get(e)
+		if fx == nil || fx.Len() != wx.Len() {
+			t.Fatalf("edge %d: length mismatch", e)
+		}
+		for i := 0; i < wx.Len(); i++ {
+			if fx.Ts[i] != wx.Ts[i] || fx.Traj[i] != wx.Traj[i] || fx.Seq[i] != wx.Seq[i] ||
+				fx.W[i] != wx.W[i] || fx.A[i] != wx.A[i] || fx.TT[i] != wx.TT[i] {
+				t.Fatalf("edge %d offset %d: extended columns diverge", e, i)
+			}
+		}
+	})
+}
+
+// TestFrozenExtendRejectsOld: a batch starting before a segment's maximum
+// is rejected without mutating anything.
+func TestFrozenExtendRejectsOld(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ff := randomBuilder(rng, CSS, 3, 300).Finish().Freeze()
+	before := ff.NumRecords()
+	bad := NewForestBuilder(CSS)
+	bad.Add(0, -1, Record{})
+	if err := ff.Extend(bad); err == nil {
+		t.Fatal("stale batch accepted")
+	}
+	if ff.NumRecords() != before {
+		t.Fatal("failed Extend mutated the frozen forest")
+	}
+}
+
+// TestFrozenWColumnElision: single-partition forests drop the W column
+// entirely; it materialises as soon as a later partition appears.
+func TestFrozenWColumnElision(t *testing.T) {
+	b := NewForestBuilder(CSS)
+	for i := 0; i < 10; i++ {
+		b.Add(1, int64(i), Record{W: 0, Traj: traj.ID(i)})
+	}
+	ff := b.Finish().Freeze()
+	fx := ff.Get(1)
+	if fx.W != nil {
+		t.Fatal("partition-0-only index materialised a W column")
+	}
+	withW := ff.SizeBytes()
+
+	batch := NewForestBuilder(CSS)
+	batch.Add(1, 100, Record{W: 1})
+	if err := ff.Extend(batch); err != nil {
+		t.Fatal(err)
+	}
+	fx = ff.Get(1)
+	if len(fx.W) != 11 || fx.W[9] != 0 || fx.W[10] != 1 {
+		t.Fatalf("W column after extend = %v", fx.W)
+	}
+	if ff.SizeBytes() <= withW {
+		t.Fatal("materialised W column should grow the footprint")
+	}
+}
+
+// TestFrozenSmallerThanTrees asserts the memory claim the freeze exists
+// for: the columnar footprint undercuts the B+-tree layout (per-node
+// headers, child pointers, slack capacity) and does not exceed the CSS
+// layout it mirrors.
+func TestFrozenSmallerThanTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bt := randomBuilder(rng, BPlus, 4, 6000).Finish()
+	frozen := bt.Freeze().SizeBytes()
+	if tree := bt.SizeBytes(PayloadBytes); frozen >= tree {
+		t.Fatalf("frozen %d B not smaller than B+-tree model %d B", frozen, tree)
+	}
+	rng = rand.New(rand.NewSource(9))
+	css := randomBuilder(rng, CSS, 4, 6000).Finish()
+	if tree := css.SizeBytes(PayloadBytes); frozen > tree {
+		t.Fatalf("frozen %d B larger than CSS model %d B", frozen, tree)
+	}
+}

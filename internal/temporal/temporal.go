@@ -128,8 +128,20 @@ func (x *Index) CountRange(lo, hi int64) int {
 	return x.bt.CountRange(lo, hi)
 }
 
-// CountsExactlyInLogTime reports whether CountRange is O(log n) (CSS only).
+// CountsExactlyInLogTime reports whether CountRange is O(log n) (CSS only;
+// frozen columnar indexes count exactly in O(log n) on every tree kind).
 func (x *Index) CountsExactlyInLogTime() bool { return x.kind == CSS }
+
+// Export returns the index's entries as sorted parallel (timestamp, record)
+// slices — the freeze export. For CSS trees the returned slices alias the
+// tree's storage and must be treated as read-only; for B+-trees they are
+// freshly built from one leaf-chain walk.
+func (x *Index) Export() ([]int64, []Record) {
+	if x.kind == CSS {
+		return x.css.Export()
+	}
+	return x.bt.Export(nil, nil)
+}
 
 // SizeBytes models the memory footprint given the per-record payload size.
 func (x *Index) SizeBytes(payloadBytes int) int {
@@ -172,21 +184,8 @@ func (b *ForestBuilder) Add(e network.EdgeID, t int64, r Record) {
 // Finish builds the forest.
 func (b *ForestBuilder) Finish() *Forest {
 	f := &Forest{kind: b.kind, idx: make(map[network.EdgeID]*Index, len(b.ts))}
-	for e, ts := range b.ts {
-		recs := b.recs[e]
-		// Sort (ts, recs) jointly by timestamp, stably.
-		ord := make([]int, len(ts))
-		for i := range ord {
-			ord[i] = i
-		}
-		sort.SliceStable(ord, func(i, j int) bool { return ts[ord[i]] < ts[ord[j]] })
-		st := make([]int64, len(ts))
-		sr := make([]Record, len(recs))
-		for i, o := range ord {
-			st[i] = ts[o]
-			sr[i] = recs[o]
-		}
-		f.idx[e] = build(b.kind, st, sr)
+	for _, sb := range b.sortedBatches() {
+		f.idx[sb.e] = build(b.kind, sb.ts, sb.recs)
 	}
 	return f
 }
@@ -194,21 +193,17 @@ func (b *ForestBuilder) Finish() *Forest {
 // Kind returns the tree kind backing the forest.
 func (f *Forest) Kind() TreeKind { return f.kind }
 
-// Extend appends a batch of newer records to the forest (the batch-update
-// path enabled by temporal partitioning, Section 4.3.2). Per segment, the
-// batch's records are sorted and appended; every new record must carry a
-// timestamp at or after the segment's current maximum (CSS trees are
-// append-only, Section 4.3.1).
-func (f *Forest) Extend(b *ForestBuilder) error {
-	if b.kind != f.kind {
-		return fmt.Errorf("temporal: extending %v forest with %v batch", f.kind, b.kind)
-	}
-	// Validate before mutating anything.
-	type sortedBatch struct {
-		e    network.EdgeID
-		ts   []int64
-		recs []Record
-	}
+// sortedBatch is one segment's batch, jointly sorted by timestamp.
+type sortedBatch struct {
+	e    network.EdgeID
+	ts   []int64
+	recs []Record
+}
+
+// sortedBatches sorts each segment's accumulated (ts, recs) stably by
+// timestamp — the shared preparation step of Finish, Forest.Extend and
+// FrozenForest.Extend.
+func (b *ForestBuilder) sortedBatches() []sortedBatch {
 	var batches []sortedBatch
 	for e, ts := range b.ts {
 		recs := b.recs[e]
@@ -223,13 +218,29 @@ func (f *Forest) Extend(b *ForestBuilder) error {
 			st[i] = ts[o]
 			sr[i] = recs[o]
 		}
-		if x := f.idx[e]; x != nil && len(st) > 0 {
-			if max, ok := x.MaxKey(); ok && st[0] < max {
+		batches = append(batches, sortedBatch{e: e, ts: st, recs: sr})
+	}
+	return batches
+}
+
+// Extend appends a batch of newer records to the forest (the batch-update
+// path enabled by temporal partitioning, Section 4.3.2). Per segment, the
+// batch's records are sorted and appended; every new record must carry a
+// timestamp at or after the segment's current maximum (CSS trees are
+// append-only, Section 4.3.1).
+func (f *Forest) Extend(b *ForestBuilder) error {
+	if b.kind != f.kind {
+		return fmt.Errorf("temporal: extending %v forest with %v batch", f.kind, b.kind)
+	}
+	// Validate before mutating anything.
+	batches := b.sortedBatches()
+	for _, sb := range batches {
+		if x := f.idx[sb.e]; x != nil && len(sb.ts) > 0 {
+			if max, ok := x.MaxKey(); ok && sb.ts[0] < max {
 				return fmt.Errorf("temporal: segment %d batch starts at %d before existing max %d",
-					e, st[0], max)
+					sb.e, sb.ts[0], max)
 			}
 		}
-		batches = append(batches, sortedBatch{e: e, ts: st, recs: sr})
 	}
 	for _, sb := range batches {
 		x := f.idx[sb.e]

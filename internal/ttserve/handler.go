@@ -18,26 +18,31 @@ import (
 
 // Response is the JSON shape of a /query answer.
 type Response struct {
-	MeanSeconds float64       `json:"mean_seconds"`
-	P05         float64       `json:"p05_seconds"`
-	P50         float64       `json:"p50_seconds"`
-	P95         float64       `json:"p95_seconds"`
-	SubQueries  []SubResponse `json:"sub_queries"`
-	IndexScans  int           `json:"index_scans"`
-	CacheHits   int           `json:"cache_hits"`
-	CacheMisses int           `json:"cache_misses"`
-	Histogram   []Bucket      `json:"histogram"`
+	MeanSeconds  float64       `json:"mean_seconds"`
+	P05          float64       `json:"p05_seconds"`
+	P50          float64       `json:"p50_seconds"`
+	P95          float64       `json:"p95_seconds"`
+	SubQueries   []SubResponse `json:"sub_queries"`
+	IndexScans   int           `json:"index_scans"`
+	CacheHits    int           `json:"cache_hits"`
+	CacheMisses  int           `json:"cache_misses"`
+	FullCacheHit bool          `json:"full_cache_hit,omitempty"`
+	Histogram    []Bucket      `json:"histogram"`
 }
 
 // Stats is the JSON shape of a /statsz answer: cumulative engine-level
 // observability for capacity planning and cache tuning.
 type Stats struct {
-	Partitions    int     `json:"partitions"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheEntries  int     `json:"cache_entries"`
-	CacheHitRatio float64 `json:"cache_hit_ratio"`
-	IndexBytes    int     `json:"index_bytes"`
+	Partitions        int     `json:"partitions"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheEntries      int     `json:"cache_entries"`
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	FullCacheHits     int64   `json:"full_cache_hits"`
+	FullCacheMisses   int64   `json:"full_cache_misses"`
+	FullCacheEntries  int     `json:"full_cache_entries"`
+	FullCacheHitRatio float64 `json:"full_cache_hit_ratio"`
+	IndexBytes        int     `json:"index_bytes"`
 }
 
 // SubResponse describes one final sub-query.
@@ -64,16 +69,23 @@ func NewHandler(eng *pathhist.Engine) http.Handler {
 	})
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		cs := eng.CacheStats()
+		fs := eng.FullCacheStats()
 		c, wt, user, forest := eng.IndexMemory()
 		st := Stats{
-			Partitions:   eng.Partitions(),
-			CacheHits:    cs.Hits,
-			CacheMisses:  cs.Misses,
-			CacheEntries: cs.Entries,
-			IndexBytes:   c + wt + user + forest,
+			Partitions:       eng.Partitions(),
+			CacheHits:        cs.Hits,
+			CacheMisses:      cs.Misses,
+			CacheEntries:     cs.Entries,
+			FullCacheHits:    fs.Hits,
+			FullCacheMisses:  fs.Misses,
+			FullCacheEntries: fs.Entries,
+			IndexBytes:       c + wt + user + forest,
 		}
 		if total := cs.Hits + cs.Misses; total > 0 {
 			st.CacheHitRatio = float64(cs.Hits) / float64(total)
+		}
+		if total := fs.Hits + fs.Misses; total > 0 {
+			st.FullCacheHitRatio = float64(fs.Hits) / float64(total)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(st)
@@ -153,13 +165,14 @@ func parseQuery(r *http.Request) (pathhist.Query, error) {
 
 func toResponse(res *pathhist.Result) Response {
 	out := Response{
-		MeanSeconds: res.MeanSeconds,
-		P05:         res.Histogram.Quantile(0.05),
-		P50:         res.Histogram.Quantile(0.5),
-		P95:         res.Histogram.Quantile(0.95),
-		IndexScans:  res.IndexScans,
-		CacheHits:   res.CacheHits,
-		CacheMisses: res.CacheMisses,
+		MeanSeconds:  res.MeanSeconds,
+		P05:          res.Histogram.Quantile(0.05),
+		P50:          res.Histogram.Quantile(0.5),
+		P95:          res.Histogram.Quantile(0.95),
+		IndexScans:   res.IndexScans,
+		CacheHits:    res.CacheHits,
+		CacheMisses:  res.CacheMisses,
+		FullCacheHit: res.FullCacheHit,
 	}
 	for _, s := range res.Subs {
 		out.SubQueries = append(out.SubQueries, SubResponse{

@@ -196,6 +196,13 @@ type Options struct {
 	// CacheCapacity is the total number of cached sub-results (a default
 	// applies when 0).
 	CacheCapacity int
+	// DisableFullResultCache turns off the engine's full-result cache,
+	// which memoises the final convolved histogram per (path, interval,
+	// filter, beta) so repeated trips skip processing entirely.
+	DisableFullResultCache bool
+	// FullResultCacheCapacity is the total number of cached full results
+	// (a default applies when 0).
+	FullResultCacheCapacity int
 }
 
 // Engine answers travel-time queries over an indexed trajectory set.
@@ -243,15 +250,17 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 		est = card.New(ix, opts.Estimator)
 	}
 	cfg := query.Config{
-		Partitioner:   partitioner,
-		Splitter:      splitter,
-		Alphas:        opts.IntervalSizes,
-		BucketWidth:   opts.BucketSeconds,
-		Estimator:     est,
-		ZoneBetas:     opts.ZoneBetas,
-		Workers:       opts.Workers,
-		DisableCache:  opts.DisableCache,
-		CacheCapacity: opts.CacheCapacity,
+		Partitioner:             partitioner,
+		Splitter:                splitter,
+		Alphas:                  opts.IntervalSizes,
+		BucketWidth:             opts.BucketSeconds,
+		Estimator:               est,
+		ZoneBetas:               opts.ZoneBetas,
+		Workers:                 opts.Workers,
+		DisableCache:            opts.DisableCache,
+		CacheCapacity:           opts.CacheCapacity,
+		DisableFullResultCache:  opts.DisableFullResultCache,
+		FullResultCacheCapacity: opts.FullResultCacheCapacity,
 	}
 	return &Engine{g: g, ix: ix, qe: query.NewEngine(ix, cfg)}, nil
 }
@@ -305,6 +314,9 @@ type Result struct {
 	// shared sub-result cache versus scans that reached the index.
 	CacheHits   int
 	CacheMisses int
+	// FullCacheHit marks a result served whole from the engine's
+	// full-result cache (all other effort counters are zero).
+	FullCacheHit bool
 }
 
 // Query answers a travel-time query.
@@ -362,6 +374,7 @@ func (e *Engine) Query(q Query) (*Result, error) {
 		EstimatorSkips: res.EstimatorSkips,
 		CacheHits:      res.CacheHits,
 		CacheMisses:    res.CacheMisses,
+		FullCacheHit:   res.FullCacheHit,
 	}
 	for i := range res.Subs {
 		s := &res.Subs[i]
@@ -396,3 +409,7 @@ type CacheStats = query.CacheStats
 // CacheStats snapshots the engine's shared sub-result cache counters (all
 // zero when the cache is disabled).
 func (e *Engine) CacheStats() CacheStats { return e.qe.Cache() }
+
+// FullCacheStats snapshots the engine's full-result cache counters (all
+// zero when the cache is disabled).
+func (e *Engine) FullCacheStats() CacheStats { return e.qe.FullCache() }
