@@ -330,6 +330,121 @@ func BenchmarkTripQueryFullCacheHit(b *testing.B) {
 	}
 }
 
+// copyStore deep-copies a trajectory store.
+func copyStore(src *Store) *Store {
+	out := NewStore()
+	for i := 0; i < src.Len(); i++ {
+		tr := src.Get(TrajID(i))
+		out.Add(tr.User, append([]Entry(nil), tr.Seq...))
+	}
+	return out
+}
+
+// shiftStore returns a copy of the store with every timestamp moved by the
+// given offset — the trick that turns one template batch into an unbounded
+// stream of strictly-newer batches for the extend benchmarks.
+func shiftStore(src *Store, by int64) *Store {
+	out := NewStore()
+	for i := 0; i < src.Len(); i++ {
+		tr := src.Get(TrajID(i))
+		seq := make([]Entry, len(tr.Seq))
+		for j, en := range tr.Seq {
+			en.T += by
+			seq[j] = en
+		}
+		out.Add(tr.User, seq)
+	}
+	return out
+}
+
+// extendBenchEnv builds a live-ingestion scenario: an engine over the first
+// quiescent split of the benchmark dataset, a template batch from the rest,
+// and the shift span that keeps successive shifted batches strictly newer
+// than everything before them.
+func extendBenchEnv(b *testing.B, opts Options) (*Engine, *Store, int64) {
+	b.Helper()
+	e := env(b)
+	batches := quiescentBatches(copyStore(e.DS.Store), 2)
+	if len(batches) < 2 {
+		b.Skip("dataset has no quiescent split point")
+	}
+	eng, err := NewEngine(e.DS.G, batches[0], opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, tmax := e.DS.Store.TimeRange()
+	tmplMin := batches[1].Get(0).StartTime()
+	span := tmax - tmplMin + 86400
+	return eng, batches[1], span
+}
+
+// BenchmarkEngineExtend measures the cost of ingesting one batch on an
+// otherwise idle engine: FM-index construction for the new partition plus
+// the copy-on-write column appends and the epoch publication.
+func BenchmarkEngineExtend(b *testing.B) {
+	eng, tmpl, span := extendBenchEnv(b, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Extend(shiftStore(tmpl, int64(i+1)*span)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tmpl.Len()), "trajs/batch")
+	b.ReportMetric(float64(tmpl.NumTraversals()), "records/batch")
+}
+
+// BenchmarkExtendWhileServing is the live-ingestion serving scenario: b.N
+// batch ingests on an engine that concurrent query goroutines keep under
+// constant load (periodic queries whose cache keys persist across epochs,
+// so every extend also exercises the lazy invalidation path). The reported
+// time is ingest latency under load; the queries-served metric shows the
+// engine kept answering throughout.
+func BenchmarkExtendWhileServing(b *testing.B) {
+	eng, tmpl, span := extendBenchEnv(b, Options{})
+	e := env(b)
+	qs := e.Queries
+	stop := make(chan struct{})
+	var served atomic.Int64
+	var qerr atomic.Value
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[i%len(qs)]
+				if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20}); err != nil {
+					qerr.Store(err)
+					return
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Extend(shiftStore(tmpl, int64(i+1)*span)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if err, ok := qerr.Load().(error); ok && err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(served.Load())/float64(b.N), "queries/extend")
+	b.ReportMetric(float64(tmpl.Len()), "trajs/batch")
+}
+
 // --- Micro-benchmarks of the substrates ---
 
 func BenchmarkSuffixArraySAIS(b *testing.B) {
@@ -441,7 +556,7 @@ func BenchmarkPublicAPIQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := qs[i%len(qs)]
-		if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, ExcludeTraj: q.Traj}); err != nil {
+		if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, Exclude: true, ExcludeTraj: q.Traj}); err != nil {
 			b.Fatal(err)
 		}
 	}

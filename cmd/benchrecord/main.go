@@ -46,7 +46,7 @@ type File struct {
 const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" +
 	"BenchmarkTripQueryFullCacheHit|" +
 	"BenchmarkFig5aTemporalPiZ$|BenchmarkGetTravelTimes|BenchmarkThroughputParallel|" +
-	"BenchmarkPublicAPIQuery"
+	"BenchmarkPublicAPIQuery|BenchmarkEngineExtend|BenchmarkExtendWhileServing"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -191,6 +191,11 @@ func derive(recs []Record) map[string]string {
 	}
 	if full, ok := byName["BenchmarkTripQueryFullCacheHit"]; ok && haveSeq && full.NsPerOp > 0 {
 		out["full_cache_speedup_vs_sequential"] = fmt.Sprintf("%.2fx", seq.NsPerOp/full.NsPerOp)
+	}
+	if idle, ok := byName["BenchmarkEngineExtend"]; ok && idle.NsPerOp > 0 {
+		if busy, ok := byName["BenchmarkExtendWhileServing"]; ok && busy.NsPerOp > 0 {
+			out["extend_under_load_vs_idle"] = fmt.Sprintf("%.2fx", busy.NsPerOp/idle.NsPerOp)
+		}
 	}
 	for _, r := range recs {
 		if r.BaselineNsPerOp > 0 && r.NsPerOp > 0 {

@@ -81,9 +81,11 @@ func main() {
 		rng := rand.New(rand.NewSource(*seed))
 		tr := store.Get(pathhist.TrajID(rng.Intn(store.Len())))
 		q.Path = tr.Path()
+		q.Exclude = true
 		q.ExcludeTraj = tr.ID
 		groundTruth = tr.TotalDuration()
 		if *tod == "" {
+			q.Periodic = true
 			q.Around = tr.StartTime()
 			q.WindowSeconds = *window
 		}
@@ -100,6 +102,7 @@ func main() {
 		if err1 != nil || err2 != nil || hh < 0 || hh > 23 || mm < 0 || mm > 59 {
 			log.Fatalf("bad -tod %q", *tod)
 		}
+		q.Periodic = true
 		q.Around = int64(hh*3600 + mm*60)
 		q.WindowSeconds = *window
 	}

@@ -1,12 +1,17 @@
 // Command ttserve exposes travel-time histogram retrieval as an HTTP JSON
 // service over a dataset produced by ttgen — the "online routing
-// application" deployment shape the paper's outlook describes (engines are
-// immutable after construction, so requests are served concurrently).
+// application" deployment shape the paper's outlook describes. One shared
+// engine serves all requests concurrently; with -enable-extend the service
+// also ingests live trajectory batches, published lock-free as index
+// epochs (DESIGN.md §8).
 //
-//	ttserve -data data -addr :8080
+//	ttserve -data data -addr :8080 [-enable-extend]
 //
-//	GET /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
-//	GET /healthz
+//	GET  /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
+//	GET  /query?path=17,42,43&from=1335830400&until=1335917000&beta=20
+//	POST /extend            (body: trajectory batch in traj binary format)
+//	GET  /statsz
+//	GET  /healthz
 package main
 
 import (
@@ -24,8 +29,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ttserve: ")
 	var (
-		data = flag.String("data", "data", "dataset directory (from ttgen)")
-		addr = flag.String("addr", ":8080", "listen address")
+		data         = flag.String("data", "data", "dataset directory (from ttgen)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		enableExtend = flag.Bool("enable-extend", false,
+			"accept live trajectory batches on POST /extend (traj binary format)")
+		maxExtendMiB = flag.Int64("max-extend-mib", 64, "largest accepted /extend body in MiB")
 	)
 	flag.Parse()
 
@@ -40,9 +48,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("indexed %d trajectories over %d edges; listening on %s",
-		store.Len(), g.NumEdges(), *addr)
-	if err := http.ListenAndServe(*addr, ttserve.NewHandler(eng)); err != nil {
+	mode := "ingestion disabled"
+	if *enableExtend {
+		mode = "live ingestion on POST /extend"
+	}
+	log.Printf("indexed %d trajectories over %d edges; listening on %s (%s)",
+		store.Len(), g.NumEdges(), *addr, mode)
+	handler := ttserve.NewHandlerWith(eng, ttserve.Config{
+		EnableExtend:   *enableExtend,
+		MaxExtendBytes: *maxExtendMiB << 20,
+	})
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -53,7 +53,7 @@ func TestConcurrentEngineMatchesSequential(t *testing.T) {
 		qs = qs[:24]
 	}
 	mkQuery := func(i int, q workload.Query) Query {
-		out := Query{Path: q.Path, Beta: 20, ExcludeTraj: q.Traj}
+		out := Query{Path: q.Path, Beta: 20, Exclude: true, ExcludeTraj: q.Traj}
 		switch i % 3 {
 		case 0:
 			out.Around = q.T0
@@ -118,7 +118,7 @@ func TestCacheDisabledEngine(t *testing.T) {
 	}
 	q := e.Queries[0]
 	for i := 0; i < 3; i++ {
-		res, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, ExcludeTraj: q.Traj})
+		res, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, Exclude: true, ExcludeTraj: q.Traj})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -21,9 +21,15 @@ import (
 //     final sub-queries of a whole TripQuery, so a repeated trip skips
 //     partitioning, scanning and convolution entirely.
 //
-// A cache entry is a proven fact about the immutable index, so entries
-// never expire and are only evicted for capacity. Each cache is sharded by
-// key hash to keep lock contention negligible under concurrent query
+// A cache entry is a proven fact about one index epoch — the immutable
+// snapshot the scan ran against — so every entry is stamped with that epoch
+// at insertion. Entries never expire within their epoch and are evicted for
+// capacity (LRU); after an Extend publishes a new epoch, entries from older
+// epochs are invalid facts and are dropped lazily: a lookup that finds an
+// entry from a different epoch removes it, counts an invalidation, and
+// reports a miss, so no cached result ever crosses an epoch boundary and a
+// batch ingest costs no stop-the-world cache sweep. Each cache is sharded
+// by key hash to keep lock contention negligible under concurrent query
 // traffic, and each shard maintains its own LRU list.
 //
 // β is part of the key even though the shorthand is (path, interval,
@@ -62,12 +68,13 @@ type fullValue struct {
 
 // cacheEntry is one cached result plus its LRU linkage.
 type cacheEntry[V any] struct {
-	hash uint64
-	path network.Path // private copy, never aliased to caller memory
-	iv   snt.Interval
-	f    snt.Filter
-	beta int
-	val  V
+	hash  uint64
+	path  network.Path // private copy, never aliased to caller memory
+	iv    snt.Interval
+	f     snt.Filter
+	beta  int
+	epoch uint64 // index epoch the value was computed against
+	val   V
 
 	prev, next *cacheEntry[V]
 }
@@ -124,6 +131,7 @@ type spqCache[V any] struct {
 	shards [cacheShards]cacheShard[V]
 	hits   atomic.Int64
 	misses atomic.Int64
+	stale  atomic.Int64 // cross-epoch entries dropped lazily on lookup
 }
 
 // newSPQCache returns a cache holding up to capacity entries in total.
@@ -181,41 +189,55 @@ func (c *spqCache[V]) shard(hash uint64) *cacheShard[V] {
 }
 
 // get returns the cached value for the key, marking the entry most recently
-// used. The returned value's contents are shared and immutable.
-func (c *spqCache[V]) get(p network.Path, iv snt.Interval, f snt.Filter, beta int) (val V, ok bool) {
+// used. The returned value's contents are shared and immutable. An entry
+// whose key matches but whose epoch differs is a stale fact about an older
+// (or, for a reader still on a pre-extend snapshot, a newer) index state:
+// it is removed, reported through stale (and the Stale counter), and the
+// lookup is a miss — a cached value never crosses an epoch boundary.
+func (c *spqCache[V]) get(p network.Path, iv snt.Interval, f snt.Filter, beta int, epoch uint64) (val V, ok, stale bool) {
 	hash := cacheHash(p, iv, f, beta)
 	s := c.shard(hash)
 	s.mu.Lock()
 	en := s.m[hash]
 	if en != nil && en.matches(p, iv, f, beta) {
-		if s.head != en {
+		if en.epoch == epoch {
+			if s.head != en {
+				s.unlink(en)
+				s.pushFront(en)
+			}
+			val = en.val
+			ok = true
+		} else {
 			s.unlink(en)
-			s.pushFront(en)
+			delete(s.m, hash)
+			stale = true
 		}
-		val = en.val
-		ok = true
 	}
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+		if stale {
+			c.stale.Add(1)
+		}
 	}
 	return
 }
 
-// put stores a completed result. The path is copied; the value is retained
-// as-is (and shared with the Result that produced it), so its contents must
-// never be mutated or recycled.
-func (c *spqCache[V]) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, val V) {
+// put stores a completed result computed against the given index epoch. The
+// path is copied; the value is retained as-is (and shared with the Result
+// that produced it), so its contents must never be mutated or recycled.
+func (c *spqCache[V]) put(p network.Path, iv snt.Interval, f snt.Filter, beta int, epoch uint64, val V) {
 	hash := cacheHash(p, iv, f, beta)
 	en := &cacheEntry[V]{
-		hash: hash,
-		path: append(network.Path(nil), p...),
-		iv:   iv,
-		f:    f,
-		beta: beta,
-		val:  val,
+		hash:  hash,
+		path:  append(network.Path(nil), p...),
+		iv:    iv,
+		f:     f,
+		beta:  beta,
+		epoch: epoch,
+		val:   val,
 	}
 	s := c.shard(hash)
 	s.mu.Lock()
@@ -250,11 +272,13 @@ func (c *spqCache[V]) Len() int {
 // counters measure the cache (every get, including speculative attempts
 // whose outcome reconciliation later discards), so the hit ratio can read
 // higher than the per-Result CacheHits/CacheMisses, which book only
-// adopted outcomes.
+// adopted outcomes. Invalidations counts cross-epoch entries dropped
+// lazily on lookup after an Extend (each is also a miss).
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	Entries       int
 }
 
 // Stats snapshots the cache counters.
@@ -262,5 +286,10 @@ func (c *spqCache[V]) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.Len()}
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.stale.Load(),
+		Entries:       c.Len(),
+	}
 }

@@ -17,32 +17,61 @@ func testKey(i int) (network.Path, snt.Interval, snt.Filter, int) {
 func TestCacheGetPut(t *testing.T) {
 	c := newSubCache(64)
 	p, iv, f, beta := testKey(1)
-	if _, ok := c.get(p, iv, f, beta); ok {
+	if _, ok, _ := c.get(p, iv, f, beta, 0); ok {
 		t.Fatal("hit on empty cache")
 	}
 	xs := []int{100, 110, 120}
 	hg := hist.FromSamples(xs, 10)
-	c.put(p, iv, f, beta, subValue{xs: xs, hist: hg})
-	v, ok := c.get(p, iv, f, beta)
+	c.put(p, iv, f, beta, 0, subValue{xs: xs, hist: hg})
+	v, ok, _ := c.get(p, iv, f, beta, 0)
 	if !ok || v.fallback || v.hist != hg || len(v.xs) != 3 {
 		t.Fatalf("get = %+v %v", v, ok)
 	}
 	// Key sensitivity: every component participates.
-	if _, ok := c.get(p[:1], iv, f, beta); ok {
+	if _, ok, _ := c.get(p[:1], iv, f, beta, 0); ok {
 		t.Error("hit with different path")
 	}
-	if _, ok := c.get(p, iv.Resize(1800), f, beta); ok {
+	if _, ok, _ := c.get(p, iv.Resize(1800), f, beta, 0); ok {
 		t.Error("hit with different interval")
 	}
-	if _, ok := c.get(p, iv, snt.Filter{User: 3, ExcludeTraj: -1}, beta); ok {
+	if _, ok, _ := c.get(p, iv, snt.Filter{User: 3, ExcludeTraj: -1}, beta, 0); ok {
 		t.Error("hit with different filter")
 	}
-	if _, ok := c.get(p, iv, f, beta+1); ok {
+	if _, ok, _ := c.get(p, iv, f, beta+1, 0); ok {
 		t.Error("hit with different beta")
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Entries != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheEpochInvalidation: an entry stamped with one epoch is never
+// served at another; the mismatching lookup drops it lazily and counts an
+// invalidation.
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := newSubCache(64)
+	p, iv, f, beta := testKey(1)
+	c.put(p, iv, f, beta, 3, subValue{xs: []int{7}, hist: hist.FromSamples([]int{7}, 10)})
+	if _, ok, stale := c.get(p, iv, f, beta, 4); ok || !stale {
+		t.Fatalf("cross-epoch lookup: ok=%v stale=%v, want miss+stale", ok, stale)
+	}
+	// The stale entry is gone: the same lookup is now a clean miss.
+	if _, ok, stale := c.get(p, iv, f, beta, 4); ok || stale {
+		t.Fatalf("second lookup: ok=%v stale=%v, want clean miss", ok, stale)
+	}
+	// Re-populated under the new epoch it serves hits again.
+	c.put(p, iv, f, beta, 4, subValue{xs: []int{9}, hist: hist.FromSamples([]int{9}, 10)})
+	if v, ok, _ := c.get(p, iv, f, beta, 4); !ok || v.xs[0] != 9 {
+		t.Fatalf("post-invalidation hit = %+v %v", v, ok)
+	}
+	// An old-epoch reader must not see the new-epoch entry either.
+	if _, ok, stale := c.get(p, iv, f, beta, 3); ok || !stale {
+		t.Fatal("new-epoch entry served to an old-epoch reader")
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
 	}
 }
 
@@ -52,7 +81,7 @@ func TestCacheEviction(t *testing.T) {
 	for i := 0; i < cacheShards*4; i++ {
 		p, iv, f, beta := testKey(i)
 		paths = append(paths, p)
-		c.put(p, iv, f, beta, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i + 1}, 10)})
+		c.put(p, iv, f, beta, 0, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i + 1}, 10)})
 	}
 	if n := c.Len(); n > cacheShards {
 		t.Fatalf("cache holds %d entries, capacity %d", n, cacheShards)
@@ -61,7 +90,7 @@ func TestCacheEviction(t *testing.T) {
 	found := 0
 	for i, p := range paths {
 		_, iv, f, beta := testKey(i)
-		if v, ok := c.get(p, iv, f, beta); ok {
+		if v, ok, _ := c.get(p, iv, f, beta, 0); ok {
 			found++
 			if len(v.xs) != 1 || v.xs[0] != i {
 				t.Fatalf("entry %d corrupted: %v", i, v.xs)
@@ -79,7 +108,7 @@ func TestCacheLRUOrder(t *testing.T) {
 	// LRU assertion; instead verify the weaker invariant directly per
 	// shard: a re-accessed entry survives a subsequent insert that evicts.
 	p0, iv, f, beta := testKey(0)
-	c.put(p0, iv, f, beta, subValue{xs: []int{0}, hist: hist.FromSamples([]int{1}, 10)})
+	c.put(p0, iv, f, beta, 0, subValue{xs: []int{0}, hist: hist.FromSamples([]int{1}, 10)})
 	sh := c.shard(cacheHash(p0, iv, f, beta))
 	// Fill the same shard with synthetic entries until eviction happens,
 	// touching p0 before each insert so it stays most recently used.
@@ -88,10 +117,10 @@ func TestCacheLRUOrder(t *testing.T) {
 		if c.shard(cacheHash(p, piv, pf, pbeta)) != sh {
 			continue
 		}
-		c.get(p0, iv, f, beta)
-		c.put(p, piv, pf, pbeta, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i}, 10)})
+		c.get(p0, iv, f, beta, 0)
+		c.put(p, piv, pf, pbeta, 0, subValue{xs: []int{i}, hist: hist.FromSamples([]int{i}, 10)})
 	}
-	if _, ok := c.get(p0, iv, f, beta); !ok {
+	if _, ok, _ := c.get(p0, iv, f, beta, 0); !ok {
 		t.Fatal("most-recently-used entry was evicted")
 	}
 }
@@ -105,14 +134,14 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				p, iv, f, beta := testKey(i % 100)
-				if v, ok := c.get(p, iv, f, beta); ok {
+				if v, ok, _ := c.get(p, iv, f, beta, 0); ok {
 					if len(v.xs) != 1 || v.xs[0] != i%100 {
 						t.Errorf("corrupt entry for key %d: %v", i%100, v.xs)
 						return
 					}
 					continue
 				}
-				c.put(p, iv, f, beta, subValue{xs: []int{i % 100}, hist: hist.FromSamples([]int{i%100 + 1}, 10)})
+				c.put(p, iv, f, beta, 0, subValue{xs: []int{i % 100}, hist: hist.FromSamples([]int{i%100 + 1}, 10)})
 			}
 		}(g)
 	}

@@ -11,6 +11,7 @@ import (
 	"pathhist/internal/metrics"
 	"pathhist/internal/network"
 	"pathhist/internal/snt"
+	"pathhist/internal/traj"
 )
 
 // Splitter selects the path splitting method σ of Section 3.3.
@@ -73,13 +74,29 @@ type Config struct {
 	FullResultCacheCapacity int
 }
 
-// Engine processes travel-time queries against an SNT-index. An Engine is
-// safe for concurrent use: the index is immutable after snt.Build, all
-// per-query scan state lives in pooled snt.Scratch buffers, and the shared
-// caches are internally synchronised.
-type Engine struct {
+// snapshot is one published index state: the immutable index, the
+// cardinality estimator built against it, and the epoch number that stamps
+// every cache entry derived from it. A query loads one snapshot at entry
+// and uses it throughout, so in-flight queries always see a consistent
+// index even while Extend publishes a successor.
+type snapshot struct {
 	ix    *snt.Index
+	est   *card.Estimator
+	epoch uint64
+}
+
+// Engine processes travel-time queries against an SNT-index. An Engine is
+// safe for concurrent use: the published index snapshot is immutable, all
+// per-query scan state lives in pooled snt.Scratch buffers, and the shared
+// caches are internally synchronised. Extend ingests a batch of newer
+// trajectories without blocking readers: it builds a copy-on-write index
+// snapshot and publishes it with an atomic pointer swap; queries already
+// running finish against the epoch they started on, and epoch-stamped
+// cache entries from older snapshots are dropped lazily on lookup.
+type Engine struct {
 	cfg   Config
+	snap  atomic.Pointer[snapshot]
+	extMu sync.Mutex // serialises Extend (the only writer)
 	cache *spqCache[subValue]
 	full  *spqCache[fullValue]
 }
@@ -94,7 +111,8 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 	if cfg.BucketWidth <= 0 {
 		cfg.BucketWidth = 10
 	}
-	e := &Engine{ix: ix, cfg: cfg}
+	e := &Engine{cfg: cfg}
+	e.snap.Store(&snapshot{ix: ix, est: cfg.Estimator})
 	if !cfg.DisableCache {
 		e.cache = newSubCache(cfg.CacheCapacity)
 	}
@@ -102,6 +120,62 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 		e.full = newFullCache(cfg.FullResultCacheCapacity)
 	}
 	return e
+}
+
+// Index returns the currently published index snapshot.
+func (e *Engine) Index() *snt.Index { return e.snap.Load().ix }
+
+// Epoch returns the current index epoch: 0 after NewEngine, incremented by
+// every successful non-empty Extend.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// IngestStats describes the snapshot one Extend published. The values come
+// from that publication, not from re-reading shared engine state, so they
+// stay attributable to the batch even when further Extends race in right
+// after.
+type IngestStats struct {
+	// Epoch the batch was published as (unchanged for an empty batch).
+	Epoch uint64
+	// Trajectories in the ingested batch.
+	Trajectories int
+	// TotalTrajectories indexed after this publication.
+	TotalTrajectories int
+}
+
+// Extend ingests a batch of newer trajectories (snt.Index.Extend semantics:
+// every trajectory must start after the indexed data ends). Readers never
+// block: the extended index is built copy-on-write next to the serving one
+// and published atomically as a new epoch, together with a refreshed
+// cardinality estimator. Queries in flight complete against the snapshot
+// they loaded at entry; the epoch stamp keeps their cache writes from ever
+// being served against the new index (and vice versa). Concurrent Extend
+// calls are serialised internally; a failed or empty batch leaves the
+// published snapshot unchanged.
+func (e *Engine) Extend(add *traj.Store) (IngestStats, error) {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	sn := e.snap.Load()
+	nix, err := sn.ix.Extend(add)
+	if err != nil {
+		return IngestStats{}, err
+	}
+	if nix == sn.ix {
+		// Empty batch: nothing new to publish.
+		return IngestStats{Epoch: sn.epoch, TotalTrajectories: nix.Stats().Trajs}, nil
+	}
+	est := sn.est
+	if est.Enabled() {
+		// The estimator reads the index it was built against; refresh it so
+		// selectivities cover the new partition.
+		est = card.New(nix, est.Mode())
+	}
+	next := &snapshot{ix: nix, est: est, epoch: sn.epoch + 1}
+	e.snap.Store(next)
+	return IngestStats{
+		Epoch:             next.epoch,
+		Trajectories:      add.Len(),
+		TotalTrajectories: nix.Stats().Trajs,
+	}, nil
 }
 
 // Cache reports the cumulative sub-result cache statistics.
@@ -142,10 +216,17 @@ type Result struct {
 	// index scan).
 	CacheHits   int
 	CacheMisses int
+	// CacheInvalidations counts cached entries (sub-results or the full
+	// result) this query found stamped with a different index epoch and
+	// dropped — the lazy invalidation an Engine.Extend leaves behind.
+	CacheInvalidations int
 	// FullCacheHit marks a result served whole from the full-result cache:
 	// Hist and Subs are the memoised outcome of an earlier identical query
 	// and every other effort counter is zero.
 	FullCacheHit bool
+	// Epoch is the index epoch the query ran against (the snapshot loaded
+	// at TripQuery entry).
+	Epoch uint64
 	// Elapsed is the wall-clock processing time.
 	Elapsed time.Duration
 }
@@ -194,45 +275,53 @@ type outcome struct {
 	fallback bool
 	skipped  bool // estimator said β̂ < β; no scan was issued
 	cached   bool // served from the sub-result cache; no scan was issued
+	stale    bool // the lookup dropped a cross-epoch entry before scanning
 }
 
 func (o *outcome) success() bool { return !o.skipped && len(o.xs) > 0 }
 
-// attempt runs one sub-query attempt at the given effective interval:
-// cardinality estimation first (Procedure 6 semantics — never for terminal
-// sub-queries, which have no β), then the sub-result cache, then the
-// Procedure 3-5 index scan. Attempts are deterministic given the cache
-// state; with the cache disabled they are fully deterministic, which is
-// what makes speculative execution exact (see TripQuery).
-func (e *Engine) attempt(sub *subQ, iv snt.Interval, sc *snt.Scratch) outcome {
-	if sub.beta > 0 && e.cfg.Estimator.Enabled() {
-		if bhat, ok := e.cfg.Estimator.Estimate(sub.path, iv, sub.filter); ok && bhat < float64(sub.beta) {
+// attempt runs one sub-query attempt at the given effective interval
+// against one index snapshot: cardinality estimation first (Procedure 6
+// semantics — never for terminal sub-queries, which have no β), then the
+// sub-result cache (epoch-checked), then the Procedure 3-5 index scan.
+// Attempts are deterministic given the snapshot and cache state; with the
+// cache disabled they are fully deterministic, which is what makes
+// speculative execution exact (see TripQuery).
+func (e *Engine) attempt(sn *snapshot, sub *subQ, iv snt.Interval, sc *snt.Scratch) outcome {
+	if sub.beta > 0 && sn.est.Enabled() {
+		if bhat, ok := sn.est.Estimate(sub.path, iv, sub.filter); ok && bhat < float64(sub.beta) {
 			return outcome{skipped: true}
 		}
 	}
+	stale := false
 	if e.cache != nil {
-		if v, ok := e.cache.get(sub.path, iv, sub.filter, sub.beta); ok {
+		v, ok, st := e.cache.get(sub.path, iv, sub.filter, sub.beta, sn.epoch)
+		if ok {
 			return outcome{xs: v.xs, hist: v.hist, fallback: v.fallback, cached: true}
 		}
+		stale = st
 	}
-	view, fallback := e.ix.GetTravelTimesWith(sc, sub.path, iv, sub.filter, sub.beta)
+	view, fallback := sn.ix.GetTravelTimesWith(sc, sub.path, iv, sub.filter, sub.beta)
 	if len(view) == 0 {
 		if e.cache != nil {
-			e.cache.put(sub.path, iv, sub.filter, sub.beta, subValue{})
+			e.cache.put(sub.path, iv, sub.filter, sub.beta, sn.epoch, subValue{})
 		}
-		return outcome{}
+		return outcome{stale: stale}
 	}
 	xs := make([]int, len(view))
 	copy(xs, view)
 	hg := hist.FromSamples(xs, e.cfg.BucketWidth)
 	if e.cache != nil {
-		e.cache.put(sub.path, iv, sub.filter, sub.beta, subValue{xs: xs, hist: hg, fallback: fallback})
+		e.cache.put(sub.path, iv, sub.filter, sub.beta, sn.epoch, subValue{xs: xs, hist: hg, fallback: fallback})
 	}
-	return outcome{xs: xs, hist: hg, fallback: fallback}
+	return outcome{xs: xs, hist: hg, fallback: fallback, stale: stale}
 }
 
 // count books an attempt's effort into the result counters.
 func (e *Engine) count(r *Result, o *outcome) {
+	if o.stale {
+		r.CacheInvalidations++
+	}
 	switch {
 	case o.skipped:
 		r.EstimatorSkips++
@@ -308,25 +397,35 @@ func (e *Engine) effective(base snt.Interval, done int, shiftS, shiftR int64) sn
 // reconciles, and the pass is pure speedup.
 func (e *Engine) TripQuery(q SPQ) Result {
 	start := time.Now()
+	// One snapshot per query: everything below — estimator, scans, cache
+	// stamps — reads this snapshot, so a concurrent Extend cannot shear a
+	// query across epochs.
+	sn := e.snap.Load()
+	staleFull := false
 	// The full-result cache short-circuits everything: a whole trip's final
 	// histogram and sub-queries are a deterministic function of the
-	// immutable index and the query key, so a hit returns the memoised
-	// (shared, immutable) outcome with no partitioning, scans or
-	// convolution.
+	// snapshot's immutable index and the query key, so an (epoch-matched)
+	// hit returns the memoised (shared, immutable) outcome with no
+	// partitioning, scans or convolution.
 	if e.full != nil {
-		if v, ok := e.full.get(q.Path, q.Interval, q.Filter, q.Beta); ok {
-			return Result{Hist: v.hist, Subs: v.subs, FullCacheHit: true, Elapsed: time.Since(start)}
+		v, ok, stale := e.full.get(q.Path, q.Interval, q.Filter, q.Beta, sn.epoch)
+		if ok {
+			return Result{Hist: v.hist, Subs: v.subs, FullCacheHit: true, Epoch: sn.epoch, Elapsed: time.Since(start)}
 		}
+		staleFull = stale
 		// The final Subs hold sub-paths sliced out of q.Path and are about
 		// to be retained engine-lifetime in the cache: rebind the query to
 		// a private copy so no cached result ever aliases caller memory.
 		q.Path = append(network.Path(nil), q.Path...)
 	}
-	var res Result
-	initial := e.initialSubs(q)
+	res := Result{Epoch: sn.epoch}
+	if staleFull {
+		res.CacheInvalidations++
+	}
+	initial := e.initialSubs(sn, q)
 	var spec []outcome
 	if w := e.workers(); w > 1 && len(initial) > 1 {
-		spec = e.speculate(initial, w)
+		spec = e.speculate(sn, initial, w)
 	}
 	sc := snt.AcquireScratch()
 	var shiftS, shiftR int64
@@ -343,10 +442,10 @@ func (e *Engine) TripQuery(q SPQ) Result {
 				res.accept(&sub, iv, &o, &shiftS, &shiftR)
 				continue
 			}
-			e.drain(e.relax(sub, iv), &res, &shiftS, &shiftR, sc)
+			e.drain(sn, e.relax(sn, sub, iv), &res, &shiftS, &shiftR, sc)
 			continue
 		}
-		e.drain([]subQ{sub}, &res, &shiftS, &shiftR, sc)
+		e.drain(sn, []subQ{sub}, &res, &shiftS, &shiftR, sc)
 	}
 	snt.ReleaseScratch(sc)
 	res.Hist = convolveSubs(res.Subs)
@@ -355,20 +454,20 @@ func (e *Engine) TripQuery(q SPQ) Result {
 		// from here on (the final histogram is never recycled, and Subs'
 		// samples/histograms are already shared through the sub-result
 		// cache contract).
-		e.full.put(q.Path, q.Interval, q.Filter, q.Beta, fullValue{hist: res.Hist, subs: res.Subs})
+		e.full.put(q.Path, q.Interval, q.Filter, q.Beta, sn.epoch, fullValue{hist: res.Hist, subs: res.Subs})
 	}
 	res.Elapsed = time.Since(start)
 	return res
 }
 
 // initialSubs partitions the query and applies the per-zone β overrides.
-func (e *Engine) initialSubs(q SPQ) []subQ {
-	parts := e.cfg.Partitioner.Partition(e.ix.Graph(), q)
+func (e *Engine) initialSubs(sn *snapshot, q SPQ) []subQ {
+	parts := e.cfg.Partitioner.Partition(sn.ix.Graph(), q)
 	subs := make([]subQ, 0, len(parts))
 	for _, s := range parts {
 		beta := s.Beta
 		if e.cfg.ZoneBetas != nil && beta > 0 {
-			if zb, ok := e.cfg.ZoneBetas[e.ix.Graph().Edge(s.Path[0]).Zone]; ok {
+			if zb, ok := e.cfg.ZoneBetas[sn.ix.Graph().Edge(s.Path[0]).Zone]; ok {
 				beta = zb
 			}
 		}
@@ -394,7 +493,7 @@ func (e *Engine) workers() int {
 // speculate is the parallel first pass: attempt every initial sub-query
 // concurrently with its un-shifted base interval. Each worker holds one
 // scratch for its whole batch.
-func (e *Engine) speculate(initial []subQ, workers int) []outcome {
+func (e *Engine) speculate(sn *snapshot, initial []subQ, workers int) []outcome {
 	if workers > len(initial) {
 		workers = len(initial)
 	}
@@ -412,7 +511,7 @@ func (e *Engine) speculate(initial []subQ, workers int) []outcome {
 				if i >= len(initial) {
 					return
 				}
-				out[i] = e.attempt(&initial[i], initial[i].base, sc)
+				out[i] = e.attempt(sn, &initial[i], initial[i].base, sc)
 			}
 		}()
 	}
@@ -423,15 +522,15 @@ func (e *Engine) speculate(initial []subQ, workers int) []outcome {
 // drain runs the sequential Procedure 6 loop over a queue seeded with one
 // (possibly already-relaxed) sub-query, prepending Procedure 1 relaxations
 // until the queue is empty.
-func (e *Engine) drain(queue []subQ, res *Result, shiftS, shiftR *int64, sc *snt.Scratch) {
+func (e *Engine) drain(sn *snapshot, queue []subQ, res *Result, shiftS, shiftR *int64, sc *snt.Scratch) {
 	for len(queue) > 0 {
 		sub := queue[0]
 		queue = queue[1:]
 		iv := e.effective(sub.base, len(res.Subs), *shiftS, *shiftR)
-		o := e.attempt(&sub, iv, sc)
+		o := e.attempt(sn, &sub, iv, sc)
 		e.count(res, &o)
 		if !o.success() {
-			queue = append(e.relax(sub, iv), queue...)
+			queue = append(e.relax(sn, sub, iv), queue...)
 			continue
 		}
 		res.accept(&sub, iv, &o, shiftS, shiftR)
@@ -477,7 +576,7 @@ func (e *Engine) widenIndexOf(iv snt.Interval) int {
 // αmin; then drop non-temporal predicates; finally fall back to all data in
 // the fixed interval [0, tmax) with no β. The returned sub-queries replace
 // the failed one at the front of the queue, preserving path order.
-func (e *Engine) relax(sub subQ, effective snt.Interval) []subQ {
+func (e *Engine) relax(sn *snapshot, sub subQ, effective snt.Interval) []subQ {
 	alphas := e.cfg.Alphas
 	if sub.base.IsPeriodic() && sub.widenIdx+1 < len(alphas) {
 		sub.widenIdx++
@@ -485,7 +584,7 @@ func (e *Engine) relax(sub subQ, effective snt.Interval) []subQ {
 		return []subQ{sub}
 	}
 	if len(sub.path) > 1 {
-		m := e.splitPoint(sub, effective)
+		m := e.splitPoint(sn, sub, effective)
 		mk := func(p network.Path) subQ {
 			child := subQ{path: p, base: sub.base, filter: sub.filter, beta: sub.beta}
 			if child.base.IsPeriodic() {
@@ -504,7 +603,7 @@ func (e *Engine) relax(sub subQ, effective snt.Interval) []subQ {
 		// speed-limit estimate for a single segment. Guard anyway.
 		return nil
 	}
-	_, tmax := e.ix.TimeRange()
+	_, tmax := sn.ix.TimeRange()
 	return []subQ{{
 		path:     sub.path,
 		base:     snt.NewFixed(0, tmax+1),
@@ -515,7 +614,7 @@ func (e *Engine) relax(sub subQ, effective snt.Interval) []subQ {
 }
 
 // splitPoint returns m so the path splits into P[0,m) and P[m,l).
-func (e *Engine) splitPoint(sub subQ, effective snt.Interval) int {
+func (e *Engine) splitPoint(sn *snapshot, sub subQ, effective snt.Interval) int {
 	l := len(sub.path)
 	if e.cfg.Splitter == SigmaR || sub.beta <= 0 {
 		return l / 2
@@ -524,12 +623,12 @@ func (e *Engine) splitPoint(sub subQ, effective snt.Interval) int {
 	// non-increasing in m, so binary search with exact counting scans
 	// (capped at β) — this is the expense Figure 9 charges to σL.
 	lo, hi := 1, l-1 // invariant: count(lo) >= β assumed, answer in [lo, hi]
-	if e.ix.CountMatches(sub.path[:1], effective, sub.filter, sub.beta) < sub.beta {
+	if sn.ix.CountMatches(sub.path[:1], effective, sub.filter, sub.beta) < sub.beta {
 		return 1 // even a single segment falls short; minimal prefix
 	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if e.ix.CountMatches(sub.path[:mid], effective, sub.filter, sub.beta) >= sub.beta {
+		if sn.ix.CountMatches(sub.path[:mid], effective, sub.filter, sub.beta) >= sub.beta {
 			lo = mid
 		} else {
 			hi = mid - 1

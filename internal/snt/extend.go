@@ -1,6 +1,7 @@
 package snt
 
 import (
+	"errors"
 	"fmt"
 
 	"pathhist/internal/fmindex"
@@ -10,24 +11,68 @@ import (
 	"pathhist/internal/traj"
 )
 
-// Extend appends a batch of newer trajectories to the index as one
-// additional temporal partition — the batch-update path that temporal
-// partitioning exists for (Section 4.3.2): the FM-index does not support
-// appends, so the batch gets its own trajectory string, suffix array and
-// wavelet tree, while the frozen temporal columns (append-only, like the
-// CSS-tree they replace) absorb the new records in place.
+// ErrSuperseded is returned by Extend when the receiver has already been
+// extended: extension chains are strictly linear (see Extend).
+var ErrSuperseded = errors.New("snt: index snapshot already extended; extend the newest snapshot")
+
+// Extend returns a new index covering the receiver's trajectories plus a
+// batch of newer ones, added as one additional temporal partition — the
+// batch-update path that temporal partitioning exists for (Section 4.3.2):
+// the FM-index does not support appends, so the batch gets its own
+// trajectory string, suffix array and wavelet tree, while the frozen
+// temporal columns absorb the new records append-only (like the CSS-tree
+// they replace).
+//
+// Extend is copy-on-write: the receiver is never modified and remains a
+// fully consistent, queryable snapshot, so readers that hold it are
+// unaffected — publishing the returned index to concurrent readers through
+// an atomic pointer swap gives non-blocking batch ingestion (the pattern
+// query.Engine.Extend implements). Unchanged state (FM-index partitions,
+// per-segment columns without new records) is shared between the snapshots;
+// shared slices may also share spare append capacity, which makes extension
+// chains strictly linear: only the newest snapshot may be extended, and
+// extending an older one fails with ErrSuperseded.
 //
 // Every trajectory in the batch must start after the currently indexed data
 // ends (partitions are ordered by start time); the batch's trajectory ids
 // are reassigned to continue the index's id space, and the batch store is
-// sorted by start time as a side effect.
-func (ix *Index) Extend(add *traj.Store) error {
+// sorted by start time as a side effect. An empty or nil batch returns the
+// receiver itself.
+func (ix *Index) Extend(add *traj.Store) (*Index, error) {
 	if add == nil || add.Len() == 0 {
-		return nil
+		return ix, nil
 	}
+	// Validate the batch before anything else: Extend is reachable from
+	// untrusted input through the serving layer, and an out-of-range edge
+	// id would otherwise panic deep inside suffix-array construction.
+	for i := range add.All() {
+		tr := &add.All()[i]
+		for _, e := range tr.Seq {
+			if int(e.Edge) < 0 || int(e.Edge) >= ix.g.NumEdges() {
+				return nil, fmt.Errorf("snt: batch trajectory %d: edge id %d out of range [0, %d)",
+					i, e.Edge, ix.g.NumEdges())
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("snt: batch %w", err)
+		}
+	}
+	// Try-acquire the exclusive right to extend this snapshot. The deferred
+	// release covers every non-committed exit — rejected batches and
+	// panics alike leave the snapshot extendable (no shared state has been
+	// touched before the commit point).
+	if ix.superseded.Swap(true) {
+		return nil, ErrSuperseded
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			ix.superseded.Store(false)
+		}
+	}()
 	add.SortByStart()
 	if minStart := add.All()[0].StartTime(); minStart <= ix.tmax {
-		return fmt.Errorf("snt: batch starts at %d, inside indexed range ending %d",
+		return nil, fmt.Errorf("snt: batch starts at %d, inside indexed range ending %d",
 			minStart, ix.tmax)
 	}
 	w := len(ix.parts)
@@ -48,8 +93,7 @@ func (ix *Index) Extend(add *traj.Store) error {
 	isa := suffix.Inverse(sa)
 	bwt := suffix.BWT(text, sa)
 
-	// Collect the forest batch (and validate it) before committing any
-	// index state, so a failed Extend leaves the index untouched.
+	// Collect the forest batch and the new per-partition ToD histograms.
 	fb := temporal.NewForestBuilder(ix.opts.Tree)
 	var todNew []*hist.TodHistogram
 	if ix.tod != nil {
@@ -88,22 +132,36 @@ func (ix *Index) Extend(add *traj.Store) error {
 			maxDur = d
 		}
 	}
-	if err := ix.frozen.Extend(fb); err != nil {
-		return err
+	frozen, err := ix.frozen.Extend(fb)
+	if err != nil {
+		return nil, err
 	}
 
-	// Commit.
-	ix.parts = append(ix.parts, partition{fm: fmindex.FromBWT(bwt, ix.alphabet)})
+	// Assemble the new snapshot. parts and tod are copied outright (they are
+	// tiny); users grows by plain append — any shared spare capacity is
+	// written only beyond the receiver's visible length, which the
+	// superseded flag keeps single-writer.
+	nix := &Index{
+		g:          ix.g,
+		opts:       ix.opts,
+		parts:      append(ix.parts[:len(ix.parts):len(ix.parts)], partition{fm: fmindex.FromBWT(bwt, ix.alphabet)}),
+		frozen:     frozen,
+		users:      ix.users,
+		tmin:       ix.tmin,
+		tmax:       newMax,
+		maxTrajDur: maxDur,
+		alphabet:   ix.alphabet,
+		stats:      ix.stats,
+	}
 	for i := range add.All() {
-		ix.users = append(ix.users, add.All()[i].User)
+		nix.users = append(nix.users, add.All()[i].User)
 	}
 	if ix.tod != nil {
-		ix.tod = append(ix.tod, todNew)
+		nix.tod = append(ix.tod[:len(ix.tod):len(ix.tod)], todNew)
 	}
-	ix.tmax = newMax
-	ix.maxTrajDur = maxDur
-	ix.stats.Partitions = len(ix.parts)
-	ix.stats.Records += records
-	ix.stats.Trajs += add.Len()
-	return nil
+	nix.stats.Partitions = len(nix.parts)
+	nix.stats.Records += records
+	nix.stats.Trajs += add.Len()
+	committed = true
+	return nix, nil
 }

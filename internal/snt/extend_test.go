@@ -37,12 +37,22 @@ func TestExtendMatchesFullBuild(t *testing.T) {
 		// synthStore trips never span days, so requiring strictly later
 		// start works unless two trips share a timestamp. Shift the batch
 		// check by rebuilding only when valid.
-		ext := Build(g, first, Options{Tree: kind, TodBucketSeconds: 900})
-		if err := ext.Extend(second); err != nil {
+		base := Build(g, first, Options{Tree: kind, TodBucketSeconds: 900})
+		ext, err := base.Extend(second)
+		if err != nil {
 			t.Fatalf("%v: Extend: %v", kind, err)
 		}
 		if ext.NumPartitions() != 2 {
 			t.Fatalf("partitions = %d", ext.NumPartitions())
+		}
+		// Copy-on-write: the pre-extend snapshot is untouched.
+		if base.NumPartitions() != 1 || base.Stats().Trajs != first.Len() {
+			t.Fatalf("%v: Extend mutated the source snapshot", kind)
+		}
+		// Extension chains are linear: the superseded snapshot refuses a
+		// second extension instead of corrupting shared capacity.
+		if _, err := base.Extend(second); err == nil {
+			t.Fatalf("%v: superseded snapshot accepted a second Extend", kind)
 		}
 
 		paths := []network.Path{
@@ -82,7 +92,8 @@ func TestExtendUserMapping(t *testing.T) {
 	first, second := splitStore(s)
 	ix := Build(g, first, Options{})
 	nBefore := first.Len()
-	if err := ix.Extend(second); err != nil {
+	ix, err := ix.Extend(second)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// New trajectory ids continue the id space with correct users.
@@ -108,23 +119,52 @@ func TestExtendRejectsOverlappingBatch(t *testing.T) {
 	g, _, s := synthStore(t, 10, 10)
 	first, second := splitStore(s)
 	ix := Build(g, second, Options{}) // index the LATER half
-	if err := ix.Extend(first); err == nil {
+	if _, err := ix.Extend(first); err == nil {
 		t.Fatal("overlapping (earlier) batch accepted")
 	}
-	// Failed extends leave the index usable and unchanged.
+	// Failed extends leave the index usable, unchanged, and still
+	// extendable (the superseded flag is released on rejection).
 	if ix.NumPartitions() != 1 || ix.Stats().Trajs != second.Len() {
 		t.Fatal("failed Extend mutated the index")
+	}
+	if ix.superseded.Load() {
+		t.Fatal("rejected Extend left the snapshot superseded")
+	}
+}
+
+// TestExtendRejectsInvalidBatch: Extend is reachable from untrusted input
+// through the serving layer, so malformed batches must be rejected up
+// front instead of panicking inside suffix-array construction — and the
+// rejection must leave the snapshot extendable.
+func TestExtendRejectsInvalidBatch(t *testing.T) {
+	g, _, s := synthStore(t, 5, 5)
+	ix := Build(g, s, Options{})
+	far := int64(1) << 40 // safely after the indexed range
+
+	badEdge := traj.NewStore()
+	badEdge.Add(0, []traj.Entry{{Edge: network.EdgeID(g.NumEdges() + 7), T: far, TT: 5}})
+	if _, err := ix.Extend(badEdge); err == nil {
+		t.Fatal("out-of-range edge id accepted")
+	}
+	badTT := traj.NewStore()
+	badTT.Add(0, []traj.Entry{{Edge: 0, T: far, TT: 0}})
+	if _, err := ix.Extend(badTT); err == nil {
+		t.Fatal("non-positive TT accepted")
+	}
+	if ix.superseded.Load() {
+		t.Fatal("rejected batch left the snapshot superseded")
 	}
 }
 
 func TestExtendEmptyBatch(t *testing.T) {
 	g, _, s := synthStore(t, 5, 5)
 	ix := Build(g, s, Options{})
-	if err := ix.Extend(traj.NewStore()); err != nil {
-		t.Fatalf("empty batch: %v", err)
+	same, err := ix.Extend(traj.NewStore())
+	if err != nil || same != ix {
+		t.Fatalf("empty batch: %v (same snapshot: %v)", err, same == ix)
 	}
-	if err := ix.Extend(nil); err != nil {
-		t.Fatalf("nil batch: %v", err)
+	if same, err = ix.Extend(nil); err != nil || same != ix {
+		t.Fatalf("nil batch: %v (same snapshot: %v)", err, same == ix)
 	}
 	if ix.NumPartitions() != 1 {
 		t.Fatal("empty batch changed partitions")
@@ -145,10 +185,11 @@ func TestExtendRepeatedBatches(t *testing.T) {
 		return out
 	}
 	ix := Build(g, mk(0, third), Options{Tree: temporal.CSS})
-	if err := ix.Extend(mk(third, 2*third)); err != nil {
+	ix, err := ix.Extend(mk(third, 2*third))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ix.Extend(mk(2*third, s.Len())); err != nil {
+	if ix, err = ix.Extend(mk(2*third, s.Len())); err != nil {
 		t.Fatal(err)
 	}
 	if ix.NumPartitions() != 3 {

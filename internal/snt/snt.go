@@ -10,6 +10,7 @@ package snt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pathhist/internal/fmindex"
@@ -61,6 +62,12 @@ type Index struct {
 	maxTrajDur int64
 	alphabet   int
 	stats      BuildStats
+
+	// superseded flips once this snapshot has been extended. Extend shares
+	// spare column/slice capacity with the snapshot it returns, so extension
+	// chains must be linear: only the newest snapshot may be extended again.
+	// The flag turns a violation into an error instead of silent corruption.
+	superseded atomic.Bool
 }
 
 // BuildStats reports what Build did (Figure 10c).

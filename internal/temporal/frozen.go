@@ -20,9 +20,9 @@ import (
 // FrozenIndex is Φe in frozen columnar form. The exported columns share one
 // index space: record i is (Ts[i], Traj[i], Seq[i], W[i], ISA[i], A[i],
 // TT[i]), and Ts is sorted ascending with ties in the same stable order the
-// source tree stored them. All columns are immutable after freezing (Extend
-// is the single-writer exception, mirroring the build path); any number of
-// goroutines may read them concurrently.
+// source tree stored them. All columns are immutable after freezing — a
+// FrozenIndex is never mutated; Extend produces a new snapshot by
+// copy-on-write — so any number of goroutines may read one concurrently.
 //
 // W is nil while every record lives in partition 0 — the single-partition
 // layout the paper credits with the memory saving of dropping the partition
@@ -120,9 +120,27 @@ func (fx *FrozenIndex) SizeBytes() int {
 	return sz
 }
 
-// appendBatch extends the columns with a sorted batch whose timestamps all
-// follow the current maximum (validated by the caller).
-func (fx *FrozenIndex) appendBatch(ts []int64, recs []Record) {
+// extended returns a new FrozenIndex whose columns are the receiver's
+// followed by the sorted batch. The receiver is not modified: readers
+// holding it keep a consistent view forever. Column memory is shared where
+// append can reuse spare capacity — the batch's values land beyond the
+// receiver's visible length, which readers of the old snapshot never
+// index — so the amortised cost is O(batch), not O(history). The sharing
+// makes extension chains strictly linear: extending the same snapshot
+// twice would write the same spare capacity twice. snt.Index enforces
+// linearity with its superseded flag; publication of the new snapshot to
+// concurrent readers must happen through an atomic pointer swap (or
+// equivalent happens-before edge).
+func (fx *FrozenIndex) extended(ts []int64, recs []Record) *FrozenIndex {
+	nfx := &FrozenIndex{
+		Ts:   append(fx.Ts, ts...),
+		Traj: fx.Traj,
+		Seq:  fx.Seq,
+		W:    fx.W,
+		ISA:  fx.ISA,
+		A:    fx.A,
+		TT:   fx.TT,
+	}
 	needW := fx.W != nil
 	if !needW {
 		for i := range recs {
@@ -131,22 +149,24 @@ func (fx *FrozenIndex) appendBatch(ts []int64, recs []Record) {
 				break
 			}
 		}
-		if needW && len(fx.Ts) > 0 {
-			fx.W = make([]int32, len(fx.Ts), len(fx.Ts)+len(ts))
+		if needW {
+			// First record outside partition 0: materialise the elided
+			// column with an all-zero prefix for the existing records.
+			nfx.W = make([]int32, len(fx.Traj), len(fx.Traj)+len(recs))
 		}
 	}
-	fx.Ts = append(fx.Ts, ts...)
 	for i := range recs {
 		r := &recs[i]
-		fx.Traj = append(fx.Traj, r.Traj)
-		fx.Seq = append(fx.Seq, r.Seq)
-		fx.ISA = append(fx.ISA, r.ISA)
-		fx.A = append(fx.A, r.A)
-		fx.TT = append(fx.TT, r.TT)
+		nfx.Traj = append(nfx.Traj, r.Traj)
+		nfx.Seq = append(nfx.Seq, r.Seq)
+		nfx.ISA = append(nfx.ISA, r.ISA)
+		nfx.A = append(nfx.A, r.A)
+		nfx.TT = append(nfx.TT, r.TT)
 		if needW {
-			fx.W = append(fx.W, r.W)
+			nfx.W = append(nfx.W, r.W)
 		}
 	}
+	return nfx
 }
 
 // FrozenForest is F frozen: one immutable columnar index per segment with
@@ -199,27 +219,33 @@ func (f *FrozenForest) SizeBytes() int {
 	return sz
 }
 
-// Extend appends a batch of newer records (the batch-update path of Section
+// Extend returns a new forest holding the receiver's records followed by
+// the builder's batch of newer records (the batch-update path of Section
 // 4.3.2). The frozen columns are append-only exactly like the CSS-tree:
 // per segment, every new record must carry a timestamp at or after the
-// segment's current maximum. The whole batch is validated before any column
-// is touched, so a failed Extend leaves the forest unchanged. Extend is a
-// write and requires the same exclusive access as index construction.
-func (f *FrozenForest) Extend(b *ForestBuilder) error {
+// segment's current maximum. The whole batch is validated up front, and the
+// receiver is never modified — it remains a fully consistent snapshot for
+// concurrent readers (copy-on-write publication; see FrozenIndex.extended
+// for the column-sharing contract and its linear-chain requirement).
+// Untouched segments share their FrozenIndex with the new forest.
+func (f *FrozenForest) Extend(b *ForestBuilder) (*FrozenForest, error) {
 	batches := b.sortedBatches()
 	for _, sb := range batches {
 		if fx := f.idx[sb.e]; fx != nil && len(sb.ts) > 0 && sb.ts[0] < fx.MaxKey() {
-			return fmt.Errorf("temporal: segment %d batch starts at %d before existing max %d",
+			return nil, fmt.Errorf("temporal: segment %d batch starts at %d before existing max %d",
 				sb.e, sb.ts[0], fx.MaxKey())
 		}
 	}
+	nf := &FrozenForest{idx: make(map[network.EdgeID]*FrozenIndex, len(f.idx)+len(batches))}
+	for e, fx := range f.idx {
+		nf.idx[e] = fx
+	}
 	for _, sb := range batches {
-		fx := f.idx[sb.e]
+		fx := nf.idx[sb.e]
 		if fx == nil {
 			fx = &FrozenIndex{}
-			f.idx[sb.e] = fx
 		}
-		fx.appendBatch(sb.ts, sb.recs)
+		nf.idx[sb.e] = fx.extended(sb.ts, sb.recs)
 	}
-	return nil
+	return nf, nil
 }

@@ -105,9 +105,15 @@ func TestFrozenExtendMatchesForestExtend(t *testing.T) {
 		t := int64(3000 + rng.Intn(500)) // strictly after every base key
 		batch.Add(e, t, Record{Traj: traj.ID(i), Seq: int32(i % 9), TT: 5, A: 10, W: 3, ISA: int32(i)})
 	}
-	if err := ff.Extend(batch); err != nil {
+	before := ff.NumRecords()
+	ext, err := ff.Extend(batch)
+	if err != nil {
 		t.Fatal(err)
 	}
+	if ff.NumRecords() != before {
+		t.Fatalf("Extend mutated the source snapshot: %d records, had %d", ff.NumRecords(), before)
+	}
+	ff = ext
 	if err := f.Extend(batch); err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +143,7 @@ func TestFrozenExtendRejectsOld(t *testing.T) {
 	before := ff.NumRecords()
 	bad := NewForestBuilder(CSS)
 	bad.Add(0, -1, Record{})
-	if err := ff.Extend(bad); err == nil {
+	if ext, err := ff.Extend(bad); err == nil || ext != nil {
 		t.Fatal("stale batch accepted")
 	}
 	if ff.NumRecords() != before {
@@ -161,14 +167,18 @@ func TestFrozenWColumnElision(t *testing.T) {
 
 	batch := NewForestBuilder(CSS)
 	batch.Add(1, 100, Record{W: 1})
-	if err := ff.Extend(batch); err != nil {
+	ext, err := ff.Extend(batch)
+	if err != nil {
 		t.Fatal(err)
 	}
-	fx = ff.Get(1)
+	if ff.Get(1).W != nil {
+		t.Fatal("Extend materialised W on the source snapshot")
+	}
+	fx = ext.Get(1)
 	if len(fx.W) != 11 || fx.W[9] != 0 || fx.W[10] != 1 {
 		t.Fatalf("W column after extend = %v", fx.W)
 	}
-	if ff.SizeBytes() <= withW {
+	if ext.SizeBytes() <= withW {
 		t.Fatal("materialised W column should grow the footprint")
 	}
 }

@@ -83,8 +83,19 @@ func ReadStore(r io.Reader) (*Store, error) {
 		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
 			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
 		}
-		seq := make([]Entry, l)
-		for j := range seq {
+		if l == 0 {
+			return nil, fmt.Errorf("traj: trajectory %d: empty sequence", i)
+		}
+		// The length prefix is untrusted (batches arrive over HTTP): grow
+		// the sequence incrementally instead of trusting l for one huge
+		// up-front allocation — a lying prefix then fails with a short read
+		// after at most doubling the bytes actually present.
+		capHint := int(l)
+		if capHint > 4096 {
+			capHint = 4096
+		}
+		seq := make([]Entry, 0, capHint)
+		for j := uint32(0); j < l; j++ {
 			var edge, tt int32
 			var t int64
 			if err := binary.Read(br, binary.LittleEndian, &edge); err != nil {
@@ -96,7 +107,7 @@ func ReadStore(r io.Reader) (*Store, error) {
 			if err := binary.Read(br, binary.LittleEndian, &tt); err != nil {
 				return nil, fmt.Errorf("traj: trajectory %d entry %d: %w", i, j, err)
 			}
-			seq[j] = Entry{Edge: network.EdgeID(edge), T: t, TT: tt}
+			seq = append(seq, Entry{Edge: network.EdgeID(edge), T: t, TT: tt})
 		}
 		s.Add(UserID(user), seq)
 	}

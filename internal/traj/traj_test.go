@@ -193,6 +193,17 @@ func TestReadStoreErrors(t *testing.T) {
 	if _, err := ReadStore(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated input accepted")
 	}
+	// Hostile length prefixes (the format is accepted over HTTP via
+	// /extend): a huge per-trajectory length must fail with a read error,
+	// not a multi-GiB up-front allocation, and a zero length is invalid.
+	hostile := []byte{'N', 'C', 'T', '1', 1, 0, 0, 0 /* count=1 */, 0, 0, 0, 0 /* user */, 0xFF, 0xFF, 0xFF, 0xFF /* l */}
+	if _, err := ReadStore(bytes.NewReader(hostile)); err == nil {
+		t.Error("huge length prefix accepted")
+	}
+	empty := []byte{'N', 'C', 'T', '1', 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0 /* l=0 */}
+	if _, err := ReadStore(bytes.NewReader(empty)); err == nil {
+		t.Error("zero-length trajectory accepted")
+	}
 }
 
 // Property: SplitGaps never loses or reorders entries and every split point

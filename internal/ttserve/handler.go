@@ -1,9 +1,14 @@
 // Package ttserve implements the HTTP JSON handler behind cmd/ttserve: a
 // thin, concurrency-safe service layer over a pathhist.Engine. One Engine
 // is shared by all requests without additional locking — the engine is safe
-// for concurrent use (immutable index, per-query scratch state, internally
-// synchronised sub-result cache; DESIGN.md §6), so the handler's
+// for concurrent use (immutable index snapshots, per-query scratch state,
+// internally synchronised caches; DESIGN.md §6), so the handler's
 // concurrency model is simply net/http's goroutine-per-request.
+//
+// When live ingestion is enabled (Config.EnableExtend), POST /extend
+// accepts a trajectory batch in the traj binary format (Store.WriteTo) and
+// publishes it through Engine.Extend: queries keep flowing while the batch
+// is indexed, and the response reports the newly published epoch.
 package ttserve
 
 import (
@@ -12,37 +17,73 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"pathhist"
 )
 
+// Config parameterises the handler.
+type Config struct {
+	// EnableExtend registers the POST /extend ingestion endpoint. Off by
+	// default: ingestion changes served results, so exposing it is an
+	// explicit deployment decision (cmd/ttserve: -enable-extend).
+	EnableExtend bool
+	// MaxExtendBytes caps the accepted /extend request body size
+	// (DefaultMaxExtendBytes when 0).
+	MaxExtendBytes int64
+}
+
+// DefaultMaxExtendBytes is the default /extend body cap (64 MiB).
+const DefaultMaxExtendBytes = 64 << 20
+
 // Response is the JSON shape of a /query answer.
 type Response struct {
-	MeanSeconds  float64       `json:"mean_seconds"`
-	P05          float64       `json:"p05_seconds"`
-	P50          float64       `json:"p50_seconds"`
-	P95          float64       `json:"p95_seconds"`
-	SubQueries   []SubResponse `json:"sub_queries"`
-	IndexScans   int           `json:"index_scans"`
-	CacheHits    int           `json:"cache_hits"`
-	CacheMisses  int           `json:"cache_misses"`
-	FullCacheHit bool          `json:"full_cache_hit,omitempty"`
-	Histogram    []Bucket      `json:"histogram"`
+	MeanSeconds   float64       `json:"mean_seconds"`
+	P05           float64       `json:"p05_seconds"`
+	P50           float64       `json:"p50_seconds"`
+	P95           float64       `json:"p95_seconds"`
+	Empty         bool          `json:"empty,omitempty"` // no histogram mass; quantiles are zero
+	SubQueries    []SubResponse `json:"sub_queries"`
+	IndexScans    int           `json:"index_scans"`
+	CacheHits     int           `json:"cache_hits"`
+	CacheMisses   int           `json:"cache_misses"`
+	Invalidations int           `json:"cache_invalidations,omitempty"`
+	FullCacheHit  bool          `json:"full_cache_hit,omitempty"`
+	Epoch         uint64        `json:"epoch"`
+	Histogram     []Bucket      `json:"histogram"`
 }
 
 // Stats is the JSON shape of a /statsz answer: cumulative engine-level
-// observability for capacity planning and cache tuning.
+// observability for capacity planning, cache tuning and ingest monitoring.
 type Stats struct {
-	Partitions        int     `json:"partitions"`
-	CacheHits         int64   `json:"cache_hits"`
-	CacheMisses       int64   `json:"cache_misses"`
-	CacheEntries      int     `json:"cache_entries"`
-	CacheHitRatio     float64 `json:"cache_hit_ratio"`
-	FullCacheHits     int64   `json:"full_cache_hits"`
-	FullCacheMisses   int64   `json:"full_cache_misses"`
-	FullCacheEntries  int     `json:"full_cache_entries"`
-	FullCacheHitRatio float64 `json:"full_cache_hit_ratio"`
-	IndexBytes        int     `json:"index_bytes"`
+	Partitions             int     `json:"partitions"`
+	Epoch                  uint64  `json:"epoch"`
+	Trajectories           int     `json:"trajectories"`
+	CacheHits              int64   `json:"cache_hits"`
+	CacheMisses            int64   `json:"cache_misses"`
+	CacheInvalidations     int64   `json:"cache_invalidations"`
+	CacheEntries           int     `json:"cache_entries"`
+	CacheHitRatio          float64 `json:"cache_hit_ratio"`
+	FullCacheHits          int64   `json:"full_cache_hits"`
+	FullCacheMisses        int64   `json:"full_cache_misses"`
+	FullCacheInvalidations int64   `json:"full_cache_invalidations"`
+	FullCacheEntries       int     `json:"full_cache_entries"`
+	FullCacheHitRatio      float64 `json:"full_cache_hit_ratio"`
+	IndexBytes             int     `json:"index_bytes"`
+	ExtendEnabled          bool    `json:"extend_enabled"`
+	Extends                int64   `json:"extends"`
+	ExtendTrajectories     int64   `json:"extend_trajectories"`
+	ExtendRejects          int64   `json:"extend_rejects"`
+	LastExtendUnix         int64   `json:"last_extend_unix,omitempty"`
+}
+
+// ExtendResponse is the JSON shape of a successful /extend answer.
+type ExtendResponse struct {
+	Trajectories int     `json:"trajectories"`
+	Epoch        uint64  `json:"epoch"`
+	Total        int     `json:"total_trajectories"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
 }
 
 // SubResponse describes one final sub-query.
@@ -60,54 +101,130 @@ type Bucket struct {
 	Fraction float64 `json:"fraction"`
 }
 
-// NewHandler returns the service mux for an engine.
+// server carries the shared engine plus the handler-level ingest counters
+// surfaced in /statsz.
+type server struct {
+	eng *pathhist.Engine
+	cfg Config
+
+	extends        atomic.Int64
+	extendTrajs    atomic.Int64
+	extendRejects  atomic.Int64
+	lastExtendUnix atomic.Int64
+}
+
+// NewHandler returns the service mux for an engine with the default
+// configuration (ingestion disabled).
 func NewHandler(eng *pathhist.Engine) http.Handler {
+	return NewHandlerWith(eng, Config{})
+}
+
+// NewHandlerWith returns the service mux for an engine.
+func NewHandlerWith(eng *pathhist.Engine, cfg Config) http.Handler {
+	if cfg.MaxExtendBytes <= 0 {
+		cfg.MaxExtendBytes = DefaultMaxExtendBytes
+	}
+	s := &server{eng: eng, cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
-		cs := eng.CacheStats()
-		fs := eng.FullCacheStats()
-		c, wt, user, forest := eng.IndexMemory()
-		st := Stats{
-			Partitions:       eng.Partitions(),
-			CacheHits:        cs.Hits,
-			CacheMisses:      cs.Misses,
-			CacheEntries:     cs.Entries,
-			FullCacheHits:    fs.Hits,
-			FullCacheMisses:  fs.Misses,
-			FullCacheEntries: fs.Entries,
-			IndexBytes:       c + wt + user + forest,
-		}
-		if total := cs.Hits + cs.Misses; total > 0 {
-			st.CacheHitRatio = float64(cs.Hits) / float64(total)
-		}
-		if total := fs.Hits + fs.Misses; total > 0 {
-			st.FullCacheHitRatio = float64(fs.Hits) / float64(total)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(st)
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parseQuery(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		res, err := eng.Query(q)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(toResponse(res)); err != nil {
-			// Too late for a status change; the connection is gone.
-			return
-		}
-	})
+	mux.HandleFunc("/statsz", s.statsz)
+	mux.HandleFunc("/query", s.query)
+	if cfg.EnableExtend {
+		mux.HandleFunc("/extend", s.extend)
+	}
 	return mux
+}
+
+func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
+	cs := s.eng.CacheStats()
+	fs := s.eng.FullCacheStats()
+	c, wt, user, forest := s.eng.IndexMemory()
+	st := Stats{
+		Partitions:             s.eng.Partitions(),
+		Epoch:                  s.eng.Epoch(),
+		Trajectories:           s.eng.Trajectories(),
+		CacheHits:              cs.Hits,
+		CacheMisses:            cs.Misses,
+		CacheInvalidations:     cs.Invalidations,
+		CacheEntries:           cs.Entries,
+		FullCacheHits:          fs.Hits,
+		FullCacheMisses:        fs.Misses,
+		FullCacheInvalidations: fs.Invalidations,
+		FullCacheEntries:       fs.Entries,
+		IndexBytes:             c + wt + user + forest,
+		ExtendEnabled:          s.cfg.EnableExtend,
+		Extends:                s.extends.Load(),
+		ExtendTrajectories:     s.extendTrajs.Load(),
+		ExtendRejects:          s.extendRejects.Load(),
+		LastExtendUnix:         s.lastExtendUnix.Load(),
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		st.CacheHitRatio = float64(cs.Hits) / float64(total)
+	}
+	if total := fs.Hits + fs.Misses; total > 0 {
+		st.FullCacheHitRatio = float64(fs.Hits) / float64(total)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.eng.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(toResponse(res)); err != nil {
+		// Too late for a status change; the connection is gone.
+		return
+	}
+}
+
+// extend ingests a trajectory batch: the request body is the traj binary
+// format (pathhist.Store.WriteTo / ReadStore — the same bytes ttgen writes
+// to trajectories.bin). Malformed bodies are 400s; well-formed batches the
+// engine rejects (e.g. overlapping the indexed time range) are 422s.
+func (s *server) extend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a traj-format batch to /extend", http.StatusMethodNotAllowed)
+		return
+	}
+	started := time.Now()
+	batch, err := pathhist.ReadStore(http.MaxBytesReader(w, r.Body, s.cfg.MaxExtendBytes))
+	if err != nil {
+		s.extendRejects.Add(1)
+		http.Error(w, fmt.Sprintf("decoding batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	st, err := s.eng.Extend(batch)
+	if err != nil {
+		s.extendRejects.Add(1)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.extends.Add(1)
+	s.extendTrajs.Add(int64(batch.Len()))
+	s.lastExtendUnix.Store(time.Now().Unix())
+	w.Header().Set("Content-Type", "application/json")
+	// The response reports the publication this batch produced (from
+	// IngestStats), not a re-read of engine state a concurrent extend may
+	// already have advanced.
+	_ = json.NewEncoder(w).Encode(ExtendResponse{
+		Trajectories: batch.Len(),
+		Epoch:        st.Epoch,
+		Total:        st.TotalTrajectories,
+		ElapsedMs:    float64(time.Since(started).Microseconds()) / 1000,
+	})
 }
 
 // parseQuery decodes the /query parameters.
@@ -124,7 +241,13 @@ func parseQuery(r *http.Request) (pathhist.Query, error) {
 		}
 		q.Path = append(q.Path, pathhist.EdgeID(id))
 	}
-	if tod := r.URL.Query().Get("tod"); tod != "" {
+	tod := r.URL.Query().Get("tod")
+	from, hasFrom := r.URL.Query().Get("from"), false
+	until, hasUntil := r.URL.Query().Get("until"), false
+	if tod != "" && (from != "" || until != "") {
+		return q, fmt.Errorf("tod is mutually exclusive with from/until")
+	}
+	if tod != "" {
 		parts := strings.SplitN(tod, ":", 2)
 		if len(parts) != 2 {
 			return q, fmt.Errorf("bad tod %q, want HH:MM", tod)
@@ -134,11 +257,30 @@ func parseQuery(r *http.Request) (pathhist.Query, error) {
 		if err1 != nil || err2 != nil || hh < 0 || hh > 23 || mm < 0 || mm > 59 {
 			return q, fmt.Errorf("bad tod %q", tod)
 		}
-		// Any timestamp with this time of day works; day 1 avoids the
-		// zero value that means "fixed interval".
-		q.Around = 86400 + int64(hh*3600+mm*60)
+		q.Periodic = true
+		q.Around = int64(hh*3600 + mm*60)
+	}
+	if from != "" {
+		v, err := strconv.ParseInt(from, 10, 64)
+		if err != nil || v < 0 {
+			return q, fmt.Errorf("bad from %q", from)
+		}
+		q.From, hasFrom = v, true
+	}
+	if until != "" {
+		v, err := strconv.ParseInt(until, 10, 64)
+		if err != nil || v <= 0 {
+			return q, fmt.Errorf("bad until %q", until)
+		}
+		q.Until, hasUntil = v, true
+	}
+	if hasFrom && hasUntil && q.Until <= q.From {
+		return q, fmt.Errorf("until (%d) must be greater than from (%d)", q.Until, q.From)
 	}
 	if ws := r.URL.Query().Get("window"); ws != "" {
+		if tod == "" {
+			return q, fmt.Errorf("window requires tod")
+		}
 		w, err := strconv.ParseInt(ws, 10, 64)
 		if err != nil || w <= 0 {
 			return q, fmt.Errorf("bad window %q", ws)
@@ -165,14 +307,13 @@ func parseQuery(r *http.Request) (pathhist.Query, error) {
 
 func toResponse(res *pathhist.Result) Response {
 	out := Response{
-		MeanSeconds:  res.MeanSeconds,
-		P05:          res.Histogram.Quantile(0.05),
-		P50:          res.Histogram.Quantile(0.5),
-		P95:          res.Histogram.Quantile(0.95),
-		IndexScans:   res.IndexScans,
-		CacheHits:    res.CacheHits,
-		CacheMisses:  res.CacheMisses,
-		FullCacheHit: res.FullCacheHit,
+		MeanSeconds:   res.MeanSeconds,
+		IndexScans:    res.IndexScans,
+		CacheHits:     res.CacheHits,
+		CacheMisses:   res.CacheMisses,
+		Invalidations: res.CacheInvalidations,
+		FullCacheHit:  res.FullCacheHit,
+		Epoch:         res.Epoch,
 	}
 	for _, s := range res.Subs {
 		out.SubQueries = append(out.SubQueries, SubResponse{
@@ -183,6 +324,16 @@ func toResponse(res *pathhist.Result) Response {
 		})
 	}
 	h := res.Histogram
+	if h == nil || h.Total() == 0 {
+		// A zero-mass histogram would make every Fraction 0/0 = NaN, which
+		// json.Encoder rejects after the 200 header is already out (the
+		// client sees a truncated body). Flag the emptiness instead.
+		out.Empty = true
+		return out
+	}
+	out.P05 = h.Quantile(0.05)
+	out.P50 = h.Quantile(0.5)
+	out.P95 = h.Quantile(0.95)
 	w := h.BucketWidth()
 	total := h.Total()
 	lo := h.Min() / w * w

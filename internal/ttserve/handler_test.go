@@ -104,6 +104,71 @@ func TestQueryEndpointUserAndTod(t *testing.T) {
 	}
 }
 
+// TestToResponseEmptyHistogram is the regression test for the NaN bug: a
+// nil or zero-mass histogram must not divide by its total (Fraction NaN
+// breaks json.Encoder AFTER the 200 header, truncating the body) nor call
+// Quantile/Min on a zero-value histogram (division by a zero bucket
+// width). The response must flag emptiness and stay encodable.
+func TestToResponseEmptyHistogram(t *testing.T) {
+	for name, res := range map[string]*pathhist.Result{
+		"nil":      {Histogram: nil, MeanSeconds: 12},
+		"zeroMass": {Histogram: &pathhist.Histogram{}, MeanSeconds: 12},
+	} {
+		out := toResponse(res)
+		if !out.Empty || len(out.Histogram) != 0 {
+			t.Fatalf("%s: response = %+v, want empty flag and no buckets", name, out)
+		}
+		if out.P05 != 0 || out.P50 != 0 || out.P95 != 0 {
+			t.Fatalf("%s: quantiles of an empty histogram = %+v", name, out)
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			t.Fatalf("%s: response not encodable: %v", name, err)
+		}
+		var back Response
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: round trip: %v", name, err)
+		}
+	}
+}
+
+// TestQueryEndpointFromUntil: fixed intervals are expressible over HTTP.
+func TestQueryEndpointFromUntil(t *testing.T) {
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewHandler(eng))
+	defer srv.Close()
+	// [0, 6) covers only trajectory 0's A-B-E start (entry at t=0); the
+	// other full-path match enters A at t=6 and is excluded.
+	url := fmt.Sprintf("%s/query?path=%d,%d,%d&from=0&until=6&beta=5", srv.URL, ids["A"], ids["B"], ids["E"])
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SubQueries) != 1 || out.SubQueries[0].Samples != 1 {
+		t.Fatalf("subs = %+v, want exactly the t=0 traversal", out.SubQueries)
+	}
+	if math.Abs(out.MeanSeconds-11) > 1e-9 {
+		t.Errorf("mean = %v, want 11", out.MeanSeconds)
+	}
+	// A wider interval picks up the second full-path match.
+	wide, err := fetch(fmt.Sprintf("%s/query?path=%d,%d,%d&from=0&until=100&beta=5",
+		srv.URL, ids["A"], ids["B"], ids["E"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.SubQueries[0].Samples != 2 {
+		t.Fatalf("wide subs = %+v", wide.SubQueries)
+	}
+}
+
 func TestQueryEndpointErrors(t *testing.T) {
 	eng, ids := testEngine(t)
 	srv := httptest.NewServer(NewHandler(eng))
@@ -119,8 +184,15 @@ func TestQueryEndpointErrors(t *testing.T) {
 		{"bad tod", fmt.Sprintf("/query?path=%d&tod=25:99", ids["A"]), http.StatusBadRequest},
 		{"bad tod format", fmt.Sprintf("/query?path=%d&tod=8am", ids["A"]), http.StatusBadRequest},
 		{"bad window", fmt.Sprintf("/query?path=%d&window=-5", ids["A"]), http.StatusBadRequest},
+		{"window without tod", fmt.Sprintf("/query?path=%d&window=900", ids["A"]), http.StatusBadRequest},
 		{"bad beta", fmt.Sprintf("/query?path=%d&beta=x", ids["A"]), http.StatusBadRequest},
 		{"bad user", fmt.Sprintf("/query?path=%d&user=-2", ids["A"]), http.StatusBadRequest},
+		{"bad from", fmt.Sprintf("/query?path=%d&from=x", ids["A"]), http.StatusBadRequest},
+		{"bad until", fmt.Sprintf("/query?path=%d&until=-4", ids["A"]), http.StatusBadRequest},
+		{"until before from", fmt.Sprintf("/query?path=%d&from=100&until=50", ids["A"]), http.StatusBadRequest},
+		{"until equals from", fmt.Sprintf("/query?path=%d&from=100&until=100", ids["A"]), http.StatusBadRequest},
+		{"tod with from", fmt.Sprintf("/query?path=%d&tod=08:00&from=0", ids["A"]), http.StatusBadRequest},
+		{"tod with until", fmt.Sprintf("/query?path=%d&tod=08:00&until=50", ids["A"]), http.StatusBadRequest},
 		// <A, D> is not traversable: semantic error, 422.
 		{"untraversable", fmt.Sprintf("/query?path=%d,%d", ids["A"], ids["D"]), http.StatusUnprocessableEntity},
 	}

@@ -208,13 +208,19 @@ type Options struct {
 // Engine answers travel-time queries over an indexed trajectory set.
 //
 // An Engine is safe for concurrent use by any number of goroutines: the
-// index is immutable after construction, per-query scan state lives in
-// pooled scratch buffers, and the shared sub-result cache is internally
-// synchronised. A single Engine is meant to be shared by all request
-// handlers of a server (see internal/ttserve).
+// served index snapshot is immutable, per-query scan state lives in pooled
+// scratch buffers, and the shared caches are internally synchronised. A
+// single Engine is meant to be shared by all request handlers of a server
+// (see internal/ttserve).
+//
+// The one mutation an Engine supports is batch ingestion: Extend absorbs a
+// batch of newer trajectories by building a copy-on-write index snapshot
+// next to the serving one and publishing it atomically as a new epoch.
+// Queries never block on an Extend — in-flight queries finish against the
+// snapshot they started on, and cached results are epoch-stamped so none
+// ever crosses the boundary (see DESIGN.md §8).
 type Engine struct {
 	g  *network.Graph
-	ix *snt.Index
 	qe *query.Engine
 }
 
@@ -262,20 +268,49 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 		DisableFullResultCache:  opts.DisableFullResultCache,
 		FullResultCacheCapacity: opts.FullResultCacheCapacity,
 	}
-	return &Engine{g: g, ix: ix, qe: query.NewEngine(ix, cfg)}, nil
+	return &Engine{g: g, qe: query.NewEngine(ix, cfg)}, nil
 }
 
-// Query describes a travel-time question.
+// IngestStats describes the snapshot one Extend published.
+type IngestStats = query.IngestStats
+
+// Extend ingests a batch of newer trajectories without rebuilding the
+// engine or blocking queries. Every trajectory in the batch must start
+// after the currently indexed data ends (the temporal-partitioning
+// precondition of the paper's Section 4.3.2); the batch becomes one new
+// temporal partition, the cardinality estimator is refreshed, and the
+// post-extend index state is published atomically as a new epoch (reported
+// in the returned IngestStats). The batch store is sorted by start time as
+// a side effect and its trajectory ids are reassigned to continue the
+// engine's id space. Concurrent Extend calls are serialised; a rejected
+// batch leaves the engine unchanged.
+func (e *Engine) Extend(batch *Store) (IngestStats, error) { return e.qe.Extend(batch) }
+
+// Epoch returns the engine's current index epoch: 0 at construction,
+// incremented by every successful non-empty Extend.
+func (e *Engine) Epoch() uint64 { return e.qe.Epoch() }
+
+// Trajectories returns the number of indexed trajectories in the currently
+// published snapshot.
+func (e *Engine) Trajectories() int { return e.qe.Index().Stats().Trajs }
+
+// Query describes a travel-time question. Optional features are switched
+// on by explicit enable flags (Periodic, FilterUser, Exclude) so that every
+// id and timestamp keeps its full domain — timestamp 0, user 0 and
+// trajectory 0 are all valid values, never sentinels.
 type Query struct {
 	// Path is the path whose travel-time distribution is requested.
 	Path Path
-	// Around, when non-zero, asks for the periodic time-of-day window of
-	// WindowSeconds centred on that unix timestamp's time of day.
-	Around int64
+	// Periodic asks for the periodic time-of-day window of WindowSeconds
+	// centred on Around's time of day. For convenience a non-zero Around
+	// implies Periodic, so the flag is only required when the window is
+	// centred on the stroke of midnight (Around == 0).
+	Periodic bool
+	Around   int64
 	// WindowSeconds is the periodic window width (default 900 = 15 min).
 	WindowSeconds int64
-	// From/Until, when Around is zero, give a fixed interval [From, Until).
-	// Until == 0 means the end of the indexed data.
+	// From/Until give the fixed interval [From, Until) of a non-periodic
+	// query. Until == 0 means the end of the indexed data.
 	From, Until int64
 	// FilterUser restricts results to User's trajectories (user ids are
 	// valid from 0 up, so an explicit flag avoids ambiguity).
@@ -284,8 +319,11 @@ type Query struct {
 	// Beta is the per-sub-query sample-size requirement (default 20, the
 	// paper's accuracy sweet spot).
 	Beta int
-	// ExcludeTraj hides one trajectory from retrieval (useful in
-	// evaluation); 0 value means no exclusion (use -1 explicitly too).
+	// Exclude hides ExcludeTraj's trajectory from retrieval, so evaluation
+	// queries derived from indexed trajectories cannot retrieve themselves.
+	// The flag mirrors FilterUser: trajectory ids are valid from 0 up, so
+	// an explicit flag avoids the zero-value ambiguity.
+	Exclude     bool
 	ExcludeTraj TrajID
 }
 
@@ -314,9 +352,15 @@ type Result struct {
 	// shared sub-result cache versus scans that reached the index.
 	CacheHits   int
 	CacheMisses int
+	// CacheInvalidations counts cached entries from another index epoch
+	// this query dropped lazily (non-zero only for queries shortly after
+	// an Extend).
+	CacheInvalidations int
 	// FullCacheHit marks a result served whole from the engine's
 	// full-result cache (all other effort counters are zero).
 	FullCacheHit bool
+	// Epoch is the index epoch the query ran against.
+	Epoch uint64
 }
 
 // Query answers a travel-time query.
@@ -338,7 +382,7 @@ func (e *Engine) Query(q Query) (*Result, error) {
 	}
 	var iv snt.Interval
 	switch {
-	case q.Around != 0:
+	case q.Periodic || q.Around != 0:
 		w := q.WindowSeconds
 		if w <= 0 {
 			w = 900
@@ -347,14 +391,14 @@ func (e *Engine) Query(q Query) (*Result, error) {
 	default:
 		until := q.Until
 		if until == 0 {
-			_, tmax := e.ix.TimeRange()
+			_, tmax := e.qe.Index().TimeRange()
 			until = tmax + 1
 		}
 		iv = snt.NewFixed(q.From, until)
 	}
-	excl := q.ExcludeTraj
-	if excl == 0 {
-		excl = -1
+	excl := TrajID(-1)
+	if q.Exclude {
+		excl = q.ExcludeTraj
 	}
 	user := traj.NoUser
 	if q.FilterUser {
@@ -368,13 +412,15 @@ func (e *Engine) Query(q Query) (*Result, error) {
 	}
 	res := e.qe.TripQuery(spq)
 	out := &Result{
-		Histogram:      res.Hist,
-		MeanSeconds:    res.PredictedMean(),
-		IndexScans:     res.IndexScans,
-		EstimatorSkips: res.EstimatorSkips,
-		CacheHits:      res.CacheHits,
-		CacheMisses:    res.CacheMisses,
-		FullCacheHit:   res.FullCacheHit,
+		Histogram:          res.Hist,
+		MeanSeconds:        res.PredictedMean(),
+		IndexScans:         res.IndexScans,
+		EstimatorSkips:     res.EstimatorSkips,
+		CacheHits:          res.CacheHits,
+		CacheMisses:        res.CacheMisses,
+		CacheInvalidations: res.CacheInvalidations,
+		FullCacheHit:       res.FullCacheHit,
+		Epoch:              res.Epoch,
 	}
 	for i := range res.Subs {
 		s := &res.Subs[i]
@@ -396,12 +442,13 @@ func (e *Engine) SpeedLimitEstimate(p Path) float64 { return e.g.EstimatePathTT(
 // IndexMemory returns the modelled index memory footprint in bytes by
 // component: C arrays, wavelet trees, user container, temporal forest.
 func (e *Engine) IndexMemory() (c, wt, user, forest int) {
-	m := e.ix.Memory()
+	m := e.qe.Index().Memory()
 	return m.CBytes, m.WTBytes, m.UserBytes, m.ForestBytes
 }
 
-// Partitions returns the number of temporal partitions.
-func (e *Engine) Partitions() int { return e.ix.NumPartitions() }
+// Partitions returns the number of temporal partitions of the currently
+// published snapshot (grows by one per Extend).
+func (e *Engine) Partitions() int { return e.qe.Index().NumPartitions() }
 
 // CacheStats reports the cumulative sub-result cache statistics.
 type CacheStats = query.CacheStats

@@ -142,6 +142,110 @@ func TestOptionsMatrix(t *testing.T) {
 	}
 }
 
+// TestExcludeTrajectoryZero pins the zero-value fix: trajectory 0 is a
+// valid id and must be excludable; without the Exclude flag the id field is
+// ignored entirely.
+func TestExcludeTrajectoryZero(t *testing.T) {
+	eng, ids := exampleEngine(t, Options{Partition: NoPartition, BucketSeconds: 1})
+	all, err := eng.Query(Query{Path: Path{ids["A"]}, Beta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Subs[0].Samples != 4 {
+		t.Fatalf("unfiltered samples = %d, want 4", all.Subs[0].Samples)
+	}
+	// Trajectory 0 (the earliest start) traversed A: excluding it must
+	// drop exactly one sample.
+	excl, err := eng.Query(Query{Path: Path{ids["A"]}, Beta: 10, Exclude: true, ExcludeTraj: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if excl.Subs[0].Samples != 3 {
+		t.Fatalf("samples with trajectory 0 excluded = %d, want 3", excl.Subs[0].Samples)
+	}
+	// Without the flag, a non-zero ExcludeTraj is inert.
+	inert, err := eng.Query(Query{Path: Path{ids["A"]}, Beta: 10, ExcludeTraj: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inert.Subs[0].Samples != 4 {
+		t.Fatalf("samples with inert ExcludeTraj = %d, want 4", inert.Subs[0].Samples)
+	}
+}
+
+// TestPeriodicAnchorAtMidnight pins the other zero-value fix: the Periodic
+// flag makes Around == 0 (exactly midnight) a valid periodic anchor instead
+// of silently degrading to a fixed interval.
+func TestPeriodicAnchorAtMidnight(t *testing.T) {
+	eng, ids := exampleEngine(t, Options{BucketSeconds: 1})
+	// The example traversals all happen seconds after midnight, so a
+	// 15-minute window centred on 00:00:00 covers them.
+	res, err := eng.Query(Query{Path: Path{ids["A"]}, Periodic: true, Around: 0, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subs[0].Samples != 4 || res.Subs[0].Fallback {
+		t.Fatalf("midnight periodic window: %+v", res.Subs[0])
+	}
+}
+
+// TestEngineExtendPublicAPI drives the library-level ingestion path: a
+// batch of newer trajectories becomes queryable with no engine rebuild.
+func TestEngineExtendPublicAPI(t *testing.T) {
+	eng, ids := exampleEngine(t, Options{Partition: NoPartition, BucketSeconds: 1})
+	if eng.Epoch() != 0 || eng.Trajectories() != 4 {
+		t.Fatalf("fresh engine: epoch %d, %d trajectories", eng.Epoch(), eng.Trajectories())
+	}
+	day := int64(86400)
+	batch := NewStore()
+	batch.Add(3, []Entry{
+		{Edge: ids["A"], T: day, TT: 5},
+		{Edge: ids["B"], T: day + 5, TT: 5},
+		{Edge: ids["E"], T: day + 10, TT: 5},
+	})
+	// β above the match count so the scan is effectively exhaustive and the
+	// new batch's traversal must show up as one extra sample.
+	probe := Query{Path: Path{ids["A"], ids["B"], ids["E"]}, Until: 3 * day, Beta: 10}
+	before, err := eng.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Extend(batch)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if st.Epoch != 1 || st.Trajectories != 1 || st.TotalTrajectories != 5 {
+		t.Fatalf("ingest stats = %+v", st)
+	}
+	if eng.Epoch() != 1 || eng.Partitions() != 2 || eng.Trajectories() != 5 {
+		t.Fatalf("post-extend: epoch %d, %d partitions, %d trajectories",
+			eng.Epoch(), eng.Partitions(), eng.Trajectories())
+	}
+	after, err := eng.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FullCacheHit {
+		t.Fatal("post-extend query served from the pre-extend full-result cache")
+	}
+	if after.Epoch != 1 || before.Epoch != 0 {
+		t.Fatalf("result epochs %d/%d, want 0/1", before.Epoch, after.Epoch)
+	}
+	if want := before.Subs[0].Samples + 1; after.Subs[0].Samples != want {
+		t.Fatalf("post-extend samples = %d, want %d (new batch included)",
+			after.Subs[0].Samples, want)
+	}
+	// An overlapping batch is rejected wholesale and changes nothing.
+	bad := NewStore()
+	bad.Add(3, []Entry{{Edge: ids["A"], T: 1, TT: 2}})
+	if _, err := eng.Extend(bad); err == nil {
+		t.Fatal("overlapping batch accepted")
+	}
+	if eng.Epoch() != 1 || eng.Trajectories() != 5 {
+		t.Fatal("failed Extend changed the engine")
+	}
+}
+
 func TestSpeedLimitEstimate(t *testing.T) {
 	eng, ids := exampleEngine(t, Options{})
 	got := eng.SpeedLimitEstimate(Path{ids["A"], ids["B"], ids["E"]})
