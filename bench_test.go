@@ -445,6 +445,68 @@ func BenchmarkExtendWhileServing(b *testing.B) {
 	b.ReportMetric(float64(tmpl.Len()), "trajs/batch")
 }
 
+// BenchmarkManyPartitions is the ingest-degradation headline (PR 4): cold
+// TripQuery latency over the same data in three index layouts — fragmented
+// by 32 live Extend batches (one backward search per partition per
+// sub-query), the same index after Compact, and a single-partition
+// from-scratch rebuild. The acceptance bar is compacted within ~1.2x of
+// rebuilt, with fragmented several times worse.
+func BenchmarkManyPartitions(b *testing.B) {
+	e := env(b)
+	frag := e.FragmentedIndex(32)
+	compacted, _, err := frag.Compact(snt.CompactionPolicy{TriggerPartitions: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rebuilt := e.Index(temporal.CSS, 0, 0)
+	for _, cfg := range []struct {
+		name string
+		ix   *snt.Index
+	}{
+		{"fragmented32", frag},
+		{"compacted", compacted},
+		{"rebuilt", rebuilt},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := query.NewEngine(cfg.ix, query.Config{
+				Partitioner: query.Partitioner{Kind: query.ZoneKind}, BucketWidth: 10,
+				DisableCache: true, DisableFullResultCache: true,
+			})
+			qs := e.Queries
+			b.ReportMetric(float64(cfg.ix.NumPartitions()), "partitions")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				_ = eng.TripQuery(experiments.SPQFor(q, experiments.TemporalFilters, 20))
+			}
+		})
+	}
+}
+
+// BenchmarkCompact measures the off-path merge itself: compacting the
+// 33-partition fragmented index into one (trajectory-string reconstruction
+// from the frozen columns, suffix arrays, FM-indexes, column rewrite).
+func BenchmarkCompact(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		frag := e.FragmentedIndex(32)
+		b.StartTimer()
+		compacted, st, err := frag.Compact(snt.CompactionPolicy{TriggerPartitions: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if compacted.NumPartitions() != 1 {
+			b.Fatalf("partitions = %d", compacted.NumPartitions())
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(st.RecordsRebuilt), "records")
+			b.ReportMetric(float64(st.PartitionsBefore), "partitionsBefore")
+		}
+	}
+}
+
 // --- Micro-benchmarks of the substrates ---
 
 func BenchmarkSuffixArraySAIS(b *testing.B) {

@@ -46,7 +46,9 @@ type File struct {
 const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" +
 	"BenchmarkTripQueryFullCacheHit|" +
 	"BenchmarkFig5aTemporalPiZ$|BenchmarkGetTravelTimes|BenchmarkThroughputParallel|" +
-	"BenchmarkPublicAPIQuery|BenchmarkEngineExtend|BenchmarkExtendWhileServing"
+	"BenchmarkPublicAPIQuery|BenchmarkEngineExtend|BenchmarkExtendWhileServing|" +
+	"BenchmarkManyPartitions|BenchmarkCompact$|BenchmarkFMIndexBackwardSearch|" +
+	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -68,8 +70,10 @@ func main() {
 		prev = loaded
 	}
 
+	// ./... rather than .: the rank-directory micro-benchmarks live in
+	// internal/bitvec; non-matching packages cost only a compile.
 	args := []string{"test", "-run", "^$", "-bench", *bench,
-		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "."}
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "./..."}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -195,6 +199,19 @@ func derive(recs []Record) map[string]string {
 	if idle, ok := byName["BenchmarkEngineExtend"]; ok && idle.NsPerOp > 0 {
 		if busy, ok := byName["BenchmarkExtendWhileServing"]; ok && busy.NsPerOp > 0 {
 			out["extend_under_load_vs_idle"] = fmt.Sprintf("%.2fx", busy.NsPerOp/idle.NsPerOp)
+		}
+	}
+	if rebuilt, ok := byName["BenchmarkManyPartitions/rebuilt"]; ok && rebuilt.NsPerOp > 0 {
+		if frag, ok := byName["BenchmarkManyPartitions/fragmented32"]; ok {
+			out["fragmented32_vs_rebuilt"] = fmt.Sprintf("%.2fx", frag.NsPerOp/rebuilt.NsPerOp)
+		}
+		if comp, ok := byName["BenchmarkManyPartitions/compacted"]; ok {
+			out["compacted_vs_rebuilt"] = fmt.Sprintf("%.2fx", comp.NsPerOp/rebuilt.NsPerOp)
+		}
+	}
+	if lin, ok := byName["BenchmarkRankLinearScan"]; ok && lin.NsPerOp > 0 {
+		if two, ok := byName["BenchmarkRankTwoLevel"]; ok && two.NsPerOp > 0 {
+			out["rank_directory_speedup"] = fmt.Sprintf("%.2fx", lin.NsPerOp/two.NsPerOp)
 		}
 	}
 	for _, r := range recs {

@@ -26,12 +26,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ttbench: ")
 	var (
-		expArg = flag.String("experiment", "all", "comma-separated: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,fig10c,fig11a,fig11b,fig11c,baselines,all")
-		scale  = flag.String("scale", "small", "dataset scale: small, medium or full")
-		seed   = flag.Int64("seed", 42, "master seed")
-		frac   = flag.Float64("queryfrac", 0, "query sampling fraction (0 = scale default)")
-		subQs  = flag.Int("subqueries", 5000, "sub-queries for fig11a")
-		minLen = flag.Int("minlen", 5, "minimum query path length in segments")
+		expArg  = flag.String("experiment", "all", "comma-separated: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,fig10c,fig11a,fig11b,fig11c,baselines,compact,all")
+		scale   = flag.String("scale", "small", "dataset scale: small, medium or full")
+		seed    = flag.Int64("seed", 42, "master seed")
+		frac    = flag.Float64("queryfrac", 0, "query sampling fraction (0 = scale default)")
+		subQs   = flag.Int("subqueries", 5000, "sub-queries for fig11a")
+		minLen  = flag.Int("minlen", 5, "minimum query path length in segments")
+		batches = flag.Int("compact-batches", 32, "simulated Extend batches for the compact experiment")
 	)
 	flag.Parse()
 
@@ -154,6 +155,13 @@ func main() {
 				func(r experiments.EstimatorRuntimeRow) float64 { return r.SMAPE }, "sMAPE"))
 		}
 	}
+	if sel("compact") {
+		log.Printf("running partition compaction sweep (%d extends)...", *batches)
+		rows := env.RunCompactionSweep(*batches)
+		fmt.Println("\n== Partition compaction: query latency by index layout ==")
+		fmt.Print(experiments.FormatCompaction(rows))
+	}
+
 	log.Printf("done in %s", time.Since(start).Round(time.Millisecond))
 }
 

@@ -8,6 +8,8 @@
 //	ttquery -data data/                          # random trajectory path
 //	ttquery -data data/ -path 17,42,43,44 -tod 08:15 -beta 20
 //	ttquery -data data/ -user 12 -partition mdm  # user-filtered query
+//	ttquery -data data/ -extends 32 -compact     # simulate live ingestion,
+//	                                             # then merge the partitions
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"pathhist"
+	"pathhist/internal/experiments"
 	"pathhist/internal/gps"
 )
 
@@ -36,6 +39,9 @@ func main() {
 		user      = flag.Int("user", -1, "restrict to one driver id (-1 = all)")
 		partition = flag.String("partition", "zone", "partitioning: zone, category, zonecategory, none, mdm, segment")
 		seed      = flag.Int64("seed", 1, "seed for trajectory sampling")
+		extends   = flag.Int("extends", 0,
+			"ingest the newest part of the dataset through this many live Extend batches instead of the initial build")
+		compact = flag.Bool("compact", false, "compact the partitions after the simulated ingestion")
 	)
 	flag.Parse()
 
@@ -62,7 +68,7 @@ func main() {
 	default:
 		log.Fatalf("unknown partitioning %q", *partition)
 	}
-	eng, err := pathhist.NewEngine(g, store, opts)
+	eng, err := buildEngine(g, store, opts, *extends, *compact)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,6 +122,47 @@ func main() {
 		log.Fatal(err)
 	}
 	printResult(res, groundTruth)
+}
+
+// buildEngine indexes the dataset. With extends > 0 it simulates live
+// ingestion: the oldest portion is indexed up front and the rest arrives
+// through Extend batches cut at quiescent boundaries (each batch starts
+// after everything before it has ended — the Extend precondition), leaving
+// one temporal partition per batch. With compact set the fragmented
+// partitions are merged afterwards, demonstrating the compaction subsystem.
+func buildEngine(g *pathhist.Graph, store *pathhist.Store, opts pathhist.Options, extends int, compact bool) (*pathhist.Engine, error) {
+	if extends <= 0 {
+		return pathhist.NewEngine(g, store, opts)
+	}
+	// Keep roughly half as the base, spread the requested batches over the
+	// newest half's quiescent boundaries (sorts the store as a side effect).
+	cuts := experiments.IngestionCuts(store, extends)
+	if cuts == nil {
+		return nil, fmt.Errorf("dataset has too few quiescent boundaries to simulate %d extends", extends)
+	}
+	eng, err := pathhist.NewEngine(g, store.Slice(0, cuts[0]), opts)
+	if err != nil {
+		return nil, err
+	}
+	for b := 0; b < len(cuts); b++ {
+		hi := store.Len()
+		if b+1 < len(cuts) {
+			hi = cuts[b+1]
+		}
+		if _, err := eng.Extend(store.Slice(cuts[b], hi)); err != nil {
+			return nil, fmt.Errorf("extend batch %d: %w", b, err)
+		}
+	}
+	log.Printf("after %d extends: %s", len(cuts), eng.IndexInfo())
+	if compact {
+		st, err := eng.Compact()
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("compacted %d partitions into %d (%d runs, %d records rebuilt) in %v: %s",
+			st.PartitionsBefore, st.PartitionsAfter, st.Runs, st.RecordsRebuilt, st.Elapsed, eng.IndexInfo())
+	}
+	return eng, nil
 }
 
 func loadDataset(dir string) (*pathhist.Graph, *pathhist.Store, error) {

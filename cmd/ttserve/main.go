@@ -5,17 +5,19 @@
 // also ingests live trajectory batches, published lock-free as index
 // epochs (DESIGN.md §8).
 //
-//	ttserve -data data -addr :8080 [-enable-extend]
+//	ttserve -data data -addr :8080 [-enable-extend] [-auto-compact 16]
 //
 //	GET  /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
 //	GET  /query?path=17,42,43&from=1335830400&until=1335917000&beta=20
 //	POST /extend            (body: trajectory batch in traj binary format)
+//	POST /compact           (merge ingested partitions; new epoch)
 //	GET  /statsz
 //	GET  /healthz
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -32,8 +34,12 @@ func main() {
 		data         = flag.String("data", "data", "dataset directory (from ttgen)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		enableExtend = flag.Bool("enable-extend", false,
-			"accept live trajectory batches on POST /extend (traj binary format)")
-		maxExtendMiB = flag.Int64("max-extend-mib", 64, "largest accepted /extend body in MiB")
+			"accept live trajectory batches on POST /extend and compaction on POST /compact")
+		maxExtendMiB   = flag.Int64("max-extend-mib", 64, "largest accepted /extend body in MiB")
+		maxExtendTrajs = flag.Int("max-extend-trajs", 0,
+			"largest accepted /extend batch in trajectories (0 = unlimited); larger batches get 413")
+		autoCompact = flag.Int("auto-compact", 16,
+			"merge ingested partitions once this many accumulate (0 = manual /compact only)")
 	)
 	flag.Parse()
 
@@ -42,8 +48,9 @@ func main() {
 		log.Fatal(err)
 	}
 	eng, err := pathhist.NewEngine(g, store, pathhist.Options{
-		Partition: pathhist.ByZone,
-		Estimator: pathhist.EstimatorCSSFast,
+		Partition:             pathhist.ByZone,
+		Estimator:             pathhist.EstimatorCSSFast,
+		AutoCompactPartitions: *autoCompact,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -51,12 +58,16 @@ func main() {
 	mode := "ingestion disabled"
 	if *enableExtend {
 		mode = "live ingestion on POST /extend"
+		if *autoCompact > 0 {
+			mode += fmt.Sprintf(", auto-compaction at %d partitions", *autoCompact)
+		}
 	}
 	log.Printf("indexed %d trajectories over %d edges; listening on %s (%s)",
 		store.Len(), g.NumEdges(), *addr, mode)
 	handler := ttserve.NewHandlerWith(eng, ttserve.Config{
-		EnableExtend:   *enableExtend,
-		MaxExtendBytes: *maxExtendMiB << 20,
+		EnableExtend:          *enableExtend,
+		MaxExtendBytes:        *maxExtendMiB << 20,
+		MaxExtendTrajectories: *maxExtendTrajs,
 	})
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)

@@ -43,26 +43,40 @@ func (b *Builder) Set(i int) {
 // SetLen fixes the logical length (for Set-based filling).
 func (b *Builder) SetLen(n int) { b.n = n }
 
-// Finish freezes the builder into a Vector with a rank directory.
+// Finish freezes the builder into a Vector with a two-level rank directory:
+// an absolute popcount per 512-bit superblock plus a superblock-relative
+// popcount per word, so Rank1 answers with two table reads and one word
+// popcount — no per-query scan over the superblock's words.
 func (b *Builder) Finish() *Vector {
 	nw := (b.n + 63) / 64
 	v := &Vector{words: b.words[:nw], n: b.n}
 	v.blocks = make([]int32, nw/wordsPerBlock+1)
+	v.sub = make([]uint16, nw)
 	var sum int32
+	var rel uint16
 	for i, w := range v.words {
 		if i%wordsPerBlock == 0 {
 			v.blocks[i/wordsPerBlock] = sum
+			rel = 0
 		}
-		sum += int32(bits.OnesCount64(w))
+		v.sub[i] = rel
+		c := bits.OnesCount64(w)
+		sum += int32(c)
+		rel += uint16(c)
 	}
 	v.ones = int(sum)
 	return v
 }
 
-// Vector is an immutable bit vector with rank support.
+// Vector is an immutable bit vector with a two-level rank directory.
 type Vector struct {
-	words  []uint64
-	blocks []int32 // ones before each superblock
+	words []uint64
+	// blocks[j] is the number of set bits before superblock j (absolute,
+	// one entry per 8 words); sub[i] is the number of set bits between the
+	// start of word i's superblock and word i (relative, at most 7*64 so a
+	// uint16 always fits). Together they make Rank1 O(1).
+	blocks []int32
+	sub    []uint16
 	n      int
 	ones   int
 }
@@ -78,19 +92,17 @@ func (v *Vector) Get(i int) bool {
 	return v.words[i>>6]&(1<<uint(i&63)) != 0
 }
 
-// Rank1 returns the number of set bits in [0, i).
+// Rank1 returns the number of set bits in [0, i) in O(1): superblock
+// absolute count + in-superblock word offset + popcount of the partial word.
 func (v *Vector) Rank1(i int) int {
 	if i <= 0 {
 		return 0
 	}
-	if i > v.n {
-		i = v.n
+	if i >= v.n {
+		return v.ones
 	}
 	w := i >> 6
-	r := int(v.blocks[w/wordsPerBlock])
-	for j := w / wordsPerBlock * wordsPerBlock; j < w; j++ {
-		r += bits.OnesCount64(v.words[j])
-	}
+	r := int(v.blocks[w/wordsPerBlock]) + int(v.sub[w])
 	if rem := uint(i & 63); rem != 0 {
 		r += bits.OnesCount64(v.words[w] & (1<<rem - 1))
 	}
@@ -108,7 +120,8 @@ func (v *Vector) Rank0(i int) int {
 	return i - v.Rank1(i)
 }
 
-// SizeBytes models the memory footprint: bit words plus the rank directory.
+// SizeBytes models the memory footprint: bit words plus both rank-directory
+// levels.
 func (v *Vector) SizeBytes() int {
-	return len(v.words)*8 + len(v.blocks)*4
+	return len(v.words)*8 + len(v.blocks)*4 + len(v.sub)*2
 }

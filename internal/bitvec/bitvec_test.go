@@ -1,6 +1,7 @@
 package bitvec
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -108,6 +109,123 @@ func TestRankQuick(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestRankDirectoryEdges pins the two-level directory on the shapes that
+// stress its boundaries: empty vectors, all-ones vectors, and ranks exactly
+// at word and superblock boundaries.
+func TestRankDirectoryEdges(t *testing.T) {
+	// Empty vector.
+	v := NewBuilder(0).Finish()
+	if v.Len() != 0 || v.Ones() != 0 || v.Rank1(0) != 0 || v.Rank1(10) != 0 || v.Rank0(5) != 0 {
+		t.Fatalf("empty vector misbehaves: %d %d", v.Len(), v.Ones())
+	}
+
+	// All ones across several superblocks: Rank1(i) == i everywhere.
+	n := 64*wordsPerBlock*3 + 17
+	ab := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		ab.Append(true)
+	}
+	av := ab.Finish()
+	if av.Ones() != n {
+		t.Fatalf("Ones = %d, want %d", av.Ones(), n)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 511, 512, 513, 1024, n - 1, n, n + 5} {
+		want := i
+		if want > n {
+			want = n
+		}
+		if got := av.Rank1(i); got != want {
+			t.Fatalf("all-ones Rank1(%d) = %d, want %d", i, got, want)
+		}
+		if got := av.Rank0(i); got != 0 {
+			t.Fatalf("all-ones Rank0(%d) = %d", i, got)
+		}
+	}
+
+	// Exact word/superblock boundaries on a mixed vector, against a naive
+	// recount.
+	bits := make([]bool, n)
+	mb := NewBuilder(n)
+	for i := range bits {
+		bits[i] = i%3 == 0 || i%64 == 63
+		mb.Append(bits[i])
+	}
+	mv := mb.Finish()
+	for _, i := range []int{0, 63, 64, 128, 511, 512, 513, 512 * 2, 512*3 - 1, 512 * 3, n} {
+		want := 0
+		for j := 0; j < i && j < n; j++ {
+			if bits[j] {
+				want++
+			}
+		}
+		if got := mv.Rank1(i); got != want {
+			t.Fatalf("boundary Rank1(%d) = %d, want %d", i, got, want)
+		}
+	}
+
+	// The directory sizes are accounted for.
+	if mv.SizeBytes() <= len(mv.words)*8 {
+		t.Fatal("SizeBytes omits the rank directory")
+	}
+}
+
+// rank1Linear is the pre-directory algorithm (superblock count plus a scan
+// over the superblock's words) kept as the benchmark baseline for the
+// two-level directory.
+func rank1Linear(v *Vector, i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	w := i >> 6
+	r := int(v.blocks[w/wordsPerBlock])
+	for j := w / wordsPerBlock * wordsPerBlock; j < w; j++ {
+		r += bits.OnesCount64(v.words[j])
+	}
+	if rem := uint(i & 63); rem != 0 {
+		r += bits.OnesCount64(v.words[w] & (1<<rem - 1))
+	}
+	return r
+}
+
+func benchVector(n int) (*Vector, []int) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Append(rng.Intn(2) == 0)
+	}
+	idx := make([]int, 1024)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	return b.Finish(), idx
+}
+
+// BenchmarkRankTwoLevel vs BenchmarkRankLinearScan is the rank-directory
+// before/after pair: O(1) table reads against the per-superblock word scan
+// it replaced.
+func BenchmarkRankTwoLevel(b *testing.B) {
+	v, idx := benchVector(1 << 20)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += v.Rank1(idx[i%len(idx)])
+	}
+	_ = s
+}
+
+func BenchmarkRankLinearScan(b *testing.B) {
+	v, idx := benchVector(1 << 20)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += rank1Linear(v, idx[i%len(idx)])
+	}
+	_ = s
 }
 
 func TestSizeBytes(t *testing.T) {

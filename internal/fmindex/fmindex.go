@@ -67,8 +67,9 @@ func (ix *Index) GetISARange(path []int32) (st, ed int64) {
 		if int(c)+1 >= len(ix.c) {
 			return 0, 0
 		}
-		st = ix.c[c] + int64(ix.wt.Rank(c, int(st)))
-		ed = ix.c[c] + int64(ix.wt.Rank(c, int(ed)))
+		rs, re := ix.wt.Rank2(c, int(st), int(ed))
+		st = ix.c[c] + int64(rs)
+		ed = ix.c[c] + int64(re)
 		if st >= ed {
 			return 0, 0
 		}

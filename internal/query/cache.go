@@ -132,6 +132,7 @@ type spqCache[V any] struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	stale  atomic.Int64 // cross-epoch entries dropped lazily on lookup
+	purges atomic.Int64 // stale entries removed eagerly on epoch publication
 }
 
 // newSPQCache returns a cache holding up to capacity entries in total.
@@ -256,6 +257,37 @@ func (c *spqCache[V]) put(p network.Path, iv snt.Interval, f snt.Filter, beta in
 	s.mu.Unlock()
 }
 
+// purgeStale eagerly removes every entry not stamped with the given epoch —
+// the sweep an epoch publication (Extend, Compact) runs so stale entries
+// release their memory immediately instead of waiting for LRU aging or a
+// lazy same-key lookup. Queries racing the publication may still write (or
+// read) entries of the epoch they pinned at entry; those are dropped lazily
+// by the usual cross-epoch check, so the sweep is a best-effort pressure
+// release, not a correctness mechanism. Returns the number of purged
+// entries (also accumulated in CacheStats.Purges).
+func (c *spqCache[V]) purgeStale(epoch uint64) int {
+	if c == nil {
+		return 0
+	}
+	purged := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for hash, en := range s.m {
+			if en.epoch != epoch {
+				s.unlink(en)
+				delete(s.m, hash)
+				purged++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if purged > 0 {
+		c.purges.Add(int64(purged))
+	}
+	return purged
+}
+
 // Len returns the number of cached entries.
 func (c *spqCache[V]) Len() int {
 	n := 0
@@ -273,11 +305,14 @@ func (c *spqCache[V]) Len() int {
 // whose outcome reconciliation later discards), so the hit ratio can read
 // higher than the per-Result CacheHits/CacheMisses, which book only
 // adopted outcomes. Invalidations counts cross-epoch entries dropped
-// lazily on lookup after an Extend (each is also a miss).
+// lazily on lookup after an Extend (each is also a miss); Purges counts
+// stale-epoch entries removed eagerly by the sweep an epoch publication
+// triggers (those never surface as lookup traffic).
 type CacheStats struct {
 	Hits          int64
 	Misses        int64
 	Invalidations int64
+	Purges        int64
 	Entries       int
 }
 
@@ -290,6 +325,7 @@ func (c *spqCache[V]) Stats() CacheStats {
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Invalidations: c.stale.Load(),
+		Purges:        c.purges.Load(),
 		Entries:       c.Len(),
 	}
 }

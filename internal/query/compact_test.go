@@ -1,0 +1,214 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"pathhist/internal/snt"
+	"pathhist/internal/traj"
+	"pathhist/internal/workload"
+)
+
+// chunkStores cuts the batch half of a quiescently-split dataset into n
+// strictly-newer sub-batches at quiescent boundaries where possible; the
+// simple equal split works because splitQuiescent already guarantees the
+// batch half starts after the base half ends, and within the batch half we
+// re-split quiescently.
+func chunkQuiescent(batch *traj.Store, n int) []*traj.Store {
+	out := []*traj.Store{batch}
+	for len(out) < n {
+		last := out[len(out)-1]
+		a, b, ok := splitQuiescent(last, 0.5)
+		if !ok || a.Len() == 0 || b.Len() == 0 {
+			break
+		}
+		out = append(out[:len(out)-1], a, b)
+	}
+	return out
+}
+
+// TestEngineCompactPublishesEquivalentEpoch: a manual Compact publishes a
+// new epoch whose answers are identical to a from-scratch rebuild, while
+// concurrent queries keep running against whatever snapshot they pinned.
+// Run with -race to exercise the publication edges.
+func TestEngineCompactPublishesEquivalentEpoch(t *testing.T) {
+	cfg := workload.SmallConfig()
+	ds := workload.BuildDataset(cfg)
+	base, batch, ok := splitQuiescent(ds.Store, 0.5)
+	if !ok {
+		t.Fatal("dataset has no quiescent split point")
+	}
+	chunks := chunkQuiescent(batch, 4)
+	if len(chunks) < 2 {
+		t.Fatal("could not chunk the batch half")
+	}
+	eng := NewEngine(snt.Build(ds.G, base, snt.Options{}),
+		Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10})
+
+	var queries []SPQ
+	for i := 0; i < base.Len() && len(queries) < 8; i += 5 {
+		tr := base.Get(traj.ID(i))
+		if tr.Len() < 3 {
+			continue
+		}
+		queries = append(queries, SPQ{
+			Path:     tr.Path(),
+			Interval: snt.NewFixed(0, int64(1)<<40),
+			Filter:   snt.NoFilter,
+			Beta:     20,
+		})
+	}
+
+	// Background query load across the extend/compact churn.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = eng.TripQuery(queries[i%len(queries)])
+			}
+		}(w)
+	}
+
+	for _, ch := range chunks {
+		if _, err := eng.Extend(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fragParts := eng.Index().NumPartitions()
+	if fragParts != len(chunks)+1 {
+		t.Fatalf("partitions = %d, want %d", fragParts, len(chunks)+1)
+	}
+	epochBefore := eng.Epoch()
+	stats, err := eng.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if stats.PartitionsBefore != fragParts || stats.PartitionsAfter != 1 {
+		t.Fatalf("compaction stats: %+v", stats)
+	}
+	if eng.Epoch() != epochBefore+1 {
+		t.Fatalf("epoch after compaction = %d, want %d", eng.Epoch(), epochBefore+1)
+	}
+	if n, last := eng.CompactionInfo(); n != 1 || last.PartitionsAfter != 1 {
+		t.Fatalf("CompactionInfo = %d, %+v", n, last)
+	}
+	if eng.Index().NumPartitions() != 1 || eng.Index().CompactedFrom() != fragParts {
+		t.Fatalf("published index: %v", eng.Index())
+	}
+
+	// Equivalence against a from-scratch rebuild over the union.
+	all := traj.NewStore()
+	for _, src := range append([]*traj.Store{base}, chunks...) {
+		for i := 0; i < src.Len(); i++ {
+			tr := src.Get(traj.ID(i))
+			all.Add(tr.User, append([]traj.Entry(nil), tr.Seq...))
+		}
+	}
+	ref := NewEngine(snt.Build(ds.G, all, snt.Options{}),
+		Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10,
+			Workers: 1, DisableCache: true, DisableFullResultCache: true})
+	for i, q := range queries {
+		got := eng.TripQuery(q)
+		want := ref.TripQuery(q)
+		if err := sameResult(&want, &got); err != nil {
+			t.Fatalf("query %d: post-compaction result diverges from rebuild: %v", i, err)
+		}
+	}
+
+	// A second manual Compact finds nothing and publishes nothing.
+	st2, err := eng.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PartitionsBefore != st2.PartitionsAfter || eng.Epoch() != epochBefore+1 {
+		t.Fatalf("no-op compaction published: %+v epoch=%d", st2, eng.Epoch())
+	}
+}
+
+// TestEngineAutoCompaction: with a trigger configured, Extend keeps the
+// partition count bounded by compacting behind the ingest publication.
+func TestEngineAutoCompaction(t *testing.T) {
+	cfg := workload.SmallConfig()
+	ds := workload.BuildDataset(cfg)
+	base, batch, ok := splitQuiescent(ds.Store, 0.4)
+	if !ok {
+		t.Fatal("dataset has no quiescent split point")
+	}
+	chunks := chunkQuiescent(batch, 6)
+	if len(chunks) < 3 {
+		t.Skip("dataset has too few quiescent boundaries")
+	}
+	const trigger = 3
+	eng := NewEngine(snt.Build(ds.G, base, snt.Options{}),
+		Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10,
+			Compaction: snt.CompactionPolicy{TriggerPartitions: trigger}})
+	for bi, ch := range chunks {
+		st, err := eng.Extend(ch)
+		if err != nil {
+			t.Fatalf("extend %d: %v", bi, err)
+		}
+		if got := eng.Index().NumPartitions(); got >= trigger+1 {
+			t.Fatalf("extend %d: auto-compaction left %d partitions (trigger %d)", bi, got, trigger)
+		}
+		// Each triggering extend publishes two epochs: ingest + compaction.
+		if eng.Epoch() < st.Epoch {
+			t.Fatalf("extend %d: published epoch went backwards", bi)
+		}
+	}
+	if n, _ := eng.CompactionInfo(); n == 0 {
+		t.Fatal("auto-compaction never ran")
+	}
+	if got, want := eng.Index().Stats().Trajs, base.Len()+batch.Len(); got != want {
+		t.Fatalf("trajectories after auto-compaction = %d, want %d", got, want)
+	}
+}
+
+// TestCachePurgeOnPublication: epoch publication eagerly empties both
+// caches of old-epoch entries and counts them as purges.
+func TestCachePurgeOnPublication(t *testing.T) {
+	cfg := workload.SmallConfig()
+	ds := workload.BuildDataset(cfg)
+	base, batch, ok := splitQuiescent(ds.Store, 0.6)
+	if !ok {
+		t.Fatal("dataset has no quiescent split point")
+	}
+	eng := NewEngine(snt.Build(ds.G, base, snt.Options{}),
+		Config{Partitioner: Partitioner{Kind: ZoneKind}, BucketWidth: 10})
+	var queries []SPQ
+	for i := 0; i < base.Len() && len(queries) < 10; i += 3 {
+		tr := base.Get(traj.ID(i))
+		if tr.Len() < 2 {
+			continue
+		}
+		queries = append(queries, SPQ{Path: tr.Path(), Interval: snt.NewFixed(0, int64(1)<<40), Filter: snt.NoFilter, Beta: 20})
+	}
+	for _, q := range queries {
+		_ = eng.TripQuery(q)
+	}
+	subBefore, fullBefore := eng.Cache(), eng.FullCache()
+	if subBefore.Entries == 0 || fullBefore.Entries == 0 {
+		t.Fatalf("caches not warmed: %+v %+v", subBefore, fullBefore)
+	}
+	if _, err := eng.Extend(batch); err != nil {
+		t.Fatal(err)
+	}
+	sub, full := eng.Cache(), eng.FullCache()
+	if sub.Entries != 0 || full.Entries != 0 {
+		t.Fatalf("stale entries survived the publication sweep: %+v %+v", sub, full)
+	}
+	if sub.Purges != int64(subBefore.Entries) || full.Purges != int64(fullBefore.Entries) {
+		t.Fatalf("purge counters: sub %d want %d, full %d want %d",
+			sub.Purges, subBefore.Entries, full.Purges, fullBefore.Entries)
+	}
+}

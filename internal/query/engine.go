@@ -72,6 +72,12 @@ type Config struct {
 	// FullResultCacheCapacity is the total number of cached full results
 	// (DefaultFullCacheCapacity when 0).
 	FullResultCacheCapacity int
+	// Compaction is the partition compaction policy. Auto-compaction runs
+	// inside Extend — after the ingest epoch is published — whenever
+	// Compaction.TriggerPartitions > 0 and the partition count reaches it;
+	// the zero value disables auto-compaction (Engine.Compact can still be
+	// called manually, ignoring the trigger).
+	Compaction snt.CompactionPolicy
 }
 
 // snapshot is one published index state: the immutable index, the
@@ -96,9 +102,13 @@ type snapshot struct {
 type Engine struct {
 	cfg   Config
 	snap  atomic.Pointer[snapshot]
-	extMu sync.Mutex // serialises Extend (the only writer)
+	extMu sync.Mutex // serialises the writers (Extend, Compact)
 	cache *spqCache[subValue]
 	full  *spqCache[fullValue]
+
+	compactions     atomic.Int64
+	compactFailures atomic.Int64
+	lastCompaction  atomic.Pointer[snt.CompactionStats]
 }
 
 // NewEngine returns an engine. Zero-value config fields get defaults
@@ -126,7 +136,8 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 func (e *Engine) Index() *snt.Index { return e.snap.Load().ix }
 
 // Epoch returns the current index epoch: 0 after NewEngine, incremented by
-// every successful non-empty Extend.
+// every publication — each successful non-empty Extend and each effective
+// Compact (so a triggering auto-compacted ingest advances it by two).
 func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 
 // IngestStats describes the snapshot one Extend published. The values come
@@ -163,20 +174,100 @@ func (e *Engine) Extend(add *traj.Store) (IngestStats, error) {
 		// Empty batch: nothing new to publish.
 		return IngestStats{Epoch: sn.epoch, TotalTrajectories: nix.Stats().Trajs}, nil
 	}
+	next := e.publishLocked(sn, nix)
+	st := IngestStats{
+		Epoch:             next.epoch,
+		Trajectories:      add.Len(),
+		TotalTrajectories: nix.Stats().Trajs,
+	}
+	// Auto-compaction rides behind the ingest publication: the batch is
+	// already being served when the merge starts, and the compacted snapshot
+	// is published as its own epoch. Queries never block either way. A
+	// compaction failure is NOT an ingest failure — the batch is already
+	// published and served, so reporting an error here would make callers
+	// (and the /extend handler's reject counters) believe a served batch
+	// was rejected; the fragmented layout simply lives on, counted in
+	// CompactionFailures.
+	if tp := e.cfg.Compaction.TriggerPartitions; tp > 0 && nix.NumPartitions() >= tp {
+		if _, err := e.compactLocked(e.cfg.Compaction); err != nil {
+			e.compactFailures.Add(1)
+		}
+	}
+	return st, nil
+}
+
+// publishLocked builds the snapshot for a new index (refreshing the
+// estimator against it), publishes it as the next epoch and eagerly purges
+// both caches of entries from other epochs. Callers hold extMu.
+func (e *Engine) publishLocked(sn *snapshot, nix *snt.Index) *snapshot {
 	est := sn.est
 	if est.Enabled() {
 		// The estimator reads the index it was built against; refresh it so
-		// selectivities cover the new partition.
+		// selectivities cover the new layout.
 		est = card.New(nix, est.Mode())
 	}
 	next := &snapshot{ix: nix, est: est, epoch: sn.epoch + 1}
 	e.snap.Store(next)
-	return IngestStats{
-		Epoch:             next.epoch,
-		Trajectories:      add.Len(),
-		TotalTrajectories: nix.Stats().Trajs,
-	}, nil
+	// Entries stamped with older epochs can never be served again (the
+	// lazy cross-epoch check would drop them one by one); sweep them now so
+	// the memory is released immediately and post-publication queries find
+	// room for fresh results instead of a cache full of dead facts.
+	e.cache.purgeStale(next.epoch)
+	e.full.purgeStale(next.epoch)
+	return next
 }
+
+// Compact merges temporal partitions per the configured policy, ignoring
+// its partition-count trigger (a manual call is the trigger), and publishes
+// the compacted index as a new epoch. Readers never block: compaction runs
+// entirely off the serving path against the current snapshot, exactly like
+// Extend, and queries in flight finish on the epoch they pinned. The
+// returned stats report the merge; PartitionsBefore == PartitionsAfter
+// means the policy found nothing to merge (no epoch was published).
+func (e *Engine) Compact() (snt.CompactionStats, error) {
+	e.extMu.Lock()
+	defer e.extMu.Unlock()
+	pol := e.cfg.Compaction
+	pol.TriggerPartitions = -1
+	return e.compactLocked(pol)
+}
+
+// compactLocked runs one compaction and publishes the result if anything
+// merged. The returned stats carry the epoch of their own publication
+// (IngestStats-style attribution: a racing writer cannot skew them), or
+// the current epoch when nothing merged. Callers hold extMu.
+func (e *Engine) compactLocked(pol snt.CompactionPolicy) (snt.CompactionStats, error) {
+	sn := e.snap.Load()
+	nix, stats, err := sn.ix.Compact(pol)
+	if err != nil {
+		return stats, err
+	}
+	if nix == sn.ix {
+		stats.Epoch = sn.epoch
+		return stats, nil
+	}
+	next := e.publishLocked(sn, nix)
+	stats.Epoch = next.epoch
+	e.compactions.Add(1)
+	e.lastCompaction.Store(&stats)
+	return stats, nil
+}
+
+// CompactionInfo reports how many compactions the engine has published and
+// the stats of the most recent one (zero value when none ran yet).
+func (e *Engine) CompactionInfo() (int64, snt.CompactionStats) {
+	n := e.compactions.Load()
+	if st := e.lastCompaction.Load(); st != nil {
+		return n, *st
+	}
+	return n, snt.CompactionStats{}
+}
+
+// CompactionFailures counts auto-compactions that failed after their
+// triggering ingest had already been published (the ingest itself
+// succeeded; the fragmented layout lives on until the next trigger or a
+// manual Compact).
+func (e *Engine) CompactionFailures() int64 { return e.compactFailures.Load() }
 
 // Cache reports the cumulative sub-result cache statistics.
 func (e *Engine) Cache() CacheStats { return e.cache.Stats() }

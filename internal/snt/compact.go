@@ -1,0 +1,387 @@
+package snt
+
+import (
+	"fmt"
+	"time"
+
+	"pathhist/internal/fmindex"
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/suffix"
+	"pathhist/internal/temporal"
+)
+
+// Partition compaction. Every Extend adds one temporal partition, and
+// Procedure 2 runs a backward search in every partition, so query cost
+// degrades linearly with ingest count. Compact is the cure: it merges runs
+// of adjacent partitions back into single large ones, rebuilding everything
+// a partition owns — trajectory string, suffix array, FM-index (wavelet
+// tree + segment counters), per-partition time-of-day histograms, and the
+// per-record partition ids and ISA positions in the frozen temporal
+// columns — so the result is indistinguishable from an index built from
+// scratch with the merged layout.
+//
+// The merged trajectory strings are reconstructed from the frozen columns
+// alone (no trajectory store needed): every record carries (Traj, Seq) and
+// its segment id, partitions cover contiguous trajectory-id ranges in
+// partition order, and trajectory ids are assigned in start-time order, so
+// concatenating each trajectory's segments in (id, seq) order reproduces
+// exactly the string a from-scratch Build would have produced.
+//
+// Like Extend, Compact is copy-on-write: the receiver remains a fully
+// consistent snapshot for concurrent readers, untouched state (FM-indexes
+// of unmerged partitions, frozen columns of unaffected segments) is shared
+// between the snapshots, and the receiver is superseded so snapshot chains
+// stay linear. Publication to concurrent readers goes through an atomic
+// pointer swap (query.Engine.Compact) — compaction runs entirely off the
+// serving path and readers never block.
+
+// DefaultCompactionTrigger is the partition count at which the default
+// policy starts planning merges.
+const DefaultCompactionTrigger = 8
+
+// CompactionPolicy is a size-tiered merge policy over adjacent partitions.
+// The zero value compacts everything into a single partition once the index
+// holds DefaultCompactionTrigger partitions.
+type CompactionPolicy struct {
+	// TriggerPartitions gates planning: with fewer partitions Compact is a
+	// no-op. 0 applies DefaultCompactionTrigger; negative values disable
+	// the gate (compact whenever a merge is possible — the manual-trigger
+	// setting).
+	TriggerPartitions int
+	// MaxMergedRecords caps one merged partition's record count, which is
+	// what makes the policy size-tiered: a partition already at or above
+	// the cap is "large" and left alone, and a run of small partitions is
+	// cut when absorbing the next one would exceed the cap. 0 means
+	// unbounded — all adjacent partitions merge into one.
+	MaxMergedRecords int
+	// MinRun is the smallest run worth merging (default 2; merging a
+	// single partition with itself would only churn memory).
+	MinRun int
+}
+
+// withDefaults resolves zero fields.
+func (p CompactionPolicy) withDefaults() CompactionPolicy {
+	if p.TriggerPartitions == 0 {
+		p.TriggerPartitions = DefaultCompactionTrigger
+	}
+	if p.MinRun < 2 {
+		p.MinRun = 2
+	}
+	return p
+}
+
+// run is a half-open partition-id range [lo, hi) selected for merging.
+type mergeRun struct{ lo, hi int }
+
+// plan selects the runs of adjacent partitions to merge. parts carries the
+// per-partition record counts Build/Extend maintain.
+func (p CompactionPolicy) plan(parts []partition) []mergeRun {
+	if p.TriggerPartitions > 0 && len(parts) < p.TriggerPartitions {
+		return nil
+	}
+	var runs []mergeRun
+	lo, recs := 0, 0
+	flush := func(hi int) {
+		if hi-lo >= p.MinRun {
+			runs = append(runs, mergeRun{lo: lo, hi: hi})
+		}
+	}
+	for w := range parts {
+		r := parts[w].records
+		if p.MaxMergedRecords > 0 && r >= p.MaxMergedRecords {
+			// Large partition: never merged, cuts the current run.
+			flush(w)
+			lo, recs = w+1, 0
+			continue
+		}
+		if p.MaxMergedRecords > 0 && recs+r > p.MaxMergedRecords && w > lo {
+			flush(w)
+			lo, recs = w, 0
+		}
+		recs += r
+	}
+	flush(len(parts))
+	return runs
+}
+
+// CompactionStats reports what one Compact did.
+type CompactionStats struct {
+	// PartitionsBefore and PartitionsAfter frame the merge; equal values
+	// mean the policy planned nothing (the returned index is the receiver).
+	PartitionsBefore, PartitionsAfter int
+	// Runs is the number of merged partition runs.
+	Runs int
+	// TrajsRebuilt and RecordsRebuilt count the trajectories and traversal
+	// records whose partition state was rebuilt.
+	TrajsRebuilt, RecordsRebuilt int
+	// Elapsed is the wall-clock compaction time and CompletedUnix the wall
+	// clock at completion (0 when nothing merged).
+	Elapsed       time.Duration
+	CompletedUnix int64
+	// Epoch is filled in by the serving layer (query.Engine) with the
+	// epoch the compacted snapshot was published as — the same
+	// own-publication attribution IngestStats gives a batch. It stays 0
+	// at the snt level and for unpublished compactions.
+	Epoch uint64
+}
+
+// Compact merges runs of adjacent partitions per the policy and returns the
+// compacted snapshot. When the policy plans no merge the receiver itself is
+// returned (not superseded, still extendable). Otherwise the receiver is
+// superseded exactly like Extend supersedes it: only the returned snapshot
+// may be extended or compacted further. Query results from the compacted
+// snapshot are bit-identical to the receiver's — and to a from-scratch
+// Build over the same trajectories with the merged partition layout.
+func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, error) {
+	startedAt := time.Now()
+	stats := CompactionStats{PartitionsBefore: len(ix.parts), PartitionsAfter: len(ix.parts)}
+	runs := policy.withDefaults().plan(ix.parts)
+	if len(runs) == 0 {
+		return ix, stats, nil
+	}
+	if ix.superseded.Swap(true) {
+		return nil, stats, ErrSuperseded
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			ix.superseded.Store(false)
+		}
+	}()
+
+	// Partition-id remapping and per-run trajectory-id bases. Partitions
+	// cover contiguous id ranges in partition order, so the run [lo, hi)
+	// owns ids [trajStart[lo], trajStart[hi]).
+	old := len(ix.parts)
+	trajStart := make([]int, old+1)
+	for w := range ix.parts {
+		trajStart[w+1] = trajStart[w] + ix.parts[w].trajs
+	}
+	runOf := make([]int, old) // run index per old partition, -1 = unmerged
+	for w := range runOf {
+		runOf[w] = -1
+	}
+	newW := make([]int32, old) // old partition id -> new partition id
+	next := 0
+	for w := 0; w < old; {
+		r := -1
+		for i := range runs {
+			if runs[i].lo == w {
+				r = i
+				break
+			}
+		}
+		if r >= 0 {
+			for v := runs[r].lo; v < runs[r].hi; v++ {
+				runOf[v] = r
+				newW[v] = int32(next)
+			}
+			w = runs[r].hi
+		} else {
+			newW[w] = int32(next)
+			w++
+		}
+		next++
+	}
+	numNew := next
+
+	// Reconstruct the merged runs' trajectory strings from the frozen
+	// columns. Pass 1 sizes each trajectory (its segment count is its
+	// maximum sequence number + 1); pass 2 scatters the segment symbols
+	// into place.
+	runBase := make([]int, len(runs))
+	runLens := make([][]int32, len(runs))
+	for r, ru := range runs {
+		runBase[r] = trajStart[ru.lo]
+		runLens[r] = make([]int32, trajStart[ru.hi]-trajStart[ru.lo])
+	}
+	partW := func(fx *temporal.FrozenIndex, i int) int32 {
+		if fx.W == nil {
+			return 0
+		}
+		return fx.W[i]
+	}
+	ix.frozen.Each(func(_ network.EdgeID, fx *temporal.FrozenIndex) {
+		for i, n := 0, fx.Len(); i < n; i++ {
+			r := runOf[partW(fx, i)]
+			if r < 0 {
+				continue
+			}
+			d := int(fx.Traj[i]) - runBase[r]
+			if s := fx.Seq[i] + 1; s > runLens[r][d] {
+				runLens[r][d] = s
+			}
+		}
+	})
+	texts := make([][]int32, len(runs))
+	runStarts := make([][]int32, len(runs))
+	for r := range runs {
+		lens := runLens[r]
+		starts := make([]int32, len(lens))
+		total := int32(0)
+		for d, l := range lens {
+			if l == 0 {
+				return nil, stats, fmt.Errorf("snt: compaction found no records for trajectory %d", runBase[r]+d)
+			}
+			starts[d] = total
+			total += l + 1 // trailing terminator
+		}
+		text := make([]int32, total)
+		for d, l := range lens {
+			text[starts[d]+l] = fmindex.Terminator
+		}
+		texts[r], runStarts[r] = text, starts
+	}
+	filled := make([]int, len(runs))
+	ix.frozen.Each(func(e network.EdgeID, fx *temporal.FrozenIndex) {
+		sym := int32(e) + fmindex.MinEdgeSymbol
+		for i, n := 0, fx.Len(); i < n; i++ {
+			r := runOf[partW(fx, i)]
+			if r < 0 {
+				continue
+			}
+			d := int(fx.Traj[i]) - runBase[r]
+			texts[r][runStarts[r][d]+fx.Seq[i]] = sym
+			filled[r]++
+		}
+	})
+	for r := range runs {
+		if want := len(texts[r]) - len(runLens[r]); filled[r] != want {
+			return nil, stats, fmt.Errorf("snt: compaction rebuilt %d of %d records in run %d", filled[r], want, r)
+		}
+		stats.RecordsRebuilt += filled[r]
+		stats.TrajsRebuilt += len(runLens[r])
+	}
+
+	// Rebuild each run's suffix structures and FM-index; keep the ISA for
+	// the column rewrite.
+	runISA := make([][]int32, len(runs))
+	runFM := make([]*fmindex.Index, len(runs))
+	for r := range runs {
+		_, isa, bwt := suffix.BuildAll(texts[r], ix.alphabet)
+		runISA[r] = isa
+		runFM[r] = fmindex.FromBWT(bwt, ix.alphabet)
+	}
+
+	// Assemble the new partition list: merged runs collapse to one entry,
+	// unmerged partitions carry over (their FM-indexes are shared).
+	parts := make([]partition, 0, numNew)
+	for w := 0; w < old; {
+		if r := runOf[w]; r >= 0 {
+			parts = append(parts, partition{
+				fm:      runFM[r],
+				trajs:   len(runLens[r]),
+				records: filled[r],
+			})
+			w = runs[r].hi
+			continue
+		}
+		parts = append(parts, ix.parts[w])
+		w++
+	}
+
+	// Rewrite the frozen columns: merged records get their new ISA
+	// position, every record gets its new partition id, and the partition
+	// column is elided when it would be all zeros (always true after full
+	// compaction — the single-partition layout of the paper). Segments
+	// whose records need no change share their index with the receiver.
+	frozen := ix.frozen.Rewrite(func(_ network.EdgeID, fx *temporal.FrozenIndex) *temporal.FrozenIndex {
+		n := fx.Len()
+		dirty := false
+		for i := 0; i < n; i++ {
+			w := partW(fx, i)
+			if runOf[w] >= 0 || newW[w] != w {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			return fx
+		}
+		nISA := make([]int32, n)
+		copy(nISA, fx.ISA)
+		var nW []int32
+		if numNew > 1 {
+			nW = make([]int32, n)
+		}
+		hasW := false
+		for i := 0; i < n; i++ {
+			w := partW(fx, i)
+			if r := runOf[w]; r >= 0 {
+				d := int(fx.Traj[i]) - runBase[r]
+				nISA[i] = runISA[r][runStarts[r][d]+fx.Seq[i]]
+			}
+			if nW != nil {
+				nW[i] = newW[w]
+				if newW[w] != 0 {
+					hasW = true
+				}
+			}
+		}
+		if !hasW {
+			nW = nil
+		}
+		return &temporal.FrozenIndex{
+			Ts: fx.Ts, Traj: fx.Traj, Seq: fx.Seq,
+			W: nW, ISA: nISA, A: fx.A, TT: fx.TT,
+		}
+	})
+
+	// Merge the per-partition time-of-day histograms; integer bucket counts
+	// make the merged histogram exactly the one a from-scratch build over
+	// the merged partition would produce.
+	var tod [][]*hist.TodHistogram
+	if ix.tod != nil {
+		tod = make([][]*hist.TodHistogram, 0, numNew)
+		for w := 0; w < old; {
+			r := runOf[w]
+			if r < 0 {
+				tod = append(tod, ix.tod[w])
+				w++
+				continue
+			}
+			merged := make([]*hist.TodHistogram, ix.g.NumEdges())
+			for v := runs[r].lo; v < runs[r].hi; v++ {
+				for e, h := range ix.tod[v] {
+					if h == nil {
+						continue
+					}
+					if merged[e] == nil {
+						merged[e] = h.Clone()
+					} else {
+						merged[e].AddAll(h)
+					}
+				}
+			}
+			tod = append(tod, merged)
+			w = runs[r].hi
+		}
+	}
+
+	nix := &Index{
+		g:             ix.g,
+		opts:          ix.opts,
+		parts:         parts,
+		frozen:        frozen,
+		users:         ix.users,
+		tod:           tod,
+		tmin:          ix.tmin,
+		tmax:          ix.tmax,
+		maxTrajDur:    ix.maxTrajDur,
+		alphabet:      ix.alphabet,
+		stats:         ix.stats,
+		compactedFrom: old,
+	}
+	nix.stats.Partitions = numNew
+	stats.PartitionsAfter = numNew
+	stats.Runs = len(runs)
+	stats.Elapsed = time.Since(startedAt)
+	stats.CompletedUnix = time.Now().Unix()
+	committed = true
+	return nix, stats, nil
+}
+
+// CompactedFrom returns the partition count before the Compact call that
+// produced this snapshot, or 0 when it was never compacted.
+func (ix *Index) CompactedFrom() int { return ix.compactedFrom }

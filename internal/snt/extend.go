@@ -89,9 +89,7 @@ func (ix *Index) Extend(add *traj.Store) (*Index, error) {
 		}
 		text = append(text, fmindex.Terminator)
 	}
-	sa := suffix.Array(text, ix.alphabet)
-	isa := suffix.Inverse(sa)
-	bwt := suffix.BWT(text, sa)
+	_, isa, bwt := suffix.BuildAll(text, ix.alphabet)
 
 	// Collect the forest batch and the new per-partition ToD histograms.
 	fb := temporal.NewForestBuilder(ix.opts.Tree)
@@ -141,10 +139,15 @@ func (ix *Index) Extend(add *traj.Store) (*Index, error) {
 	// tiny); users grows by plain append — any shared spare capacity is
 	// written only beyond the receiver's visible length, which the
 	// superseded flag keeps single-writer.
+	newPart := partition{
+		fm:      fmindex.FromBWT(bwt, ix.alphabet),
+		trajs:   add.Len(),
+		records: records,
+	}
 	nix := &Index{
 		g:          ix.g,
 		opts:       ix.opts,
-		parts:      append(ix.parts[:len(ix.parts):len(ix.parts)], partition{fm: fmindex.FromBWT(bwt, ix.alphabet)}),
+		parts:      append(ix.parts[:len(ix.parts):len(ix.parts)], newPart),
 		frozen:     frozen,
 		users:      ix.users,
 		tmin:       ix.tmin,

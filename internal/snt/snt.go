@@ -38,9 +38,16 @@ type Options struct {
 }
 
 // partition is one temporal partition: an FM-index over the trajectory
-// string of the trajectories starting within the partition's time range.
+// string of the trajectories starting within the partition's time range,
+// plus the metadata the compaction planner sizes runs with. Partitions
+// cover contiguous trajectory-id ranges in partition order (Build assigns
+// ids in start-time order and Extend appends the next id block), which is
+// what lets Compact reconstruct a merged partition's trajectory string from
+// the frozen columns alone.
 type partition struct {
-	fm *fmindex.Index
+	fm      *fmindex.Index
+	trajs   int // trajectories whose string lives in this partition
+	records int // segment traversals carried by those trajectories
 }
 
 // Index is the extended SNT-index.
@@ -63,10 +70,15 @@ type Index struct {
 	alphabet   int
 	stats      BuildStats
 
-	// superseded flips once this snapshot has been extended. Extend shares
-	// spare column/slice capacity with the snapshot it returns, so extension
-	// chains must be linear: only the newest snapshot may be extended again.
-	// The flag turns a violation into an error instead of silent corruption.
+	// compactedFrom is the partition count before the Compact call that
+	// produced this snapshot (0 when the snapshot was never compacted).
+	compactedFrom int
+
+	// superseded flips once this snapshot has been extended or compacted.
+	// Both share spare column/slice capacity with the snapshot they return,
+	// so snapshot chains must be linear: only the newest snapshot may be
+	// extended or compacted again. The flag turns a violation into an error
+	// instead of silent corruption.
 	superseded atomic.Bool
 }
 
@@ -141,10 +153,12 @@ func Build(g *network.Graph, store *traj.Store, opts Options) *Index {
 			}
 			text = append(text, fmindex.Terminator)
 		}
-		sa := suffix.Array(text, ix.alphabet)
-		isa := suffix.Inverse(sa)
-		bwt := suffix.BWT(text, sa)
-		ix.parts = append(ix.parts, partition{fm: fmindex.FromBWT(bwt, ix.alphabet)})
+		_, isa, bwt := suffix.BuildAll(text, ix.alphabet)
+		ix.parts = append(ix.parts, partition{
+			fm:      fmindex.FromBWT(bwt, ix.alphabet),
+			trajs:   len(members[w]),
+			records: len(text) - len(members[w]),
+		})
 		// Temporal records: one per segment traversal, carrying the ISA of
 		// the occurrence position, trajectory id, TT, aggregate a, seq, w.
 		for mi, id := range members[w] {
@@ -226,25 +240,25 @@ func (ix *Index) pathSymbols(p network.Path) []int32 {
 type Range struct{ St, Ed int64 }
 
 // ISARanges runs Procedure 2 in every partition and returns the ranges,
-// indexed by partition id.
+// indexed by partition id. The per-partition backward searches run as one
+// batch over a pooled Scratch — the path's symbols are converted once and
+// the range buffer is reused — so only the returned slice is allocated.
 func (ix *Index) ISARanges(p network.Path) []Range {
-	syms := ix.pathSymbols(p)
-	out := make([]Range, len(ix.parts))
-	for w := range ix.parts {
-		st, ed := ix.parts[w].fm.GetISARange(syms)
-		out[w] = Range{St: st, Ed: ed}
-	}
+	sc := AcquireScratch()
+	ranges, _ := ix.isaRanges(sc, p)
+	out := append([]Range(nil), ranges...)
+	ReleaseScratch(sc)
 	return out
 }
 
 // PathCount returns c_P: the exact number of times the path occurs in the
 // trajectory string(s), summed over partitions — the base input of the
-// cardinality estimator (Section 4.4).
+// cardinality estimator (Section 4.4). Allocation-free: the batched
+// per-partition searches run over a pooled Scratch.
 func (ix *Index) PathCount(p network.Path) int64 {
-	var c int64
-	for _, r := range ix.ISARanges(p) {
-		c += r.Ed - r.St
-	}
+	sc := AcquireScratch()
+	_, c := ix.isaRanges(sc, p)
+	ReleaseScratch(sc)
 	return c
 }
 
@@ -309,8 +323,13 @@ func (ix *Index) Memory() MemoryStats {
 	return m
 }
 
-// String summarises the index.
+// String summarises the index; a compacted snapshot also reports how many
+// partitions the last Compact merged down from.
 func (ix *Index) String() string {
-	return fmt.Sprintf("snt.Index{%s, %d partitions, %d records, %d trajectories}",
-		ix.opts.Tree, len(ix.parts), ix.stats.Records, ix.stats.Trajs)
+	parts := fmt.Sprintf("%d partitions", len(ix.parts))
+	if ix.compactedFrom > 0 {
+		parts = fmt.Sprintf("%d partitions (compacted from %d)", len(ix.parts), ix.compactedFrom)
+	}
+	return fmt.Sprintf("snt.Index{%s, %s, %d records, %d trajectories}",
+		ix.opts.Tree, parts, ix.stats.Records, ix.stats.Trajs)
 }

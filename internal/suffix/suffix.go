@@ -23,6 +23,15 @@ func Array(text []int32, k int) []int32 {
 	return sa[1:]
 }
 
+// BuildAll returns the suffix array, inverse suffix array and
+// Burrows-Wheeler transform of text in one call — the triple every
+// partition (re)build needs (snt.Build, Index.Extend and Index.Compact all
+// derive an FM-index and per-record ISA positions from the same text).
+func BuildAll(text []int32, k int) (sa, isa, bwt []int32) {
+	sa = Array(text, k)
+	return sa, Inverse(sa), BWT(text, sa)
+}
+
 // Inverse returns ISA where ISA[SA[j]] = j.
 func Inverse(sa []int32) []int32 {
 	isa := make([]int32, len(sa))

@@ -219,6 +219,21 @@ func (f *FrozenForest) SizeBytes() int {
 	return sz
 }
 
+// Rewrite returns a new forest in which every segment's index is replaced
+// by fn's result; returning the input index unchanged shares it between the
+// forests. The receiver is never modified — this is the copy-on-write
+// primitive partition compaction uses to republish per-record partition ids
+// and ISA positions (snt.Index.Compact) without touching segments whose
+// records all lie outside the merged partitions. fn must return a
+// non-nil index and must not mutate the input index or its columns.
+func (f *FrozenForest) Rewrite(fn func(network.EdgeID, *FrozenIndex) *FrozenIndex) *FrozenForest {
+	nf := &FrozenForest{idx: make(map[network.EdgeID]*FrozenIndex, len(f.idx))}
+	for e, fx := range f.idx {
+		nf.idx[e] = fn(e, fx)
+	}
+	return nf
+}
+
 // Extend returns a new forest holding the receiver's records followed by
 // the builder's batch of newer records (the batch-update path of Section
 // 4.3.2). The frozen columns are append-only exactly like the CSS-tree:

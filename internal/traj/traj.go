@@ -191,6 +191,40 @@ func (s *Store) SortByStart() *Store {
 	return s
 }
 
+// Slice returns a deep copy of trajectories [lo, hi) as a fresh store with
+// ids renumbered from 0 — the batch-carving primitive of the ingestion
+// paths (an Extend batch must be its own store).
+func (s *Store) Slice(lo, hi int) *Store {
+	out := NewStore()
+	for i := lo; i < hi; i++ {
+		tr := &s.trajs[i]
+		out.Add(tr.User, append([]Entry(nil), tr.Seq...))
+	}
+	return out
+}
+
+// QuiescentCuts returns the positions at which the store can be split into
+// strictly-newer batches: every returned index i marks a trajectory that
+// starts strictly after every earlier trajectory has ended, which is
+// exactly the precondition snt.Index.Extend places on a batch. The store
+// is sorted by start time as a side effect.
+func (s *Store) QuiescentCuts() []int {
+	s.SortByStart()
+	var cuts []int
+	var maxEnd int64
+	for i := range s.trajs {
+		tr := &s.trajs[i]
+		if i > 0 && tr.StartTime() > maxEnd {
+			cuts = append(cuts, i)
+		}
+		last := tr.Seq[len(tr.Seq)-1]
+		if end := last.T + int64(last.TT); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	return cuts
+}
+
 // MedianStart returns the median trajectory start time, used to derive the
 // query set ("a random 1% sample of all trajectories ... after the median of
 // the timestamps", Section 6).

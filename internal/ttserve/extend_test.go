@@ -90,8 +90,11 @@ func TestExtendEndpoint(t *testing.T) {
 		st.Epoch != 1 || st.Partitions != 2 || st.Trajectories != 5 || st.LastExtendUnix == 0 {
 		t.Fatalf("stats after extend = %+v", st)
 	}
-	if st.FullCacheInvalidations == 0 {
-		t.Fatalf("no full-cache invalidation surfaced after extend: %+v", st)
+	// The epoch publication swept both caches eagerly; the purge counters
+	// surface through /statsz (lazy invalidations only remain for queries
+	// racing the publication on a pinned snapshot).
+	if st.CachePurges == 0 || st.FullCachePurges == 0 {
+		t.Fatalf("no cache purges surfaced after extend: %+v", st)
 	}
 }
 

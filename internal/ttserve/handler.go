@@ -13,6 +13,7 @@ package ttserve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -25,13 +26,22 @@ import (
 
 // Config parameterises the handler.
 type Config struct {
-	// EnableExtend registers the POST /extend ingestion endpoint. Off by
-	// default: ingestion changes served results, so exposing it is an
-	// explicit deployment decision (cmd/ttserve: -enable-extend).
+	// EnableExtend registers the POST /extend ingestion endpoint and the
+	// POST /compact maintenance endpoint. Off by default: both mutate
+	// served state, so exposing them is an explicit deployment decision
+	// (cmd/ttserve: -enable-extend).
 	EnableExtend bool
 	// MaxExtendBytes caps the accepted /extend request body size
-	// (DefaultMaxExtendBytes when 0).
+	// (DefaultMaxExtendBytes when 0). A larger body is rejected with
+	// 413 and a JSON error before the engine sees it.
 	MaxExtendBytes int64
+	// MaxExtendTrajectories caps the number of trajectories accepted in
+	// one /extend batch (0 = unlimited). An oversized batch is rejected
+	// with 413 and a JSON error before the engine indexes anything —
+	// admission control for the ingest path: a single huge batch would
+	// otherwise monopolise the (serialised) extend lock and build one
+	// giant partition in the request goroutine.
+	MaxExtendTrajectories int
 }
 
 // DefaultMaxExtendBytes is the default /extend body cap (64 MiB).
@@ -70,12 +80,20 @@ type Stats struct {
 	FullCacheInvalidations int64   `json:"full_cache_invalidations"`
 	FullCacheEntries       int     `json:"full_cache_entries"`
 	FullCacheHitRatio      float64 `json:"full_cache_hit_ratio"`
+	CachePurges            int64   `json:"cache_purges"`
+	FullCachePurges        int64   `json:"full_cache_purges"`
 	IndexBytes             int     `json:"index_bytes"`
 	ExtendEnabled          bool    `json:"extend_enabled"`
 	Extends                int64   `json:"extends"`
 	ExtendTrajectories     int64   `json:"extend_trajectories"`
 	ExtendRejects          int64   `json:"extend_rejects"`
+	ExtendOverloadRejects  int64   `json:"extend_overload_rejects"`
 	LastExtendUnix         int64   `json:"last_extend_unix,omitempty"`
+	Compactions            int64   `json:"compactions"`
+	CompactionFailures     int64   `json:"compaction_failures,omitempty"`
+	LastCompactionMerged   int64   `json:"last_compaction_merged_partitions"`
+	LastCompactUnix        int64   `json:"last_compact_unix,omitempty"`
+	Index                  string  `json:"index"`
 }
 
 // ExtendResponse is the JSON shape of a successful /extend answer.
@@ -84,6 +102,29 @@ type ExtendResponse struct {
 	Epoch        uint64  `json:"epoch"`
 	Total        int     `json:"total_trajectories"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// CompactResponse is the JSON shape of a /compact answer.
+type CompactResponse struct {
+	PartitionsBefore int     `json:"partitions_before"`
+	PartitionsAfter  int     `json:"partitions_after"`
+	Runs             int     `json:"merged_runs"`
+	TrajsRebuilt     int     `json:"trajectories_rebuilt"`
+	RecordsRebuilt   int     `json:"records_rebuilt"`
+	Epoch            uint64  `json:"epoch"`
+	ElapsedMs        float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON error body of admission rejections.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// rejectJSON writes a JSON error with the given status.
+func rejectJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }
 
 // SubResponse describes one final sub-query.
@@ -107,10 +148,11 @@ type server struct {
 	eng *pathhist.Engine
 	cfg Config
 
-	extends        atomic.Int64
-	extendTrajs    atomic.Int64
-	extendRejects  atomic.Int64
-	lastExtendUnix atomic.Int64
+	extends         atomic.Int64
+	extendTrajs     atomic.Int64
+	extendRejects   atomic.Int64
+	extendOverloads atomic.Int64
+	lastExtendUnix  atomic.Int64
 }
 
 // NewHandler returns the service mux for an engine with the default
@@ -134,6 +176,7 @@ func NewHandlerWith(eng *pathhist.Engine, cfg Config) http.Handler {
 	mux.HandleFunc("/query", s.query)
 	if cfg.EnableExtend {
 		mux.HandleFunc("/extend", s.extend)
+		mux.HandleFunc("/compact", s.compact)
 	}
 	return mux
 }
@@ -142,6 +185,7 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.CacheStats()
 	fs := s.eng.FullCacheStats()
 	c, wt, user, forest := s.eng.IndexMemory()
+	compactions, lastCompaction := s.eng.CompactionInfo()
 	st := Stats{
 		Partitions:             s.eng.Partitions(),
 		Epoch:                  s.eng.Epoch(),
@@ -154,12 +198,20 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		FullCacheMisses:        fs.Misses,
 		FullCacheInvalidations: fs.Invalidations,
 		FullCacheEntries:       fs.Entries,
+		CachePurges:            cs.Purges,
+		FullCachePurges:        fs.Purges,
 		IndexBytes:             c + wt + user + forest,
 		ExtendEnabled:          s.cfg.EnableExtend,
 		Extends:                s.extends.Load(),
 		ExtendTrajectories:     s.extendTrajs.Load(),
 		ExtendRejects:          s.extendRejects.Load(),
+		ExtendOverloadRejects:  s.extendOverloads.Load(),
 		LastExtendUnix:         s.lastExtendUnix.Load(),
+		Compactions:            compactions,
+		CompactionFailures:     s.eng.CompactionFailures(),
+		LastCompactionMerged:   int64(lastCompaction.PartitionsBefore - lastCompaction.PartitionsAfter),
+		LastCompactUnix:        lastCompaction.CompletedUnix,
+		Index:                  s.eng.IndexInfo(),
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		st.CacheHitRatio = float64(cs.Hits) / float64(total)
@@ -202,8 +254,28 @@ func (s *server) extend(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	batch, err := pathhist.ReadStore(http.MaxBytesReader(w, r.Body, s.cfg.MaxExtendBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Admission control, byte budget: the request exceeded the
+			// configured body cap — a client-side sizing problem, reported
+			// as 413 with a machine-readable body so batch producers can
+			// split and retry.
+			s.extendOverloads.Add(1)
+			rejectJSON(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch exceeds the %d-byte limit; split it into smaller batches", tooBig.Limit))
+			return
+		}
 		s.extendRejects.Add(1)
 		http.Error(w, fmt.Sprintf("decoding batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	if max := s.cfg.MaxExtendTrajectories; max > 0 && batch.Len() > max {
+		// Admission control, trajectory budget: indexing runs in the
+		// request goroutine under the serialised extend lock, so one huge
+		// batch would stall every later ingest for its whole build time.
+		s.extendOverloads.Add(1)
+		rejectJSON(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch holds %d trajectories, limit is %d; split it into smaller batches", batch.Len(), max))
 		return
 	}
 	st, err := s.eng.Extend(batch)
@@ -224,6 +296,36 @@ func (s *server) extend(w http.ResponseWriter, r *http.Request) {
 		Epoch:        st.Epoch,
 		Total:        st.TotalTrajectories,
 		ElapsedMs:    float64(time.Since(started).Microseconds()) / 1000,
+	})
+}
+
+// compact triggers partition compaction: the engine merges the temporal
+// partitions accumulated by /extend batches back into few large ones and
+// publishes the result as a new epoch, off the serving path. Idempotent —
+// when nothing needs merging the response reports an unchanged layout.
+func (s *server) compact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST to /compact to merge ingested partitions", http.StatusMethodNotAllowed)
+		return
+	}
+	st, err := s.eng.Compact()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The response reports the epoch of this compaction's own publication
+	// (from CompactionStats), not a re-read of engine state a concurrent
+	// extend may already have advanced.
+	_ = json.NewEncoder(w).Encode(CompactResponse{
+		PartitionsBefore: st.PartitionsBefore,
+		PartitionsAfter:  st.PartitionsAfter,
+		Runs:             st.Runs,
+		TrajsRebuilt:     st.TrajsRebuilt,
+		RecordsRebuilt:   st.RecordsRebuilt,
+		Epoch:            st.Epoch,
+		ElapsedMs:        float64(st.Elapsed.Microseconds()) / 1000,
 	})
 }
 

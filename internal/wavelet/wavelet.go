@@ -225,6 +225,60 @@ func (t *Tree) Rank(c int32, i int) int {
 	return i
 }
 
+// Rank2 returns Rank(c, i) and Rank(c, j) from a single tree descent. The
+// FM-index backward search of Procedure 2 needs the ranks of both interval
+// bounds at the same symbol for every path step; answering them together
+// halves the code lookups and node walks, and on the O(1) bit-vector rank
+// directory the whole step is a handful of table reads. Requires i <= j
+// (backward-search bounds always satisfy this); results are identical to
+// two Rank calls.
+func (t *Tree) Rank2(c int32, i, j int) (ri, rj int) {
+	if j <= 0 {
+		return 0, 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if j > t.n {
+		j = t.n
+	}
+	if i > j {
+		i = j
+	}
+	if t.singleUse {
+		if c == t.single {
+			return i, j
+		}
+		return 0, 0
+	}
+	cd, ok := t.codes[c]
+	if !ok {
+		return 0, 0
+	}
+	ni := int32(0)
+	for d := uint8(0); d < cd.len; d++ {
+		nd := &t.nodes[ni]
+		var next int32
+		if cd.bits&(1<<d) == 0 {
+			i = nd.bv.Rank0(i)
+			j = nd.bv.Rank0(j)
+			next = nd.left
+		} else {
+			i = nd.bv.Rank1(i)
+			j = nd.bv.Rank1(j)
+			next = nd.right
+		}
+		if j == 0 {
+			return 0, 0
+		}
+		if next < 0 {
+			return i, j
+		}
+		ni = next
+	}
+	return i, j
+}
+
 // Access returns the symbol at position i (used by tests; query processing
 // needs only Rank).
 func (t *Tree) Access(i int) int32 {

@@ -141,3 +141,44 @@ func TestSizeBytesGrowsWithNodes(t *testing.T) {
 		t.Errorf("wider alphabet should cost more: %d vs %d", big.SizeBytes(), small.SizeBytes())
 	}
 }
+
+// TestRank2MatchesRankPairs: the paired-rank descent must agree with two
+// independent Rank calls for every symbol (present or absent) and every
+// bound pair, including the degenerate single-symbol and empty trees.
+func TestRank2MatchesRankPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seqs := [][]int32{
+		{},           // empty
+		{5, 5, 5, 5}, // single symbol
+		{1, 2},       // minimal alphabet
+		randomSeq(rng, 300, 2),
+		randomSeq(rng, 500, 17),
+		randomSeq(rng, 1000, 200),
+	}
+	for si, seq := range seqs {
+		tr := New(seq)
+		n := len(seq)
+		for s := int32(0); s < 20; s++ {
+			for trial := 0; trial < 50; trial++ {
+				i := rng.Intn(n + 2)
+				j := rng.Intn(n + 2)
+				if i > j {
+					i, j = j, i
+				}
+				ri, rj := tr.Rank2(s, i, j)
+				if wi, wj := tr.Rank(s, i), tr.Rank(s, j); ri != wi || rj != wj {
+					t.Fatalf("seq %d: Rank2(%d, %d, %d) = (%d, %d), want (%d, %d)",
+						si, s, i, j, ri, rj, wi, wj)
+				}
+			}
+		}
+	}
+}
+
+func randomSeq(rng *rand.Rand, n int, alphabet int32) []int32 {
+	seq := make([]int32, n)
+	for i := range seq {
+		seq[i] = rng.Int31n(alphabet)
+	}
+	return seq
+}

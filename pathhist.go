@@ -203,6 +203,19 @@ type Options struct {
 	// FullResultCacheCapacity is the total number of cached full results
 	// (a default applies when 0).
 	FullResultCacheCapacity int
+	// AutoCompactPartitions enables automatic partition compaction: when a
+	// batch ingest leaves the index with at least this many temporal
+	// partitions, Extend merges them back down (off the serving path,
+	// published as its own epoch) before returning. Repeated small ingests
+	// otherwise degrade query latency linearly — every partition costs one
+	// FM-index backward search per sub-query. 0 disables auto-compaction;
+	// Engine.Compact remains available either way.
+	AutoCompactPartitions int
+	// MaxCompactedRecords caps one merged partition's traversal-record
+	// count, making compaction size-tiered (partitions at or above the cap
+	// are left alone). 0 merges without bound: compaction always yields a
+	// single partition.
+	MaxCompactedRecords int
 }
 
 // Engine answers travel-time queries over an indexed trajectory set.
@@ -267,6 +280,10 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 		CacheCapacity:           opts.CacheCapacity,
 		DisableFullResultCache:  opts.DisableFullResultCache,
 		FullResultCacheCapacity: opts.FullResultCacheCapacity,
+		Compaction: snt.CompactionPolicy{
+			TriggerPartitions: opts.AutoCompactPartitions,
+			MaxMergedRecords:  opts.MaxCompactedRecords,
+		},
 	}
 	return &Engine{g: g, qe: query.NewEngine(ix, cfg)}, nil
 }
@@ -287,8 +304,37 @@ type IngestStats = query.IngestStats
 func (e *Engine) Extend(batch *Store) (IngestStats, error) { return e.qe.Extend(batch) }
 
 // Epoch returns the engine's current index epoch: 0 at construction,
-// incremented by every successful non-empty Extend.
+// incremented by every successful non-empty Extend and every effective
+// Compact.
 func (e *Engine) Epoch() uint64 { return e.qe.Epoch() }
+
+// CompactionStats reports what one compaction did.
+type CompactionStats = snt.CompactionStats
+
+// Compact merges the index's temporal partitions per the engine's
+// compaction policy (Options.MaxCompactedRecords; the manual call ignores
+// the auto-compaction threshold) and publishes the compacted index as a
+// new epoch. Queries never block: compaction runs off the serving path
+// against an immutable snapshot, and the compacted index answers every
+// query bit-identically to the fragmented one — only faster, because each
+// sub-query pays one FM-index backward search per partition. Stats with
+// PartitionsBefore == PartitionsAfter mean nothing needed merging.
+func (e *Engine) Compact() (CompactionStats, error) { return e.qe.Compact() }
+
+// CompactionInfo returns how many compactions this engine has published
+// and the stats of the most recent one.
+func (e *Engine) CompactionInfo() (int64, CompactionStats) { return e.qe.CompactionInfo() }
+
+// CompactionFailures counts auto-compactions that failed after their
+// triggering ingest was already published (the ingest succeeded either
+// way; the fragmented layout lives on until the next trigger or a manual
+// Compact).
+func (e *Engine) CompactionFailures() int64 { return e.qe.CompactionFailures() }
+
+// IndexInfo summarises the served index snapshot (tree kind, partitions —
+// including how many the last compaction merged down from — records,
+// trajectories).
+func (e *Engine) IndexInfo() string { return e.qe.Index().String() }
 
 // Trajectories returns the number of indexed trajectories in the currently
 // published snapshot.
