@@ -6,6 +6,8 @@
 package pathhist
 
 import (
+	"bytes"
+	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -620,6 +622,84 @@ func BenchmarkPublicAPIQuery(b *testing.B) {
 		q := qs[i%len(qs)]
 		if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20, Exclude: true, ExcludeTraj: q.Traj}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Restart persistence (PR 5) ---
+//
+// The headline pair: BenchmarkSnapshotBuild is what a restart costs without
+// persistence (read trajectories, rebuild suffix arrays/BWTs, freeze the
+// forest, rebuild the estimator); BenchmarkSnapshotLoad restores the same
+// serving-ready engine from snapshot bytes. benchrecord derives the
+// load_vs_build ratio from the two (acceptance bar: >= 10x).
+
+// snapshotBenchOpts mirrors the ttserve serving configuration.
+var snapshotBenchOpts = Options{Partition: ByZone, Estimator: EstimatorCSSFast}
+
+// BenchmarkSnapshotBuild is the from-scratch path a snapshot load replaces.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEngine(e.DS.G, e.DS.Store, snapshotBenchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures serialising the served index.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	e := env(b)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, snapshotBenchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var size int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Snapshot(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = st.Bytes
+	}
+	b.StopTimer()
+	b.SetBytes(size)
+	b.ReportMetric(float64(size), "snapshot_bytes")
+}
+
+// BenchmarkSnapshotLoad restores a serving-ready engine from snapshot
+// bytes (the restart-with-persistence path).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	e := env(b)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, snapshotBenchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	q := e.Queries[0]
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := LoadSnapshot(e.DS.G, bytes.NewReader(data), snapshotBenchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Serving-ready, not just decoded: answer one real query.
+			b.StopTimer()
+			if _, err := restored.Query(Query{Path: q.Path, Around: q.T0, Beta: 20}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
 		}
 	}
 }

@@ -48,7 +48,8 @@ const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" 
 	"BenchmarkFig5aTemporalPiZ$|BenchmarkGetTravelTimes|BenchmarkThroughputParallel|" +
 	"BenchmarkPublicAPIQuery|BenchmarkEngineExtend|BenchmarkExtendWhileServing|" +
 	"BenchmarkManyPartitions|BenchmarkCompact$|BenchmarkFMIndexBackwardSearch|" +
-	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan"
+	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan|" +
+	"BenchmarkSnapshotBuild|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -212,6 +213,14 @@ func derive(recs []Record) map[string]string {
 	if lin, ok := byName["BenchmarkRankLinearScan"]; ok && lin.NsPerOp > 0 {
 		if two, ok := byName["BenchmarkRankTwoLevel"]; ok && two.NsPerOp > 0 {
 			out["rank_directory_speedup"] = fmt.Sprintf("%.2fx", lin.NsPerOp/two.NsPerOp)
+		}
+	}
+	// Restart persistence (PR 5): how much faster a snapshot load restores
+	// a serving-ready engine than the from-scratch build it replaces
+	// (acceptance bar: >= 10x).
+	if build, ok := byName["BenchmarkSnapshotBuild"]; ok && build.NsPerOp > 0 {
+		if load, ok := byName["BenchmarkSnapshotLoad"]; ok && load.NsPerOp > 0 {
+			out["load_vs_build"] = fmt.Sprintf("%.2fx", build.NsPerOp/load.NsPerOp)
 		}
 	}
 	for _, r := range recs {

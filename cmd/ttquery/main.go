@@ -10,6 +10,9 @@
 //	ttquery -data data/ -user 12 -partition mdm  # user-filtered query
 //	ttquery -data data/ -extends 32 -compact     # simulate live ingestion,
 //	                                             # then merge the partitions
+//	ttquery -data data/ -save index.snt          # persist the built index
+//	ttquery -data data/ -load index.snt          # restore it instead of
+//	                                             # rebuilding (restart demo)
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"pathhist"
 	"pathhist/internal/experiments"
@@ -42,6 +46,8 @@ func main() {
 		extends   = flag.Int("extends", 0,
 			"ingest the newest part of the dataset through this many live Extend batches instead of the initial build")
 		compact = flag.Bool("compact", false, "compact the partitions after the simulated ingestion")
+		save    = flag.String("save", "", "write a snapshot of the built index to this file (atomic) before querying")
+		load    = flag.String("load", "", "restore the index from this snapshot file instead of building it")
 	)
 	flag.Parse()
 
@@ -68,9 +74,34 @@ func main() {
 	default:
 		log.Fatalf("unknown partitioning %q", *partition)
 	}
-	eng, err := buildEngine(g, store, opts, *extends, *compact)
-	if err != nil {
-		log.Fatal(err)
+	if *load != "" && (*extends > 0 || *compact) {
+		log.Fatal("-load restores a finished index; it cannot be combined with -extends/-compact (snapshot the extended index with -save instead)")
+	}
+	var eng *pathhist.Engine
+	if *load != "" {
+		// The restart-persistence demo: restore a serving-ready engine from
+		// a snapshot instead of rebuilding suffix arrays and freezing trees.
+		started := time.Now()
+		eng, err = pathhist.LoadSnapshotFile(g, *load, opts)
+		if err != nil {
+			log.Fatalf("loading snapshot: %v", err)
+		}
+		log.Printf("restored %s from %s in %v (epoch %d)", eng.IndexInfo(), *load, time.Since(started), eng.Epoch())
+	} else {
+		started := time.Now()
+		eng, err = buildEngine(g, store, opts, *extends, *compact)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built %s in %v", eng.IndexInfo(), time.Since(started))
+	}
+	if *save != "" {
+		st, err := eng.SnapshotFile(*save)
+		if err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("saved snapshot to %s (%d bytes, epoch %d); restore with -load %s",
+			*save, st.Bytes, st.Epoch, *save)
 	}
 
 	q := pathhist.Query{Beta: *beta}

@@ -5,93 +5,264 @@
 // also ingests live trajectory batches, published lock-free as index
 // epochs (DESIGN.md §8).
 //
+// Restart persistence (DESIGN.md §10): with -snapshot-dir the service
+// writes mmap-friendly snapshots of the served index — on demand via
+// POST /snapshot (behind -enable-extend) and automatically as the final
+// act of a graceful shutdown — and -load-snapshot restores the engine from
+// such a file instead of rebuilding the index from trajectories.bin. A
+// snapshot that fails verification (truncated, checksum mismatch, wrong
+// version, wrong network) is never served: the service logs the reason and
+// falls back to a from-scratch build.
+//
+// The process runs as a managed foreground service: SIGINT/SIGTERM drain
+// in-flight requests (every accepted /extend completes and is acknowledged
+// before the listener closes for good) instead of killing them mid-
+// publication, and the listener applies read/header/idle timeouts so one
+// slow client cannot pin goroutines forever.
+//
 //	ttserve -data data -addr :8080 [-enable-extend] [-auto-compact 16]
+//	        [-snapshot-dir snapdir] [-load-snapshot snapdir/snapshot.snt]
 //
 //	GET  /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
 //	GET  /query?path=17,42,43&from=1335830400&until=1335917000&beta=20
 //	POST /extend            (body: trajectory batch in traj binary format)
 //	POST /compact           (merge ingested partitions; new epoch)
+//	POST /snapshot          (persist the served index to -snapshot-dir)
 //	GET  /statsz
 //	GET  /healthz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"pathhist"
 	"pathhist/internal/ttserve"
 )
 
+// config carries the parsed flags; run is kept separate from main so the
+// full lifecycle — listen, serve, drain, final snapshot — is testable.
+type config struct {
+	data         string
+	addr         string
+	enableExtend bool
+	maxExtendMiB int64
+	maxTrajs     int
+	autoCompact  int
+	snapshotDir  string
+	loadSnapshot string
+
+	// started, when non-nil, receives the bound listener address once the
+	// server accepts connections (used by the lifecycle test; nil in main).
+	started chan<- string
+}
+
+// shutdownTimeout bounds the graceful drain: in-flight requests get this
+// long to complete after SIGINT/SIGTERM before the server gives up.
+const shutdownTimeout = 30 * time.Second
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ttserve: ")
-	var (
-		data         = flag.String("data", "data", "dataset directory (from ttgen)")
-		addr         = flag.String("addr", ":8080", "listen address")
-		enableExtend = flag.Bool("enable-extend", false,
-			"accept live trajectory batches on POST /extend and compaction on POST /compact")
-		maxExtendMiB   = flag.Int64("max-extend-mib", 64, "largest accepted /extend body in MiB")
-		maxExtendTrajs = flag.Int("max-extend-trajs", 0,
-			"largest accepted /extend batch in trajectories (0 = unlimited); larger batches get 413")
-		autoCompact = flag.Int("auto-compact", 16,
-			"merge ingested partitions once this many accumulate (0 = manual /compact only)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.data, "data", "data", "dataset directory (from ttgen)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.BoolVar(&cfg.enableExtend, "enable-extend", false,
+		"accept live trajectory batches on POST /extend, compaction on POST /compact and snapshots on POST /snapshot")
+	flag.Int64Var(&cfg.maxExtendMiB, "max-extend-mib", 64, "largest accepted /extend body in MiB")
+	flag.IntVar(&cfg.maxTrajs, "max-extend-trajs", 0,
+		"largest accepted /extend batch in trajectories (0 = unlimited); larger batches get 413")
+	flag.IntVar(&cfg.autoCompact, "auto-compact", 16,
+		"merge ingested partitions once this many accumulate (0 = manual /compact only)")
+	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "",
+		"directory for index snapshots: enables POST /snapshot (with -enable-extend) and a final snapshot on graceful shutdown")
+	flag.StringVar(&cfg.loadSnapshot, "load-snapshot", "",
+		"restore the engine from this snapshot file instead of building from trajectories.bin (falls back to a build if the snapshot is unusable)")
 	flag.Parse()
 
-	g, store, err := load(*data)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := pathhist.NewEngine(g, store, pathhist.Options{
-		Partition:             pathhist.ByZone,
-		Estimator:             pathhist.EstimatorCSSFast,
-		AutoCompactPartitions: *autoCompact,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	mode := "ingestion disabled"
-	if *enableExtend {
-		mode = "live ingestion on POST /extend"
-		if *autoCompact > 0 {
-			mode += fmt.Sprintf(", auto-compaction at %d partitions", *autoCompact)
-		}
-	}
-	log.Printf("indexed %d trajectories over %d edges; listening on %s (%s)",
-		store.Len(), g.NumEdges(), *addr, mode)
-	handler := ttserve.NewHandlerWith(eng, ttserve.Config{
-		EnableExtend:          *enableExtend,
-		MaxExtendBytes:        *maxExtendMiB << 20,
-		MaxExtendTrajectories: *maxExtendTrajs,
-	})
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func load(dir string) (*pathhist.Graph, *pathhist.Store, error) {
+// run is the whole service lifecycle. It returns once the server has shut
+// down cleanly (nil) or failed.
+func run(ctx context.Context, cfg config) error {
+	// Signal wiring first: a SIGTERM during the (potentially long) build
+	// triggers a clean exit at the next phase boundary. The AfterFunc
+	// restores default signal handling the moment the first signal lands,
+	// so a second signal hard-kills even mid-build — the signals are never
+	// silently swallowed.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	g, err := loadGraph(cfg.data)
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while loading the dataset; exiting")
+		return nil
+	}
+	opts := pathhist.Options{
+		Partition:             pathhist.ByZone,
+		Estimator:             pathhist.EstimatorCSSFast,
+		AutoCompactPartitions: cfg.autoCompact,
+	}
+	// The trajectory store is only needed when the index is actually built
+	// — a successful snapshot restore must not pay for reading and parsing
+	// trajectories.bin (the biggest file in the dataset), so it loads
+	// lazily inside the fallback path.
+	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) {
+		return loadStore(cfg.data)
+	}, opts, cfg.loadSnapshot)
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while building the index; exiting")
+		return nil
+	}
+	mode := "ingestion disabled"
+	if cfg.enableExtend {
+		mode = "live ingestion on POST /extend"
+		if cfg.autoCompact > 0 {
+			mode += fmt.Sprintf(", auto-compaction at %d partitions", cfg.autoCompact)
+		}
+	}
+	if cfg.snapshotDir != "" {
+		if err := os.MkdirAll(cfg.snapshotDir, 0o755); err != nil {
+			return fmt.Errorf("snapshot dir: %w", err)
+		}
+		mode += fmt.Sprintf(", snapshots to %s", cfg.snapshotDir)
+	}
+
+	srv := ttserve.NewServer(eng, ttserve.Config{
+		EnableExtend:          cfg.enableExtend,
+		MaxExtendBytes:        cfg.maxExtendMiB << 20,
+		MaxExtendTrajectories: cfg.maxTrajs,
+		SnapshotDir:           cfg.snapshotDir,
+	})
+	// A bare ListenAndServe would accept connections with no deadlines at
+	// all: a slowloris client (or a stalled proxy) could hold request
+	// goroutines open forever. Headers get a tight deadline; bodies a
+	// generous one (/extend uploads are tens of MiB); idle keep-alives are
+	// bounded so a rolling restart is not hostage to dormant connections.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d trajectories over %d edges (%s); listening on %s (%s)",
+		eng.Trajectories(), g.NumEdges(), source, ln.Addr(), mode)
+	if cfg.started != nil {
+		cfg.started <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests — including
+	// /extend publications — complete and be acknowledged. Default signal
+	// handling is already restored (the AfterFunc above), so a second
+	// signal kills the process the default way.
+	log.Printf("shutting down: draining in-flight requests (limit %v)", shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	var drainErr error
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		// A stuck client exceeded the drain budget. Keep going: the final
+		// snapshot below persists every batch already acknowledged, which
+		// matters more after a messy drain, not less.
+		drainErr = fmt.Errorf("shutdown: %w", err)
+		log.Printf("warning: %v; writing the final snapshot anyway", drainErr)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	// Final snapshot, after the drain: it captures every batch that was
+	// acknowledged before the listener closed, so the next -load-snapshot
+	// resumes from exactly the state clients saw — written even when the
+	// drain timed out, since the published engine state is valid regardless.
+	if cfg.snapshotDir != "" {
+		st, err := srv.WriteSnapshot()
+		if err != nil {
+			if drainErr != nil {
+				return fmt.Errorf("final snapshot: %v (after %w)", err, drainErr)
+			}
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("final snapshot: %s (%d bytes, epoch %d)", st.Path, st.Bytes, st.Epoch)
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("shutdown complete")
+	return nil
+}
+
+// buildOrRestore restores the engine from a snapshot when one is given and
+// loadable, and otherwise builds from the trajectory store (fetched
+// lazily — a successful restore never reads trajectories.bin at all).
+// Snapshot loading fails closed — a corrupt, truncated, version-skewed or
+// wrong-network file is reported and skipped, never served — but the
+// service still comes up, via the same from-scratch build path a plain
+// start uses.
+func buildOrRestore(g *pathhist.Graph, loadStore func() (*pathhist.Store, error), opts pathhist.Options, snapshotPath string) (*pathhist.Engine, string, error) {
+	if snapshotPath != "" {
+		eng, err := pathhist.LoadSnapshotFile(g, snapshotPath, opts)
+		if err == nil {
+			return eng, fmt.Sprintf("restored from %s, epoch %d", snapshotPath, eng.Epoch()), nil
+		}
+		log.Printf("warning: snapshot %s unusable (%v); falling back to a from-scratch build", snapshotPath, err)
+	}
+	store, err := loadStore()
+	if err != nil {
+		return nil, "", err
+	}
+	eng, err := pathhist.NewEngine(g, store, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return eng, "built from trajectories.bin", nil
+}
+
+func loadGraph(dir string) (*pathhist.Graph, error) {
 	nf, err := os.Open(filepath.Join(dir, "network.bin"))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer nf.Close()
-	g, err := pathhist.ReadGraph(nf)
-	if err != nil {
-		return nil, nil, err
-	}
+	return pathhist.ReadGraph(nf)
+}
+
+func loadStore(dir string) (*pathhist.Store, error) {
 	tf, err := os.Open(filepath.Join(dir, "trajectories.bin"))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer tf.Close()
-	store, err := pathhist.ReadStore(tf)
-	if err != nil {
-		return nil, nil, err
-	}
-	return g, store, nil
+	return pathhist.ReadStore(tf)
 }

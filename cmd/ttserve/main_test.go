@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/workload"
+)
+
+// writeDataset materialises a ttgen-style dataset directory holding the
+// first part of the store, returning the remainder as an extend batch.
+func writeDataset(t *testing.T, dir string) (*pathhist.Graph, *pathhist.Store, *pathhist.Store) {
+	t.Helper()
+	ds := workload.BuildDataset(workload.SmallConfig())
+	ds.Store.SortByStart()
+	cuts := ds.Store.QuiescentCuts()
+	if len(cuts) == 0 {
+		t.Fatal("no quiescent cuts")
+	}
+	cut := cuts[len(cuts)/2]
+	base, batch := ds.Store.Slice(0, cut), ds.Store.Slice(cut, ds.Store.Len())
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("network.bin", func(f *os.File) error { _, err := ds.G.WriteTo(f); return err })
+	write("trajectories.bin", func(f *os.File) error { _, err := base.WriteTo(f); return err })
+	return ds.G, base, batch
+}
+
+// TestLifecycleSIGTERM is the acceptance scenario: under live query +
+// ingest load, SIGTERM drains in-flight requests (an accepted /extend
+// completes and is acknowledged), leaks no goroutines, and the final
+// snapshot captures exactly the acknowledged state.
+func TestLifecycleSIGTERM(t *testing.T) {
+	dataDir, snapDir := t.TempDir(), t.TempDir()
+	g, base, batch := writeDataset(t, dataDir)
+
+	baseline := runtime.NumGoroutine()
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	cfg := config{
+		data:         dataDir,
+		addr:         "127.0.0.1:0",
+		enableExtend: true,
+		maxExtendMiB: 64,
+		autoCompact:  0,
+		snapshotDir:  snapDir,
+		started:      started,
+	}
+	go func() { done <- run(context.Background(), cfg) }()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not start")
+	}
+	url := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Keep the server under query load while the signal lands.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	qpath := base.Get(0).Path()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(fmt.Sprintf("%s/query?path=%s&beta=5", url, pathParam(qpath)))
+				if err != nil {
+					return // listener closed during shutdown: expected
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Fire the ingest and the signal concurrently — the batch is either
+	// acknowledged (200, must survive into the snapshot) or refused whole.
+	var buf bytes.Buffer
+	if _, err := batch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	extendDone := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := client.Post(url+"/extend", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			extendDone <- 0 // connection refused before acceptance
+			return
+		}
+		defer resp.Body.Close()
+		extendDone <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond) // let the extend reach the server
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	close(stop)
+	wg.Wait()
+	extendStatus := <-extendDone
+	client.CloseIdleConnections()
+
+	// The final snapshot must exist, load cleanly, and hold exactly the
+	// acknowledged trajectory count.
+	snapPath := filepath.Join(snapDir, pathhist.SnapshotFileName)
+	restored, err := pathhist.LoadSnapshotFile(g, snapPath, pathhist.Options{Partition: pathhist.ByZone})
+	if err != nil {
+		t.Fatalf("final snapshot does not load: %v", err)
+	}
+	want := base.Len()
+	if extendStatus == http.StatusOK {
+		want += batch.Len()
+	} else if extendStatus != 0 {
+		t.Fatalf("extend status = %d", extendStatus)
+	}
+	if restored.Trajectories() != want {
+		t.Fatalf("snapshot holds %d trajectories, want %d (extend status %d)",
+			restored.Trajectories(), want, extendStatus)
+	}
+
+	// No goroutine leak: everything run started must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Fatalf("goroutines: %d, baseline %d", n, baseline)
+	}
+}
+
+// TestLoadSnapshotFallback: an unusable -load-snapshot file must not stop
+// the service — it logs and falls back to a from-scratch build.
+func TestLoadSnapshotFallback(t *testing.T) {
+	dataDir := t.TempDir()
+	g, base, _ := writeDataset(t, dataDir)
+
+	bad := filepath.Join(t.TempDir(), "corrupt.snt")
+	if err := os.WriteFile(bad, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := pathhist.Options{Partition: pathhist.ByZone}
+	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, bad)
+	if err != nil {
+		t.Fatalf("fallback build failed: %v", err)
+	}
+	if source != "built from trajectories.bin" {
+		t.Fatalf("source = %q", source)
+	}
+	if eng.Trajectories() != base.Len() {
+		t.Fatalf("fallback engine holds %d trajectories, want %d", eng.Trajectories(), base.Len())
+	}
+
+	// And a good snapshot restores without touching the build path.
+	snap := filepath.Join(t.TempDir(), pathhist.SnapshotFileName)
+	if _, err := eng.SnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Trajectories() != base.Len() || source == "built from trajectories.bin" {
+		t.Fatalf("restore: %d trajectories, source %q", restored.Trajectories(), source)
+	}
+}
+
+func pathParam(p pathhist.Path) string {
+	out := ""
+	for i, e := range p {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(int(e))
+	}
+	return out
+}

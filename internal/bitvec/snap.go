@@ -1,0 +1,42 @@
+// Snapshot serialization of the bit vector (DESIGN.md §10). The payload and
+// both rank-directory levels are written verbatim, so a load rebuilds
+// nothing — the vector serves rank queries straight off the decoded columns.
+package bitvec
+
+import (
+	"fmt"
+
+	"pathhist/internal/snapio"
+)
+
+// EncodeSnap appends the vector to the open snapshot section: bit length,
+// ones count, words, and the two rank-directory levels.
+func (v *Vector) EncodeSnap(w *snapio.Writer) {
+	w.U64(uint64(v.n))
+	w.U64(uint64(v.ones))
+	w.U64s(v.words)
+	w.I32s(v.blocks)
+	w.U16s(v.sub)
+}
+
+// DecodeSnapVector reads a vector written by EncodeSnap and validates the
+// structural invariants (column lengths implied by the bit length), so a
+// corrupt-but-CRC-valid file cannot yield out-of-bounds rank lookups.
+func DecodeSnapVector(r *snapio.Reader) (*Vector, error) {
+	v := &Vector{
+		n:    int(r.U64()),
+		ones: int(r.U64()),
+	}
+	v.words = r.U64s()
+	v.blocks = r.I32s()
+	v.sub = r.U16s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	nw := (v.n + 63) / 64
+	if v.n < 0 || len(v.words) != nw || len(v.blocks) != nw/wordsPerBlock+1 || len(v.sub) != nw {
+		return nil, fmt.Errorf("bitvec: inconsistent snapshot vector: n=%d words=%d blocks=%d sub=%d",
+			v.n, len(v.words), len(v.blocks), len(v.sub))
+	}
+	return v, nil
+}

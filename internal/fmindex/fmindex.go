@@ -49,6 +49,11 @@ func (ix *Index) Len() int { return ix.n }
 // C returns C[s] (exported for the cardinality estimator's diagnostics).
 func (ix *Index) C(s int32) int64 { return ix.c[s] }
 
+// Alphabet returns k, the alphabet size the index was built with (len(C)
+// is k+1). The snapshot loader cross-checks it against the index-level
+// alphabet.
+func (ix *Index) Alphabet() int { return len(ix.c) - 1 }
+
 // GetISARange implements Procedure 2: it returns the ISA range [st, ed) of
 // the path given as a symbol sequence; an empty range is (0, 0).
 func (ix *Index) GetISARange(path []int32) (st, ed int64) {

@@ -1,0 +1,40 @@
+// Snapshot serialization of the FM-index (DESIGN.md §10): the symbol-count
+// array C, the text length, and the wavelet tree holding the BWT. Nothing
+// is recomputed on load — backward search runs straight off the decoded
+// structures.
+package fmindex
+
+import (
+	"fmt"
+
+	"pathhist/internal/snapio"
+	"pathhist/internal/wavelet"
+)
+
+// EncodeSnap appends the index to the open snapshot section.
+func (ix *Index) EncodeSnap(w *snapio.Writer) {
+	w.U64(uint64(ix.n))
+	w.I64s(ix.c)
+	ix.wt.EncodeSnap(w)
+}
+
+// DecodeSnap reads an index written by EncodeSnap and cross-checks the
+// wavelet tree's sequence length against the declared text length.
+func DecodeSnap(r *snapio.Reader) (*Index, error) {
+	n := r.Int()
+	c := r.I64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	wt, err := wavelet.DecodeSnapTree(r)
+	if err != nil {
+		return nil, err
+	}
+	if wt.Len() != n {
+		return nil, fmt.Errorf("fmindex: snapshot text length %d but wavelet tree holds %d symbols", n, wt.Len())
+	}
+	if len(c) == 0 {
+		return nil, fmt.Errorf("fmindex: snapshot with empty C array")
+	}
+	return &Index{c: c, wt: wt, n: n}, nil
+}

@@ -1,0 +1,32 @@
+// Snapshot serialization of the time-of-day histograms (DESIGN.md §10):
+// bucket width, total, and the raw integer bucket counts.
+package hist
+
+import (
+	"fmt"
+
+	"pathhist/internal/snapio"
+)
+
+// EncodeSnap appends the histogram to the open snapshot section.
+func (h *TodHistogram) EncodeSnap(w *snapio.Writer) {
+	w.U64(uint64(h.width))
+	w.I64(h.total)
+	w.U32s(h.counts)
+}
+
+// DecodeSnapTod reads a histogram written by EncodeSnap, validating the
+// NewTod width invariant and the bucket-count/width relationship.
+func DecodeSnapTod(r *snapio.Reader) (*TodHistogram, error) {
+	h := &TodHistogram{}
+	h.width = r.Int()
+	h.total = r.I64()
+	h.counts = r.U32s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if h.width <= 0 || DaySeconds%h.width != 0 || len(h.counts) != DaySeconds/h.width {
+		return nil, fmt.Errorf("hist: inconsistent snapshot tod histogram: width=%d buckets=%d", h.width, len(h.counts))
+	}
+	return h, nil
+}

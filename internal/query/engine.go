@@ -115,6 +115,18 @@ type Engine struct {
 // (σR, πZ is NOT defaulted — the partitioner must be chosen consciously;
 // Alphas default to the paper's list; bucket width defaults to 10 s).
 func NewEngine(ix *snt.Index, cfg Config) *Engine {
+	return NewEngineAt(ix, cfg, 0)
+}
+
+// NewEngineAt is NewEngine for a restored index: the first published
+// snapshot carries the given epoch instead of 0, so an engine rebuilt from
+// an on-disk snapshot republishes the exact epoch the snapshot was written
+// at. Epoch-stamped cache semantics then survive the restart — the caches
+// start empty either way, but the epoch counter keeps advancing from where
+// the writing engine left it, so epochs stay monotonic across process
+// generations and clients correlating /statsz epochs never see the counter
+// jump backwards.
+func NewEngineAt(ix *snt.Index, cfg Config, epoch uint64) *Engine {
 	if len(cfg.Alphas) == 0 {
 		cfg.Alphas = DefaultAlphas
 	}
@@ -122,7 +134,7 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 		cfg.BucketWidth = 10
 	}
 	e := &Engine{cfg: cfg}
-	e.snap.Store(&snapshot{ix: ix, est: cfg.Estimator})
+	e.snap.Store(&snapshot{ix: ix, est: cfg.Estimator, epoch: epoch})
 	if !cfg.DisableCache {
 		e.cache = newSubCache(cfg.CacheCapacity)
 	}
@@ -130,6 +142,16 @@ func NewEngine(ix *snt.Index, cfg Config) *Engine {
 		e.full = newFullCache(cfg.FullResultCacheCapacity)
 	}
 	return e
+}
+
+// Snapshot returns the currently published (index, epoch) pair as one
+// consistent unit — what a persistence layer must capture together so the
+// restored engine serves the same index at the same epoch. The index is
+// immutable; the pair stays valid (and snapshot-able) even while later
+// Extends publish successors.
+func (e *Engine) Snapshot() (*snt.Index, uint64) {
+	sn := e.snap.Load()
+	return sn.ix, sn.epoch
 }
 
 // Index returns the currently published index snapshot.

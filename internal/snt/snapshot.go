@@ -1,0 +1,446 @@
+// Restart persistence (DESIGN.md §10). A snapshot captures one published
+// index snapshot — every structure the serving path reads — in the
+// versioned, checksummed, 8-byte-aligned section format of
+// internal/snapio, so a process can restore a serving-ready index with one
+// sequential file read instead of replaying the whole build pipeline
+// (suffix arrays, BWTs, tree freezing). The build pipeline is untouched:
+// WriteSnapshot reads the immutable index, ReadSnapshot constructs an
+// equivalent one, and the differential suite asserts the loaded index is
+// query-identical (exact sample order, columns, ToD histograms, memory
+// model) to the one that wrote it.
+//
+// Epoch semantics: the index itself is epoch-free — epochs belong to the
+// serving layer (query.Engine) — but the snapshot carries the epoch it was
+// published as, so a restored engine can republish the same epoch and keep
+// epoch-stamped cache semantics consistent across the restart.
+package snt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pathhist/internal/fmindex"
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/snapio"
+	"pathhist/internal/temporal"
+	"pathhist/internal/traj"
+)
+
+// Section kinds of the snt snapshot layout, in their mandatory file order:
+// one meta, one users, one partition section per temporal partition, one
+// forest, and (when ToD histograms are enabled) one tod section.
+const (
+	secMeta      uint32 = 1
+	secUsers     uint32 = 2
+	secPartition uint32 = 3
+	secForest    uint32 = 4
+	secTod       uint32 = 5
+)
+
+// ErrSnapshotMismatch marks internal disagreements in a structurally valid
+// snapshot — header vs meta-section epoch or partition counts, section
+// order, or a snapshot written against a different road network. Fail
+// closed: none of these may be served.
+var ErrSnapshotMismatch = errors.New("snt: snapshot internal mismatch")
+
+// WriteSnapshot serialises the index (and the serving epoch it was
+// published as) to w. The receiver is immutable, so WriteSnapshot is safe
+// to run concurrently with queries against the same snapshot; it returns
+// the number of bytes written.
+func (ix *Index) WriteSnapshot(w io.Writer, epoch uint64) (int64, error) {
+	sections := 2 + len(ix.parts) + 1 // meta, users, partitions, forest
+	if ix.tod != nil {
+		sections++
+	}
+	sw := snapio.NewWriter(w)
+	sw.WriteHeader(snapio.Header{
+		Epoch:      epoch,
+		Partitions: uint32(len(ix.parts)),
+		Sections:   uint32(sections),
+	})
+
+	sw.Begin(secMeta)
+	sw.U64(epoch) // repeated from the header: lets the loader detect a spliced header
+	sw.U64(uint64(len(ix.parts)))
+	sw.U64(uint64(ix.opts.Tree))
+	sw.I64(int64(ix.opts.PartitionDays))
+	sw.I64(int64(ix.opts.TodBucketSeconds))
+	sw.Bool(ix.opts.OldestFirst)
+	sw.I64(ix.tmin)
+	sw.I64(ix.tmax)
+	sw.I64(ix.maxTrajDur)
+	sw.U64(uint64(ix.alphabet))
+	sw.U64(uint64(ix.compactedFrom))
+	sw.I64(int64(ix.stats.SetupTime))
+	sw.U64(uint64(ix.stats.Partitions))
+	sw.U64(uint64(ix.stats.Records))
+	sw.U64(uint64(ix.stats.Trajs))
+	sw.U64(uint64(ix.stats.TreeBytes))
+	sw.U64(uint64(len(ix.users)))
+	sw.U64(uint64(ix.g.NumEdges()))
+	sw.U64(uint64(ix.frozen.NumIndexes()))
+	sw.Bool(ix.tod != nil)
+	sw.End()
+
+	sw.Begin(secUsers)
+	snapio.WriteI32s(sw, ix.users)
+	sw.End()
+
+	for i := range ix.parts {
+		p := &ix.parts[i]
+		sw.Begin(secPartition)
+		sw.U64(uint64(p.trajs))
+		sw.U64(uint64(p.records))
+		p.fm.EncodeSnap(sw)
+		sw.End()
+	}
+
+	sw.Begin(secForest)
+	ix.frozen.EncodeSnap(sw)
+	sw.End()
+
+	if ix.tod != nil {
+		sw.Begin(secTod)
+		sw.U64(uint64(len(ix.tod)))
+		for _, per := range ix.tod {
+			n := 0
+			for _, h := range per {
+				if h != nil {
+					n++
+				}
+			}
+			sw.U64(uint64(n))
+			for e, h := range per {
+				if h != nil {
+					sw.U64(uint64(e))
+					h.EncodeSnap(sw)
+				}
+			}
+		}
+		sw.End()
+	}
+
+	if err := sw.Close(); err != nil {
+		return sw.Written(), err
+	}
+	return sw.Written(), nil
+}
+
+// snapMeta is the decoded meta section.
+type snapMeta struct {
+	epoch         uint64
+	numParts      int
+	opts          Options
+	tmin, tmax    int64
+	maxTrajDur    int64
+	alphabet      int
+	compactedFrom int
+	stats         BuildStats
+	numUsers      int
+	numEdges      int
+	numForestIdx  int
+	hasTod        bool
+}
+
+// ReadSnapshot restores an index written by WriteSnapshot against the same
+// road network, returning the index and the serving epoch it was written
+// at. Loading fails closed: truncation, checksum mismatches and format
+// version skew surface as the snapio sentinel errors, and internal
+// disagreements — header vs section epoch or partition counts, a snapshot
+// of a different network — as ErrSnapshotMismatch. The restored index is a
+// fresh snapshot: it can be queried, extended and compacted exactly like
+// the index that was written.
+func ReadSnapshot(g *network.Graph, r io.Reader) (*Index, uint64, error) {
+	// Size-aware sources (bytes.Reader, buffered files) get one exact
+	// allocation; io.ReadAll's doubling growth would otherwise memmove the
+	// multi-megabyte file several times over.
+	var data []byte
+	if l, ok := r.(interface{ Len() int }); ok {
+		data = make([]byte, l.Len())
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, 0, fmt.Errorf("snt: reading snapshot: %w", err)
+		}
+	} else {
+		var err error
+		if data, err = io.ReadAll(r); err != nil {
+			return nil, 0, fmt.Errorf("snt: reading snapshot: %w", err)
+		}
+	}
+	return ReadSnapshotBytes(g, data)
+}
+
+// ReadSnapshotBytes is ReadSnapshot over an in-memory file image (e.g. an
+// os.ReadFile result, or an mmap'ed region): sections are decoded straight
+// out of data with no intermediate copy of the whole file.
+func ReadSnapshotBytes(g *network.Graph, data []byte) (*Index, uint64, error) {
+	sr, err := snapio.NewReader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr := sr.Header()
+
+	meta, err := readMeta(sr)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Bound the partition count by the file itself before it becomes an
+	// allocation capacity: every partition needs its own section, and a
+	// section costs at least a 24-byte header — the same
+	// hostile-length-never-reaches-the-allocator rule snapio applies to
+	// slice columns.
+	if meta.numParts > len(data)/24 {
+		return nil, 0, fmt.Errorf("%w: %d-byte file cannot hold %d partition sections",
+			ErrSnapshotMismatch, len(data), meta.numParts)
+	}
+	if meta.epoch != hdr.Epoch {
+		return nil, 0, fmt.Errorf("%w: header epoch %d, meta section epoch %d",
+			ErrSnapshotMismatch, hdr.Epoch, meta.epoch)
+	}
+	if meta.numParts != int(hdr.Partitions) {
+		return nil, 0, fmt.Errorf("%w: header declares %d partitions, meta section %d",
+			ErrSnapshotMismatch, hdr.Partitions, meta.numParts)
+	}
+	if meta.numEdges != g.NumEdges() {
+		return nil, 0, fmt.Errorf("%w: snapshot written against a %d-edge network, loading against %d edges",
+			ErrSnapshotMismatch, meta.numEdges, g.NumEdges())
+	}
+
+	ix := &Index{
+		g:             g,
+		opts:          meta.opts,
+		tmin:          meta.tmin,
+		tmax:          meta.tmax,
+		maxTrajDur:    meta.maxTrajDur,
+		alphabet:      meta.alphabet,
+		compactedFrom: meta.compactedFrom,
+		stats:         meta.stats,
+	}
+
+	// Users section.
+	if err := expectSection(sr, secUsers); err != nil {
+		return nil, 0, err
+	}
+	ix.users = snapio.ReadI32s[traj.UserID](sr)
+	if err := sr.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(ix.users) != meta.numUsers {
+		return nil, 0, fmt.Errorf("%w: meta declares %d users, section holds %d",
+			ErrSnapshotMismatch, meta.numUsers, len(ix.users))
+	}
+
+	// Partition sections: the count must match the header exactly — a
+	// partition section where the forest is expected (or vice versa) is a
+	// disagreement, not a format error.
+	ix.parts = make([]partition, 0, meta.numParts)
+	for i := 0; i < meta.numParts; i++ {
+		kind, err := sr.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if kind != secPartition {
+			return nil, 0, fmt.Errorf("%w: expected partition section %d of %d, found kind %d",
+				ErrSnapshotMismatch, i+1, meta.numParts, kind)
+		}
+		trajs := sr.Int()
+		records := sr.Int()
+		if err := sr.Err(); err != nil {
+			return nil, 0, err
+		}
+		fm, err := fmindex.DecodeSnap(sr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("snt: partition %d: %w", i, err)
+		}
+		if fm.Alphabet() != meta.alphabet {
+			return nil, 0, fmt.Errorf("%w: partition %d FM-index alphabet %d, index alphabet %d",
+				ErrSnapshotMismatch, i, fm.Alphabet(), meta.alphabet)
+		}
+		ix.parts = append(ix.parts, partition{fm: fm, trajs: trajs, records: records})
+	}
+
+	// Forest section.
+	if err := expectSection(sr, secForest); err != nil {
+		return nil, 0, err
+	}
+	frozen, err := temporal.DecodeSnapForest(sr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if frozen.NumIndexes() != meta.numForestIdx {
+		return nil, 0, fmt.Errorf("%w: meta declares %d segment indexes, forest section holds %d",
+			ErrSnapshotMismatch, meta.numForestIdx, frozen.NumIndexes())
+	}
+	ix.frozen = frozen
+	if err := ix.validateSnapshotColumns(); err != nil {
+		return nil, 0, err
+	}
+
+	// ToD section (presence must match the meta flag).
+	if meta.hasTod {
+		if err := expectSection(sr, secTod); err != nil {
+			return nil, 0, err
+		}
+		tod, err := readTod(sr, meta.numParts, g.NumEdges())
+		if err != nil {
+			return nil, 0, err
+		}
+		ix.tod = tod
+	}
+
+	if _, err := sr.Next(); err != io.EOF {
+		if err == nil {
+			return nil, 0, fmt.Errorf("%w: unexpected extra section", ErrSnapshotMismatch)
+		}
+		return nil, 0, err
+	}
+	return ix, hdr.Epoch, nil
+}
+
+// validateSnapshotColumns cross-checks every frozen record against the
+// structures its fields index at query time: the segment must belong to
+// the graph, W selects a partition (the scan path indexes a
+// ranges-per-partition slice with it), Traj indexes the users container,
+// Seq is a non-negative sequence position, and ISA must lie inside its
+// partition's ISA space [0, |T_w|). Per-section CRCs cannot catch a
+// forest section spliced in from a *different valid snapshot* — every
+// section checksums clean — so this is the semantic check that refuses to
+// serve one instead of panicking (or silently mis-answering) at query
+// time.
+func (ix *Index) validateSnapshotColumns() error {
+	numParts := len(ix.parts)
+	numUsers := len(ix.users)
+	numEdges := ix.g.NumEdges()
+	var bad error
+	ix.frozen.Each(func(e network.EdgeID, fx *temporal.FrozenIndex) {
+		if bad != nil {
+			return
+		}
+		if int(e) < 0 || int(e) >= numEdges {
+			bad = fmt.Errorf("%w: forest references segment %d of a %d-edge network",
+				ErrSnapshotMismatch, e, numEdges)
+			return
+		}
+		for i := 0; i < fx.Len(); i++ {
+			w := 0
+			if fx.W != nil {
+				w = int(fx.W[i])
+			}
+			if w < 0 || w >= numParts {
+				bad = fmt.Errorf("%w: segment %d record %d in partition %d of %d",
+					ErrSnapshotMismatch, e, i, w, numParts)
+				return
+			}
+			if d := int(fx.Traj[i]); d < 0 || d >= numUsers {
+				bad = fmt.Errorf("%w: segment %d record %d names trajectory %d of %d",
+					ErrSnapshotMismatch, e, i, d, numUsers)
+				return
+			}
+			if isa := int(fx.ISA[i]); isa < 0 || isa >= ix.parts[w].fm.Len() {
+				bad = fmt.Errorf("%w: segment %d record %d ISA %d outside partition %d's %d positions",
+					ErrSnapshotMismatch, e, i, isa, w, ix.parts[w].fm.Len())
+				return
+			}
+			if fx.Seq[i] < 0 {
+				bad = fmt.Errorf("%w: segment %d record %d has negative sequence position",
+					ErrSnapshotMismatch, e, i)
+				return
+			}
+		}
+	})
+	return bad
+}
+
+// expectSection advances to the next section and requires the given kind.
+func expectSection(sr *snapio.Reader, want uint32) error {
+	kind, err := sr.Next()
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("%w: missing section kind %d", ErrSnapshotMismatch, want)
+		}
+		return err
+	}
+	if kind != want {
+		return fmt.Errorf("%w: expected section kind %d, found %d", ErrSnapshotMismatch, want, kind)
+	}
+	return nil
+}
+
+func readMeta(sr *snapio.Reader) (snapMeta, error) {
+	var m snapMeta
+	if err := expectSection(sr, secMeta); err != nil {
+		return m, err
+	}
+	m.epoch = sr.U64()
+	m.numParts = sr.Int()
+	m.opts.Tree = temporal.TreeKind(sr.Int())
+	m.opts.PartitionDays = int(sr.I64())
+	m.opts.TodBucketSeconds = int(sr.I64())
+	m.opts.OldestFirst = sr.Bool()
+	m.tmin = sr.I64()
+	m.tmax = sr.I64()
+	m.maxTrajDur = sr.I64()
+	m.alphabet = sr.Int()
+	m.compactedFrom = sr.Int()
+	m.stats.SetupTime = time.Duration(sr.I64())
+	m.stats.Partitions = sr.Int()
+	m.stats.Records = sr.Int()
+	m.stats.Trajs = sr.Int()
+	m.stats.TreeBytes = sr.Int()
+	m.numUsers = sr.Int()
+	m.numEdges = sr.Int()
+	m.numForestIdx = sr.Int()
+	m.hasTod = sr.Bool()
+	if err := sr.Err(); err != nil {
+		return m, err
+	}
+	if m.numParts <= 0 {
+		return m, fmt.Errorf("%w: meta declares %d partitions", ErrSnapshotMismatch, m.numParts)
+	}
+	return m, nil
+}
+
+// readTod decodes the per-partition per-segment ToD histograms.
+func readTod(sr *snapio.Reader, numParts, numEdges int) ([][]*hist.TodHistogram, error) {
+	gotParts := sr.Int()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if gotParts != numParts {
+		return nil, fmt.Errorf("%w: tod section holds %d partitions, index has %d",
+			ErrSnapshotMismatch, gotParts, numParts)
+	}
+	tod := make([][]*hist.TodHistogram, numParts)
+	for w := range tod {
+		tod[w] = make([]*hist.TodHistogram, numEdges)
+		n := sr.Int()
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		if n > numEdges {
+			return nil, fmt.Errorf("%w: tod partition %d declares %d segments of %d",
+				ErrSnapshotMismatch, w, n, numEdges)
+		}
+		for i := 0; i < n; i++ {
+			e := sr.Int()
+			if err := sr.Err(); err != nil {
+				return nil, err
+			}
+			if e < 0 || e >= numEdges {
+				return nil, fmt.Errorf("%w: tod partition %d references edge %d of %d",
+					ErrSnapshotMismatch, w, e, numEdges)
+			}
+			h, err := hist.DecodeSnapTod(sr)
+			if err != nil {
+				return nil, fmt.Errorf("snt: tod partition %d edge %d: %w", w, e, err)
+			}
+			if tod[w][e] != nil {
+				return nil, fmt.Errorf("%w: tod partition %d edge %d appears twice", ErrSnapshotMismatch, w, e)
+			}
+			tod[w][e] = h
+		}
+	}
+	return tod, nil
+}

@@ -1,0 +1,86 @@
+// Snapshot serialization of the frozen columnar forest (DESIGN.md §10).
+// Each segment's FrozenIndex is written as its raw columns — Ts, Traj, Seq,
+// optional W, ISA, A, TT — in ascending segment-id order, so snapshots of
+// the same forest are byte-identical and loading is a straight column copy
+// with no re-sorting or tree rebuilding. The single-partition W elision is
+// preserved: a nil W column is written as absent and restored as nil.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"pathhist/internal/network"
+	"pathhist/internal/snapio"
+	"pathhist/internal/traj"
+)
+
+// EncodeSnap appends the forest to the open snapshot section.
+func (f *FrozenForest) EncodeSnap(w *snapio.Writer) {
+	edges := make([]network.EdgeID, 0, len(f.idx))
+	for e := range f.idx {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	w.U64(uint64(len(edges)))
+	for _, e := range edges {
+		fx := f.idx[e]
+		w.I64(int64(e))
+		w.Bool(fx.W != nil)
+		w.I64s(fx.Ts)
+		snapio.WriteI32s(w, fx.Traj)
+		w.I32s(fx.Seq)
+		if fx.W != nil {
+			w.I32s(fx.W)
+		}
+		w.I32s(fx.ISA)
+		w.I32s(fx.A)
+		w.I32s(fx.TT)
+	}
+}
+
+// DecodeSnapForest reads a forest written by EncodeSnap, validating that
+// every segment's columns agree in length and timestamps are sorted (the
+// FrozenIndex invariant every scan relies on).
+func DecodeSnapForest(r *snapio.Reader) (*FrozenForest, error) {
+	numIdx := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if numIdx > r.Remaining() {
+		return nil, fmt.Errorf("temporal: snapshot declares %d segment indexes, %d bytes remain", numIdx, r.Remaining())
+	}
+	f := &FrozenForest{idx: make(map[network.EdgeID]*FrozenIndex, numIdx)}
+	for i := 0; i < numIdx; i++ {
+		e := network.EdgeID(r.I64())
+		hasW := r.Bool()
+		fx := &FrozenIndex{}
+		fx.Ts = r.I64s()
+		fx.Traj = snapio.ReadI32s[traj.ID](r)
+		fx.Seq = r.I32s()
+		if hasW {
+			fx.W = r.I32s()
+		}
+		fx.ISA = r.I32s()
+		fx.A = r.I32s()
+		fx.TT = r.I32s()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("temporal: segment %d: %w", e, err)
+		}
+		n := len(fx.Ts)
+		if n == 0 || len(fx.Traj) != n || len(fx.Seq) != n || (hasW && len(fx.W) != n) ||
+			len(fx.ISA) != n || len(fx.A) != n || len(fx.TT) != n {
+			return nil, fmt.Errorf("temporal: segment %d: ragged snapshot columns (n=%d)", e, n)
+		}
+		for j := 1; j < n; j++ {
+			if fx.Ts[j] < fx.Ts[j-1] {
+				return nil, fmt.Errorf("temporal: segment %d: snapshot timestamps unsorted at %d", e, j)
+			}
+		}
+		if _, dup := f.idx[e]; dup {
+			return nil, fmt.Errorf("temporal: segment %d appears twice in snapshot", e)
+		}
+		f.idx[e] = fx
+	}
+	return f, nil
+}

@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +44,13 @@ type Config struct {
 	// otherwise monopolise the (serialised) extend lock and build one
 	// giant partition in the request goroutine.
 	MaxExtendTrajectories int
+	// SnapshotDir, when set, is where Server.WriteSnapshot persists the
+	// served index (atomically, as SnapshotDir/snapshot.snt). Together
+	// with EnableExtend it also registers the POST /snapshot endpoint —
+	// snapshotting is a mutation of durable state, so the HTTP trigger
+	// sits behind the same deployment gate as /extend and /compact
+	// (cmd/ttserve: -snapshot-dir).
+	SnapshotDir string
 }
 
 // DefaultMaxExtendBytes is the default /extend body cap (64 MiB).
@@ -93,6 +102,9 @@ type Stats struct {
 	CompactionFailures     int64   `json:"compaction_failures,omitempty"`
 	LastCompactionMerged   int64   `json:"last_compaction_merged_partitions"`
 	LastCompactUnix        int64   `json:"last_compact_unix,omitempty"`
+	SnapshotEpoch          uint64  `json:"snapshot_epoch"`
+	LastSnapshotUnix       int64   `json:"last_snapshot_unix,omitempty"`
+	SnapshotBytes          int64   `json:"snapshot_bytes,omitempty"`
 	Index                  string  `json:"index"`
 }
 
@@ -102,6 +114,14 @@ type ExtendResponse struct {
 	Epoch        uint64  `json:"epoch"`
 	Total        int     `json:"total_trajectories"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// SnapshotResponse is the JSON shape of a /snapshot answer.
+type SnapshotResponse struct {
+	Path      string  `json:"path"`
+	Bytes     int64   `json:"bytes"`
+	Epoch     uint64  `json:"epoch"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // CompactResponse is the JSON shape of a /compact answer.
@@ -142,46 +162,123 @@ type Bucket struct {
 	Fraction float64 `json:"fraction"`
 }
 
-// server carries the shared engine plus the handler-level ingest counters
-// surfaced in /statsz.
-type server struct {
+// Server carries the shared engine, the handler-level ingest counters
+// surfaced in /statsz, and the snapshot persistence state. It implements
+// http.Handler; WriteSnapshot is also callable directly so the process
+// lifecycle (cmd/ttserve's graceful shutdown) can persist a final snapshot
+// outside any HTTP request.
+type Server struct {
 	eng *pathhist.Engine
 	cfg Config
+	mux *http.ServeMux
 
 	extends         atomic.Int64
 	extendTrajs     atomic.Int64
 	extendRejects   atomic.Int64
 	extendOverloads atomic.Int64
 	lastExtendUnix  atomic.Int64
+
+	// snapshotMu serialises snapshot writes: concurrent triggers would
+	// race on the same target file for no benefit (each write captures
+	// the newest published epoch anyway).
+	snapshotMu       sync.Mutex
+	snapshotEpoch    atomic.Uint64
+	snapshotBytes    atomic.Int64
+	lastSnapshotUnix atomic.Int64
 }
 
-// NewHandler returns the service mux for an engine with the default
+// NewHandler returns the service handler for an engine with the default
 // configuration (ingestion disabled).
 func NewHandler(eng *pathhist.Engine) http.Handler {
 	return NewHandlerWith(eng, Config{})
 }
 
-// NewHandlerWith returns the service mux for an engine.
+// NewHandlerWith returns the service handler for an engine.
 func NewHandlerWith(eng *pathhist.Engine, cfg Config) http.Handler {
+	return NewServer(eng, cfg)
+}
+
+// NewServer returns the service for an engine.
+func NewServer(eng *pathhist.Engine, cfg Config) *Server {
 	if cfg.MaxExtendBytes <= 0 {
 		cfg.MaxExtendBytes = DefaultMaxExtendBytes
 	}
-	s := &server{eng: eng, cfg: cfg}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/statsz", s.statsz)
-	mux.HandleFunc("/query", s.query)
+	s.mux.HandleFunc("/statsz", s.statsz)
+	s.mux.HandleFunc("/query", s.query)
 	if cfg.EnableExtend {
-		mux.HandleFunc("/extend", s.extend)
-		mux.HandleFunc("/compact", s.compact)
+		s.mux.HandleFunc("/extend", s.extend)
+		s.mux.HandleFunc("/compact", s.compact)
+		if cfg.SnapshotDir != "" {
+			s.mux.HandleFunc("/snapshot", s.snapshot)
+		}
 	}
-	return mux
+	return s
 }
 
-func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SnapshotPath returns the snapshot target file, or "" when persistence is
+// not configured.
+func (s *Server) SnapshotPath() string {
+	if s.cfg.SnapshotDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.SnapshotDir, pathhist.SnapshotFileName)
+}
+
+// WriteSnapshot persists the currently published index snapshot to
+// Config.SnapshotDir (atomic temp-file + rename) and records the outcome in
+// the /statsz counters. It is the engine behind POST /snapshot and the
+// final snapshot of a graceful shutdown.
+func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
+	if s.cfg.SnapshotDir == "" {
+		return SnapshotResponse{}, fmt.Errorf("ttserve: no snapshot directory configured")
+	}
+	s.snapshotMu.Lock()
+	defer s.snapshotMu.Unlock()
+	started := time.Now()
+	st, err := s.eng.SnapshotFile(s.SnapshotPath())
+	if err != nil {
+		return SnapshotResponse{}, err
+	}
+	// The counters report what the file actually holds (the epoch pinned
+	// inside SnapshotFile), not a re-read of engine state that a racing
+	// extend may already have advanced.
+	s.snapshotEpoch.Store(st.Epoch)
+	s.snapshotBytes.Store(st.Bytes)
+	s.lastSnapshotUnix.Store(time.Now().Unix())
+	return SnapshotResponse{
+		Path:      s.SnapshotPath(),
+		Bytes:     st.Bytes,
+		Epoch:     st.Epoch,
+		ElapsedMs: float64(time.Since(started).Microseconds()) / 1000,
+	}, nil
+}
+
+// snapshot handles POST /snapshot: persist the served index now. Gated by
+// EnableExtend + SnapshotDir (see Config).
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST to /snapshot to persist the served index", http.StatusMethodNotAllowed)
+		return
+	}
+	resp, err := s.WriteSnapshot()
+	if err != nil {
+		rejectJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 	cs := s.eng.CacheStats()
 	fs := s.eng.FullCacheStats()
 	c, wt, user, forest := s.eng.IndexMemory()
@@ -211,6 +308,9 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 		CompactionFailures:     s.eng.CompactionFailures(),
 		LastCompactionMerged:   int64(lastCompaction.PartitionsBefore - lastCompaction.PartitionsAfter),
 		LastCompactUnix:        lastCompaction.CompletedUnix,
+		SnapshotEpoch:          s.snapshotEpoch.Load(),
+		LastSnapshotUnix:       s.lastSnapshotUnix.Load(),
+		SnapshotBytes:          s.snapshotBytes.Load(),
 		Index:                  s.eng.IndexInfo(),
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
@@ -223,7 +323,7 @@ func (s *server) statsz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(st)
 }
 
-func (s *server) query(w http.ResponseWriter, r *http.Request) {
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	q, err := parseQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -245,7 +345,7 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 // format (pathhist.Store.WriteTo / ReadStore — the same bytes ttgen writes
 // to trajectories.bin). Malformed bodies are 400s; well-formed batches the
 // engine rejects (e.g. overlapping the indexed time range) are 422s.
-func (s *server) extend(w http.ResponseWriter, r *http.Request) {
+func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST a traj-format batch to /extend", http.StatusMethodNotAllowed)
@@ -303,7 +403,7 @@ func (s *server) extend(w http.ResponseWriter, r *http.Request) {
 // partitions accumulated by /extend batches back into few large ones and
 // publishes the result as a new epoch, off the serving path. Idempotent —
 // when nothing needs merging the response reports an unchanged layout.
-func (s *server) compact(w http.ResponseWriter, r *http.Request) {
+func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST to /compact to merge ingested partitions", http.StatusMethodNotAllowed)

@@ -1,0 +1,97 @@
+// Snapshot serialization of the wavelet tree (DESIGN.md §10). The Huffman
+// shape (node child links), the per-symbol code table and every node's bit
+// vector — payload plus rank directory — are written verbatim, so loading
+// restores the exact tree without re-deriving codes or re-counting bits.
+package wavelet
+
+import (
+	"fmt"
+	"sort"
+
+	"pathhist/internal/bitvec"
+	"pathhist/internal/snapio"
+)
+
+// EncodeSnap appends the tree to the open snapshot section.
+func (t *Tree) EncodeSnap(w *snapio.Writer) {
+	w.U64(uint64(t.n))
+	w.Bool(t.singleUse)
+	w.I64(int64(t.single))
+	w.U64(uint64(len(t.nodes)))
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		w.I64(int64(nd.left))
+		w.I64(int64(nd.right))
+		nd.bv.EncodeSnap(w)
+	}
+	// The code table is a map; emit it in symbol order so snapshots of the
+	// same tree are byte-identical.
+	syms := make([]int32, 0, len(t.codes))
+	for s := range t.codes {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	w.U64(uint64(len(syms)))
+	for _, s := range syms {
+		c := t.codes[s]
+		w.I64(int64(s))
+		w.U64(c.bits)
+		w.U64(uint64(c.len))
+	}
+}
+
+// DecodeSnapTree reads a tree written by EncodeSnap.
+func DecodeSnapTree(r *snapio.Reader) (*Tree, error) {
+	t := &Tree{codes: make(map[int32]code)}
+	t.n = int(r.U64())
+	t.singleUse = r.Bool()
+	t.single = int32(r.I64())
+	numNodes := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if numNodes > r.Remaining() {
+		// Each node costs well over one payload byte; a larger count is a
+		// corrupt length, not a big tree.
+		return nil, fmt.Errorf("wavelet: snapshot declares %d nodes, %d bytes remain", numNodes, r.Remaining())
+	}
+	t.nodes = make([]node, numNodes)
+	for i := range t.nodes {
+		t.nodes[i].left = int32(r.I64())
+		t.nodes[i].right = int32(r.I64())
+		bv, err := bitvec.DecodeSnapVector(r)
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: node %d: %w", i, err)
+		}
+		t.nodes[i].bv = bv
+	}
+	numCodes := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if numCodes > r.Remaining()/24 {
+		return nil, fmt.Errorf("wavelet: snapshot declares %d codes, %d bytes remain", numCodes, r.Remaining())
+	}
+	for i := 0; i < numCodes; i++ {
+		sym := int32(r.I64())
+		bits := r.U64()
+		cl := r.U64()
+		if cl > 64 {
+			return nil, fmt.Errorf("wavelet: snapshot code length %d for symbol %d", cl, sym)
+		}
+		t.codes[sym] = code{bits: bits, len: uint8(cl)}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Structural validation: child links must stay inside the node slice
+	// (leaves are encoded as negative complements and always valid).
+	for i := range t.nodes {
+		for _, ch := range [2]int32{t.nodes[i].left, t.nodes[i].right} {
+			if ch >= 0 && int(ch) >= len(t.nodes) {
+				return nil, fmt.Errorf("wavelet: node %d links to %d of %d nodes", i, ch, len(t.nodes))
+			}
+		}
+	}
+	return t, nil
+}

@@ -256,6 +256,14 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 		TodBucketSeconds: todBucket,
 		OldestFirst:      opts.OldestFirst,
 	})
+	return &Engine{g: g, qe: query.NewEngineAt(ix, engineConfig(ix, opts), 0)}, nil
+}
+
+// engineConfig translates the public Options into the internal query
+// engine configuration, building the cardinality estimator against the
+// index that will be served (NewEngine's freshly built one, or
+// LoadSnapshot's restored one).
+func engineConfig(ix *snt.Index, opts Options) query.Config {
 	splitter := query.SigmaR
 	if opts.LongestPrefixSplitting {
 		splitter = query.SigmaL
@@ -268,7 +276,7 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 	if opts.Estimator != card.Off {
 		est = card.New(ix, opts.Estimator)
 	}
-	cfg := query.Config{
+	return query.Config{
 		Partitioner:             partitioner,
 		Splitter:                splitter,
 		Alphas:                  opts.IntervalSizes,
@@ -285,7 +293,6 @@ func NewEngine(g *Graph, store *Store, opts Options) (*Engine, error) {
 			MaxMergedRecords:  opts.MaxCompactedRecords,
 		},
 	}
-	return &Engine{g: g, qe: query.NewEngine(ix, cfg)}, nil
 }
 
 // IngestStats describes the snapshot one Extend published.

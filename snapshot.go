@@ -1,0 +1,122 @@
+package pathhist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pathhist/internal/query"
+	"pathhist/internal/snt"
+)
+
+// Restart persistence (DESIGN.md §10). An Engine can write its currently
+// published index snapshot — every structure the serving path reads, plus
+// the epoch it was published as — to a versioned, checksummed, mmap-friendly
+// binary format, and a new process can restore a serving-ready Engine from
+// those bytes without replaying the build pipeline. The snapshot pairs with
+// the dataset's network.bin: the road network is loaded separately and the
+// snapshot refuses to load against a different network.
+
+// SnapshotFileName is the canonical snapshot file name inside a snapshot
+// directory (cmd/ttserve's -snapshot-dir writes it, -load-snapshot and
+// LoadSnapshotFile read it).
+const SnapshotFileName = "snapshot.snt"
+
+// SnapshotStats reports one written snapshot: its size and the index epoch
+// it captured.
+type SnapshotStats struct {
+	Bytes int64
+	Epoch uint64
+}
+
+// Snapshot writes the engine's currently published index snapshot and epoch
+// to w. The captured pair is one consistent publication: concurrent
+// queries, Extends and Compacts are unaffected (the index is immutable; a
+// snapshot simply pins one epoch), so Snapshot is safe to call at any time
+// on a serving engine.
+func (e *Engine) Snapshot(w io.Writer) (SnapshotStats, error) {
+	ix, epoch := e.qe.Snapshot()
+	n, err := ix.WriteSnapshot(w, epoch)
+	return SnapshotStats{Bytes: n, Epoch: epoch}, err
+}
+
+// SnapshotFile writes the snapshot to path atomically: the bytes go to a
+// temporary file in the same directory, which is fsynced and then renamed
+// over the target (with a directory fsync), so a crash mid-write can never
+// leave a half-written file where a later load would look for a snapshot —
+// either the old file survives or the new one is complete.
+func (e *Engine) SnapshotFile(path string) (SnapshotStats, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return SnapshotStats{}, fmt.Errorf("pathhist: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the target is only
+	// ever touched by the final rename.
+	fail := func(err error) (SnapshotStats, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return SnapshotStats{}, err
+	}
+	st, err := e.Snapshot(tmp)
+	if err != nil {
+		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("pathhist: closing snapshot: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
+	}
+	// Persist the rename itself: fsync the directory so the publication
+	// survives a crash right after SnapshotFile returns.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return st, nil
+}
+
+// LoadSnapshot restores an Engine from a snapshot written by Snapshot,
+// against the same road network it was written with. The restored engine
+// republishes the snapshot's epoch, so epoch-stamped observability (and any
+// client correlating epochs across the restart) stays consistent; query
+// results are bit-identical to the engine that wrote the snapshot. The
+// Options play the same role as in NewEngine — partitioning, estimator,
+// caches, compaction policy are serving-time choices, not part of the
+// persisted index — and the cardinality estimator is rebuilt against the
+// restored index. Loading fails closed on any corruption (see
+// snt.ReadSnapshot); nothing is partially served.
+func LoadSnapshot(g *Graph, r io.Reader, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pathhist: nil graph")
+	}
+	ix, epoch, err := snt.ReadSnapshot(g, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, qe: query.NewEngineAt(ix, engineConfig(ix, opts), epoch)}, nil
+}
+
+// LoadSnapshotFile restores an Engine from a snapshot file: one stat-sized
+// read, then sections decode straight out of that buffer.
+func LoadSnapshotFile(g *Graph, path string, opts Options) (*Engine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("pathhist: nil graph")
+	}
+	ix, epoch, err := snt.ReadSnapshotBytes(g, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, qe: query.NewEngineAt(ix, engineConfig(ix, opts), epoch)}, nil
+}
