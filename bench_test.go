@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"pathhist/internal/snt"
 	"pathhist/internal/suffix"
 	"pathhist/internal/temporal"
+	"pathhist/internal/wal"
 	"pathhist/internal/workload"
 )
 
@@ -506,6 +508,67 @@ func BenchmarkCompact(b *testing.B) {
 			b.ReportMetric(float64(st.RecordsRebuilt), "records")
 			b.ReportMetric(float64(st.PartitionsBefore), "partitionsBefore")
 		}
+	}
+}
+
+// benchSustained runs the durable-ingest pipeline (WAL append + fsync →
+// Extend, under concurrent query load) once per iteration and reports the
+// extend latency distribution of the last run.
+func benchSustained(b *testing.B, background bool) {
+	e := env(b)
+	b.ResetTimer()
+	var row experiments.SustainedRow
+	for i := 0; i < b.N; i++ {
+		mode := "in-lock"
+		if background {
+			mode = "background"
+		}
+		row = e.RunSustainedMode(mode, background, 24)
+	}
+	b.StopTimer()
+	if row.Batches == 0 {
+		b.Skip("dataset has no quiescent split points")
+	}
+	b.ReportMetric(row.ExtendP50Ms, "p50-ms")
+	b.ReportMetric(row.ExtendP99Ms, "p99-ms")
+	b.ReportMetric(row.ExtendMaxMs, "max-ms")
+	b.ReportMetric(row.FsyncMsPerBatch, "fsync-ms/batch")
+	b.ReportMetric(row.QueriesPerSec, "queries/s")
+}
+
+// BenchmarkSustainedIngestInLock is the PR 6 headline pair: durable
+// sustained ingestion with merges inside the triggering Extend — the p99
+// extend latency is the merge cost every few batches.
+func BenchmarkSustainedIngestInLock(b *testing.B) { benchSustained(b, false) }
+
+// BenchmarkSustainedIngestBackground is the same stream with merges in the
+// background compactor: extends pay indexing + fsync only.
+func BenchmarkSustainedIngestBackground(b *testing.B) { benchSustained(b, true) }
+
+// BenchmarkWALAppend prices the durability step alone: one acknowledged
+// batch's write + fsync into the ingest write-ahead log.
+func BenchmarkWALAppend(b *testing.B) {
+	_, tmpl, _ := extendBenchEnv(b, Options{})
+	var payload bytes.Buffer
+	if _, err := tmpl.WriteTo(&payload); err != nil {
+		b.Fatal(err)
+	}
+	log, err := wal.Open(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	b.SetBytes(int64(payload.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := log.Append(uint64(i*tmpl.Len()), tmpl.Len(), payload.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := log.Stats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.FsyncNanos)/1e6/float64(st.Appends), "fsync-ms")
 	}
 }
 

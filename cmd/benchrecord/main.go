@@ -49,7 +49,8 @@ const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" 
 	"BenchmarkPublicAPIQuery|BenchmarkEngineExtend|BenchmarkExtendWhileServing|" +
 	"BenchmarkManyPartitions|BenchmarkCompact$|BenchmarkFMIndexBackwardSearch|" +
 	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan|" +
-	"BenchmarkSnapshotBuild|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad"
+	"BenchmarkSnapshotBuild|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|" +
+	"BenchmarkSustainedIngestInLock|BenchmarkSustainedIngestBackground|BenchmarkWALAppend"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -222,6 +223,18 @@ func derive(recs []Record) map[string]string {
 		if load, ok := byName["BenchmarkSnapshotLoad"]; ok && load.NsPerOp > 0 {
 			out["load_vs_build"] = fmt.Sprintf("%.2fx", build.NsPerOp/load.NsPerOp)
 		}
+	}
+	// Durable sustained ingestion (PR 6): extend-latency tail under in-lock
+	// vs background compaction, and the WAL fsync each acknowledged batch
+	// pays on the durable admission path.
+	if il, ok := byName["BenchmarkSustainedIngestInLock"]; ok && il.Metrics["p99-ms"] > 0 {
+		if bg, ok := byName["BenchmarkSustainedIngestBackground"]; ok && bg.Metrics["p99-ms"] > 0 {
+			out["sustained_p99_inlock_vs_background"] = fmt.Sprintf("%.2fx",
+				il.Metrics["p99-ms"]/bg.Metrics["p99-ms"])
+		}
+	}
+	if w, ok := byName["BenchmarkWALAppend"]; ok && w.Metrics["fsync-ms"] > 0 {
+		out["wal_fsync_ms_per_batch"] = fmt.Sprintf("%.2f ms", w.Metrics["fsync-ms"])
 	}
 	for _, r := range recs {
 		if r.BaselineNsPerOp > 0 && r.NsPerOp > 0 {

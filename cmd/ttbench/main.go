@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ttbench: ")
 	var (
-		expArg  = flag.String("experiment", "all", "comma-separated: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,fig10c,fig11a,fig11b,fig11c,baselines,compact,all")
+		expArg  = flag.String("experiment", "all", "comma-separated: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,fig10c,fig11a,fig11b,fig11c,baselines,compact,sustained,all")
 		scale   = flag.String("scale", "small", "dataset scale: small, medium or full")
 		seed    = flag.Int64("seed", 42, "master seed")
 		frac    = flag.Float64("queryfrac", 0, "query sampling fraction (0 = scale default)")
@@ -160,6 +160,12 @@ func main() {
 		rows := env.RunCompactionSweep(*batches)
 		fmt.Println("\n== Partition compaction: query latency by index layout ==")
 		fmt.Print(experiments.FormatCompaction(rows))
+	}
+	if sel("sustained") {
+		log.Printf("running sustained ingestion (%d extends, WAL + concurrent queries)...", *batches)
+		rows := env.RunSustained(*batches)
+		fmt.Println("\n== Sustained ingestion: extend latency by compaction regime ==")
+		fmt.Print(experiments.FormatSustained(rows))
 	}
 
 	log.Printf("done in %s", time.Since(start).Round(time.Millisecond))

@@ -5,23 +5,29 @@
 // also ingests live trajectory batches, published lock-free as index
 // epochs (DESIGN.md §8).
 //
-// Restart persistence (DESIGN.md §10): with -snapshot-dir the service
-// writes mmap-friendly snapshots of the served index — on demand via
-// POST /snapshot (behind -enable-extend) and automatically as the final
-// act of a graceful shutdown — and -load-snapshot restores the engine from
-// such a file instead of rebuilding the index from trajectories.bin. A
-// snapshot that fails verification (truncated, checksum mismatch, wrong
-// version, wrong network) is never served: the service logs the reason and
-// falls back to a from-scratch build.
+// Durability (DESIGN.md §11): with -enable-extend and -snapshot-dir the
+// service keeps a write-ahead log next to its snapshots — every /extend is
+// fsynced to the log before it is acknowledged, so a crash (SIGKILL,
+// panic, power loss) loses nothing a client was told succeeded. Startup
+// recovers in order: bind the listener behind a not-ready bootstrap
+// handler, restore the newest snapshot in -snapshot-dir (or build from
+// trajectories.bin when there is none), replay the log's uncovered
+// records, then swap in the real handler — /readyz flips to 200 only after
+// snapshot load and WAL replay both completed. -snapshot-interval bounds
+// how much log a future restart replays by snapshotting periodically; each
+// snapshot rotates the log and prunes old snapshot generations down to
+// -snapshot-keep.
 //
 // The process runs as a managed foreground service: SIGINT/SIGTERM drain
 // in-flight requests (every accepted /extend completes and is acknowledged
-// before the listener closes for good) instead of killing them mid-
-// publication, and the listener applies read/header/idle timeouts so one
-// slow client cannot pin goroutines forever.
+// before the listener closes for good) while new requests get 503 +
+// Retry-After instead of connection resets, and the listener applies
+// read/header/idle timeouts so one slow client cannot pin goroutines
+// forever.
 //
 //	ttserve -data data -addr :8080 [-enable-extend] [-auto-compact 16]
-//	        [-snapshot-dir snapdir] [-load-snapshot snapdir/snapshot.snt]
+//	        [-snapshot-dir snapdir] [-snapshot-interval 5m] [-snapshot-keep 3]
+//	        [-load-snapshot snapdir/snapshot-…snt] [-disable-wal]
 //
 //	GET  /query?path=17,42,43&tod=08:15&window=900&beta=20[&user=3]
 //	GET  /query?path=17,42,43&from=1335830400&until=1335917000&beta=20
@@ -29,7 +35,8 @@
 //	POST /compact           (merge ingested partitions; new epoch)
 //	POST /snapshot          (persist the served index to -snapshot-dir)
 //	GET  /statsz
-//	GET  /healthz
+//	GET  /healthz           (liveness: 200 while the process runs)
+//	GET  /readyz            (readiness: 200 once recovered and not draining)
 package main
 
 import (
@@ -43,29 +50,44 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pathhist"
 	"pathhist/internal/ttserve"
+	"pathhist/internal/wal"
 )
 
 // config carries the parsed flags; run is kept separate from main so the
-// full lifecycle — listen, serve, drain, final snapshot — is testable.
+// full lifecycle — listen, recover, serve, drain, final snapshot — is
+// testable.
 type config struct {
-	data         string
-	addr         string
-	enableExtend bool
-	maxExtendMiB int64
-	maxTrajs     int
-	autoCompact  int
-	snapshotDir  string
-	loadSnapshot string
+	data              string
+	addr              string
+	enableExtend      bool
+	maxExtendMiB      int64
+	maxTrajs          int
+	autoCompact       int
+	compactBackground bool
+	snapshotDir       string
+	snapshotInterval  time.Duration
+	snapshotKeep      int
+	loadSnapshot      string
+	disableWAL        bool
+	maxWALMiB         int64
+	maxBacklog        int
 
 	// started, when non-nil, receives the bound listener address once the
-	// server accepts connections (used by the lifecycle test; nil in main).
+	// server is recovered and serving (used by the lifecycle tests; nil in
+	// main).
 	started chan<- string
 }
+
+// walFileName is the write-ahead log's file name inside -snapshot-dir: the
+// log and the snapshots it chains from live on the same filesystem, so a
+// snapshot + rotation is atomic with respect to mount loss.
+const walFileName = "extend.wal"
 
 // shutdownTimeout bounds the graceful drain: in-flight requests get this
 // long to complete after SIGINT/SIGTERM before the server gives up.
@@ -84,10 +106,22 @@ func main() {
 		"largest accepted /extend batch in trajectories (0 = unlimited); larger batches get 413")
 	flag.IntVar(&cfg.autoCompact, "auto-compact", 16,
 		"merge ingested partitions once this many accumulate (0 = manual /compact only)")
+	flag.BoolVar(&cfg.compactBackground, "compact-background", true,
+		"run auto-compaction merges in a background goroutine instead of inside the triggering /extend request")
 	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "",
-		"directory for index snapshots: enables POST /snapshot (with -enable-extend) and a final snapshot on graceful shutdown")
+		"directory for index snapshots and the ingest write-ahead log: enables POST /snapshot (with -enable-extend), periodic and shutdown snapshots, and crash recovery")
+	flag.DurationVar(&cfg.snapshotInterval, "snapshot-interval", 0,
+		"write a snapshot (rotating the write-ahead log) this often (0 = only on demand and at shutdown)")
+	flag.IntVar(&cfg.snapshotKeep, "snapshot-keep", ttserve.DefaultSnapshotKeep,
+		"how many snapshot generations to retain in -snapshot-dir")
 	flag.StringVar(&cfg.loadSnapshot, "load-snapshot", "",
-		"restore the engine from this snapshot file instead of building from trajectories.bin (falls back to a build if the snapshot is unusable)")
+		"restore the engine from this snapshot file instead of the newest one in -snapshot-dir (falls back to a build if the snapshot is unusable)")
+	flag.BoolVar(&cfg.disableWAL, "disable-wal", false,
+		"skip the ingest write-ahead log: /extend acknowledges after publication only, and batches since the last snapshot are lost on a crash")
+	flag.Int64Var(&cfg.maxWALMiB, "max-wal-mib", 256,
+		"shed /extend load (503 + Retry-After) once the write-ahead log exceeds this many MiB (0 = unbounded)")
+	flag.IntVar(&cfg.maxBacklog, "max-partition-backlog", 0,
+		"shed /extend load (503 + Retry-After) once the index holds more than this many partitions (0 = unbounded)")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -95,72 +129,51 @@ func main() {
 	}
 }
 
+// bootstrapHandler serves while the index is being recovered: the process
+// is alive (/healthz 200) but not routable (/readyz 503) and every other
+// request is shed with 503 + Retry-After instead of connection refused —
+// an orchestrator sees a starting replica, not a dead one.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"recovering: snapshot load and log replay in progress"}`)
+	})
+	return mux
+}
+
 // run is the whole service lifecycle. It returns once the server has shut
 // down cleanly (nil) or failed.
 func run(ctx context.Context, cfg config) error {
-	// Signal wiring first: a SIGTERM during the (potentially long) build
+	// Signal wiring first: a SIGTERM during the (potentially long) recovery
 	// triggers a clean exit at the next phase boundary. The AfterFunc
 	// restores default signal handling the moment the first signal lands,
-	// so a second signal hard-kills even mid-build — the signals are never
-	// silently swallowed.
+	// so a second signal hard-kills even mid-recovery — the signals are
+	// never silently swallowed.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	g, err := loadGraph(cfg.data)
-	if err != nil {
-		return err
-	}
-	if ctx.Err() != nil {
-		log.Printf("interrupted while loading the dataset; exiting")
-		return nil
-	}
-	opts := pathhist.Options{
-		Partition:             pathhist.ByZone,
-		Estimator:             pathhist.EstimatorCSSFast,
-		AutoCompactPartitions: cfg.autoCompact,
-	}
-	// The trajectory store is only needed when the index is actually built
-	// — a successful snapshot restore must not pay for reading and parsing
-	// trajectories.bin (the biggest file in the dataset), so it loads
-	// lazily inside the fallback path.
-	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) {
-		return loadStore(cfg.data)
-	}, opts, cfg.loadSnapshot)
-	if err != nil {
-		return err
-	}
-	if ctx.Err() != nil {
-		log.Printf("interrupted while building the index; exiting")
-		return nil
-	}
-	mode := "ingestion disabled"
-	if cfg.enableExtend {
-		mode = "live ingestion on POST /extend"
-		if cfg.autoCompact > 0 {
-			mode += fmt.Sprintf(", auto-compaction at %d partitions", cfg.autoCompact)
-		}
-	}
-	if cfg.snapshotDir != "" {
-		if err := os.MkdirAll(cfg.snapshotDir, 0o755); err != nil {
-			return fmt.Errorf("snapshot dir: %w", err)
-		}
-		mode += fmt.Sprintf(", snapshots to %s", cfg.snapshotDir)
-	}
-
-	srv := ttserve.NewServer(eng, ttserve.Config{
-		EnableExtend:          cfg.enableExtend,
-		MaxExtendBytes:        cfg.maxExtendMiB << 20,
-		MaxExtendTrajectories: cfg.maxTrajs,
-		SnapshotDir:           cfg.snapshotDir,
-	})
-	// A bare ListenAndServe would accept connections with no deadlines at
-	// all: a slowloris client (or a stalled proxy) could hold request
-	// goroutines open forever. Headers get a tight deadline; bodies a
-	// generous one (/extend uploads are tens of MiB); idle keep-alives are
-	// bounded so a rolling restart is not hostage to dormant connections.
+	// The listener binds before recovery starts, behind the bootstrap
+	// handler. A bare ListenAndServe would accept connections with no
+	// deadlines at all: a slowloris client (or a stalled proxy) could hold
+	// request goroutines open forever. Headers get a tight deadline; bodies
+	// a generous one (/extend uploads are tens of MiB); idle keep-alives
+	// are bounded so a rolling restart is not hostage to dormant
+	// connections.
+	type handlerBox struct{ h http.Handler } // one concrete type for atomic.Value
+	var handler atomic.Value                 // handlerBox: bootstrap, swapped for the real server
+	handler.Store(handlerBox{bootstrapHandler()})
 	httpSrv := &http.Server{
-		Handler:           srv,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -170,24 +183,164 @@ func run(ctx context.Context, cfg config) error {
 	if err != nil {
 		return err
 	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (not ready; recovering)", ln.Addr())
+	// Any pre-serving failure must take the bootstrap listener down with it.
+	fail := func(err error) error {
+		httpSrv.Close()
+		return err
+	}
+
+	g, err := loadGraph(cfg.data)
+	if err != nil {
+		return fail(err)
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while loading the dataset; exiting")
+		httpSrv.Close()
+		return nil
+	}
+	opts := pathhist.Options{
+		Partition:             pathhist.ByZone,
+		Estimator:             pathhist.EstimatorCSSFast,
+		AutoCompactPartitions: cfg.autoCompact,
+		CompactInBackground:   cfg.compactBackground,
+	}
+	if cfg.snapshotDir != "" {
+		if err := os.MkdirAll(cfg.snapshotDir, 0o755); err != nil {
+			return fail(fmt.Errorf("snapshot dir: %w", err))
+		}
+	}
+	// Resolve the recovery base: an explicit -load-snapshot wins, otherwise
+	// the newest snapshot in -snapshot-dir.
+	snapshotPath := cfg.loadSnapshot
+	if snapshotPath == "" && cfg.snapshotDir != "" {
+		snapshotPath, err = pathhist.FindLatestSnapshot(cfg.snapshotDir)
+		if err != nil {
+			return fail(fmt.Errorf("scanning %s for snapshots: %w", cfg.snapshotDir, err))
+		}
+	}
+	// The trajectory store is only needed when the index is actually built
+	// — a successful snapshot restore must not pay for reading and parsing
+	// trajectories.bin (the biggest file in the dataset), so it loads
+	// lazily inside the fallback path.
+	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) {
+		return loadStore(cfg.data)
+	}, opts, snapshotPath)
+	if err != nil {
+		return fail(err)
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while building the index; exiting")
+		httpSrv.Close()
+		eng.Close()
+		return nil
+	}
+
+	// Write-ahead log: open, replay what the snapshot does not cover, and
+	// only then declare the engine recovered. Replay fails closed — a log
+	// that does not chain from the restored state (or fails its checksums)
+	// stops the process rather than silently serving less than what was
+	// acknowledged.
+	var ingestLog *wal.WAL
+	walEnabled := cfg.enableExtend && cfg.snapshotDir != "" && !cfg.disableWAL
+	if walEnabled {
+		ingestLog, err = wal.Open(filepath.Join(cfg.snapshotDir, walFileName))
+		if err != nil {
+			return fail(fmt.Errorf("write-ahead log: %w", err))
+		}
+		if st := ingestLog.Stats(); st.TornTail {
+			log.Printf("write-ahead log: dropped a torn %d-byte tail (crash mid-append; the batch was never acknowledged)", st.TornBytes)
+		}
+		applied, err := ttserve.ReplayWAL(eng, ingestLog)
+		if err != nil {
+			return fail(fmt.Errorf("replaying write-ahead log: %w", err))
+		}
+		if applied > 0 {
+			log.Printf("write-ahead log: replayed %d acknowledged batches (epoch %d, %d trajectories)",
+				applied, eng.Epoch(), eng.Trajectories())
+		}
+	}
+
+	mode := "ingestion disabled"
+	if cfg.enableExtend {
+		mode = "live ingestion on POST /extend"
+		if cfg.autoCompact > 0 {
+			mode += fmt.Sprintf(", auto-compaction at %d partitions", cfg.autoCompact)
+			if cfg.compactBackground {
+				mode += " (background)"
+			}
+		}
+		if walEnabled {
+			mode += ", write-ahead logged"
+		}
+	}
+	if cfg.snapshotDir != "" {
+		mode += fmt.Sprintf(", snapshots to %s", cfg.snapshotDir)
+	}
+
+	srv := ttserve.NewServer(eng, ttserve.Config{
+		EnableExtend:          cfg.enableExtend,
+		MaxExtendBytes:        cfg.maxExtendMiB << 20,
+		MaxExtendTrajectories: cfg.maxTrajs,
+		SnapshotDir:           cfg.snapshotDir,
+		SnapshotKeep:          cfg.snapshotKeep,
+		WAL:                   ingestLog,
+		LoadedSnapshotPath:    snapshotPath,
+		MaxWALBytes:           cfg.maxWALMiB << 20,
+		MaxPartitionBacklog:   cfg.maxBacklog,
+	})
+	// Recovery complete: swap the real handler in; /readyz flips to 200.
+	handler.Store(handlerBox{srv})
 	log.Printf("serving %d trajectories over %d edges (%s); listening on %s (%s)",
 		eng.Trajectories(), g.NumEdges(), source, ln.Addr(), mode)
 	if cfg.started != nil {
 		cfg.started <- ln.Addr().String()
 	}
 
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
+	// A replayed log means the durable base is stale: snapshot now so the
+	// next restart replays from here, and so the log is rotated down.
+	if walEnabled && ingestLog.Size() > 16 {
+		if st, err := srv.WriteSnapshot(); err != nil {
+			log.Printf("warning: post-recovery snapshot: %v", err)
+		} else {
+			log.Printf("post-recovery snapshot: %s (epoch %d)", st.Path, st.Epoch)
+		}
+	}
+
+	// Periodic snapshots bound the replay a crash victim pays for.
+	if cfg.snapshotDir != "" && cfg.snapshotInterval > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapshotInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if st, err := srv.WriteSnapshot(); err != nil {
+						log.Printf("warning: periodic snapshot: %v", err)
+					} else {
+						log.Printf("periodic snapshot: %s (epoch %d, %d bytes)", st.Path, st.Epoch, st.Bytes)
+					}
+				}
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
+		eng.Close()
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful drain: stop accepting, let in-flight requests — including
-	// /extend publications — complete and be acknowledged. Default signal
-	// handling is already restored (the AfterFunc above), so a second
-	// signal kills the process the default way.
+	// Graceful drain: flip /readyz, shed new requests with 503 +
+	// Retry-After, and let in-flight requests — including /extend
+	// publications — complete and be acknowledged. Default signal handling
+	// is already restored (the AfterFunc above), so a second signal kills
+	// the process the default way.
+	srv.BeginDrain()
 	log.Printf("shutting down: draining in-flight requests (limit %v)", shutdownTimeout)
 	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
@@ -203,12 +356,13 @@ func run(ctx context.Context, cfg config) error {
 		drainErr = err
 	}
 	// Final snapshot, after the drain: it captures every batch that was
-	// acknowledged before the listener closed, so the next -load-snapshot
-	// resumes from exactly the state clients saw — written even when the
-	// drain timed out, since the published engine state is valid regardless.
+	// acknowledged before the listener closed, so the next restart resumes
+	// from exactly the state clients saw — written even when the drain
+	// timed out, since the published engine state is valid regardless.
 	if cfg.snapshotDir != "" {
 		st, err := srv.WriteSnapshot()
 		if err != nil {
+			eng.Close()
 			if drainErr != nil {
 				return fmt.Errorf("final snapshot: %v (after %w)", err, drainErr)
 			}
@@ -216,6 +370,12 @@ func run(ctx context.Context, cfg config) error {
 		}
 		log.Printf("final snapshot: %s (%d bytes, epoch %d)", st.Path, st.Bytes, st.Epoch)
 	}
+	if ingestLog != nil {
+		if err := ingestLog.Close(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("closing write-ahead log: %w", err)
+		}
+	}
+	eng.Close()
 	if drainErr != nil {
 		return drainErr
 	}

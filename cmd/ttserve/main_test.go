@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -139,7 +141,10 @@ func TestLifecycleSIGTERM(t *testing.T) {
 
 	// The final snapshot must exist, load cleanly, and hold exactly the
 	// acknowledged trajectory count.
-	snapPath := filepath.Join(snapDir, pathhist.SnapshotFileName)
+	snapPath, err := pathhist.FindLatestSnapshot(snapDir)
+	if err != nil || snapPath == "" {
+		t.Fatalf("no final snapshot in %s: %v", snapDir, err)
+	}
 	restored, err := pathhist.LoadSnapshotFile(g, snapPath, pathhist.Options{Partition: pathhist.ByZone})
 	if err != nil {
 		t.Fatalf("final snapshot does not load: %v", err)
@@ -198,6 +203,166 @@ func TestLoadSnapshotFallback(t *testing.T) {
 	}
 	if restored.Trajectories() != base.Len() || source == "built from trajectories.bin" {
 		t.Fatalf("restore: %d trajectories, source %q", restored.Trajectories(), source)
+	}
+}
+
+// TestHelperServeProcess is not a test: it is the subprocess body for the
+// SIGKILL crash-recovery test below, re-execing the test binary so a real
+// kill -9 can land on a real process. Activated only via TTSERVE_HELPER.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("TTSERVE_HELPER") != "1" {
+		t.Skip("helper process body; driven by TestCrashRecoverySIGKILL")
+	}
+	started := make(chan string, 1)
+	go func() {
+		addr := <-started
+		tmp := os.Getenv("TTSERVE_ADDRFILE") + ".tmp"
+		if err := os.WriteFile(tmp, []byte(addr), 0o644); err == nil {
+			_ = os.Rename(tmp, os.Getenv("TTSERVE_ADDRFILE"))
+		}
+	}()
+	cfg := config{
+		data:         os.Getenv("TTSERVE_DATA"),
+		addr:         "127.0.0.1:0",
+		enableExtend: true,
+		maxExtendMiB: 64,
+		autoCompact:  0,
+		snapshotDir:  os.Getenv("TTSERVE_SNAP"),
+		snapshotKeep: 3,
+		started:      started,
+	}
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatalf("helper run: %v", err)
+	}
+}
+
+// TestCrashRecoverySIGKILL is the durability acceptance scenario from
+// DESIGN.md §11: batches acknowledged over HTTP survive a kill -9 — no
+// drain, no final snapshot, nothing but the write-ahead log — and after a
+// restart the service reports ready only once it again holds every
+// acknowledged trajectory, answering queries exactly as before the crash.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess lifecycle test")
+	}
+	dataDir, snapDir := t.TempDir(), t.TempDir()
+	_, base, batch := writeDataset(t, dataDir)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	start := func() *exec.Cmd {
+		t.Helper()
+		os.Remove(addrFile)
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess")
+		cmd.Env = append(os.Environ(),
+			"TTSERVE_HELPER=1",
+			"TTSERVE_DATA="+dataDir,
+			"TTSERVE_SNAP="+snapDir,
+			"TTSERVE_ADDRFILE="+addrFile,
+		)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitReady := func() string {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				url := "http://" + string(b)
+				if resp, err := client.Get(url + "/readyz"); err == nil {
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusOK {
+						return url
+					}
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("server never became ready")
+		return ""
+	}
+
+	cmd := start()
+	url := waitReady()
+
+	// Acknowledge a batch: once the 200 lands, the bytes are fsynced in the
+	// log and the crash below must not lose them.
+	var buf bytes.Buffer
+	if _, err := batch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/extend", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend status = %d", resp.StatusCode)
+	}
+	queryURL := fmt.Sprintf("%s/query?path=%s&beta=5", url, pathParam(base.Get(0).Path()))
+	preKill, err := client.Get(queryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	if err := json.NewDecoder(preKill.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	preKill.Body.Close()
+	client.CloseIdleConnections()
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no handler runs
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	cmd2 := start()
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	url2 := waitReady()
+
+	// Every acknowledged trajectory is back.
+	sresp, err := client.Get(url2 + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Trajectories int  `json:"trajectories"`
+		Ready        bool `json:"ready"`
+		WALEnabled   bool `json:"wal_enabled"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Ready || !st.WALEnabled {
+		t.Fatalf("restarted statsz: %+v", st)
+	}
+	if wantTrajs := base.Len() + batch.Len(); st.Trajectories != wantTrajs {
+		t.Fatalf("restarted server holds %d trajectories, want %d (acknowledged)", st.Trajectories, wantTrajs)
+	}
+
+	// And answers queries exactly as the pre-crash server did.
+	postKill, err := client.Get(fmt.Sprintf("%s/query?path=%s&beta=5", url2, pathParam(base.Get(0).Path())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(postKill.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	postKill.Body.Close()
+	client.CloseIdleConnections()
+	for _, k := range []string{"mean_seconds", "p05_seconds", "p50_seconds", "p95_seconds"} {
+		if got[k] != want[k] {
+			t.Fatalf("post-crash %s = %v, pre-crash %v", k, got[k], want[k])
+		}
 	}
 }
 

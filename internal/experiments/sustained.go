@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pathhist/internal/query"
+	"pathhist/internal/snt"
+	"pathhist/internal/wal"
+)
+
+// Sustained ingestion (PR 6): the same batch stream ingested under the two
+// compaction regimes. In-lock compaction merges inside the triggering
+// Extend, so every few batches one ingest pays the whole merge — its
+// latency tail is the merge time. Background compaction moves the merge to
+// a goroutine (prepare off-lock, apply under the extend lock), so extend
+// latency stays at indexing cost and the tail collapses. Both runs append
+// every batch to a write-ahead log first, pricing the fsync an acknowledged
+// batch costs on the durable path.
+
+// SustainedRow is one compaction regime measured over a sustained ingest.
+type SustainedRow struct {
+	Mode    string
+	Batches int
+	// Extend latency distribution in milliseconds, over the ingested
+	// batches (WAL append + fsync + indexing + publication).
+	ExtendP50Ms float64
+	ExtendP95Ms float64
+	ExtendP99Ms float64
+	ExtendMaxMs float64
+	// QueriesPerSec is concurrent query throughput sustained during the
+	// ingest window (two query goroutines over the experiment query set).
+	QueriesPerSec float64
+	// Compactions counts merges published during the run; FsyncMsPerBatch
+	// is the WAL durability cost each acknowledged batch paid.
+	Compactions     int64
+	FsyncMsPerBatch float64
+	// DrainMs is how long after the last Extend the partition backlog took
+	// to merge below the trigger (zero for in-lock: the backlog never
+	// outlives the Extend that created it).
+	DrainMs float64
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunSustained measures sustained ingestion under in-lock and background
+// compaction: up to nBatches quiescent batches are extended through an
+// engine under concurrent query load, each batch WAL-appended (fsynced)
+// before indexing — the serving layer's durable admission sequence.
+func (env *Env) RunSustained(nBatches int) []SustainedRow {
+	return []SustainedRow{
+		env.RunSustainedMode("in-lock compaction", false, nBatches),
+		env.RunSustainedMode("background compaction", true, nBatches),
+	}
+}
+
+func (env *Env) RunSustainedMode(name string, background bool, nBatches int) SustainedRow {
+	s := env.DS.Store.Slice(0, env.DS.Store.Len())
+	cuts := IngestionCuts(s, nBatches)
+	if cuts == nil {
+		return SustainedRow{Mode: name}
+	}
+	const trigger = 4
+	eng := query.NewEngine(snt.Build(env.DS.G, s.Slice(0, cuts[0]), snt.Options{}), query.Config{
+		Partitioner:         query.Partitioner{Kind: query.ZoneKind},
+		BucketWidth:         10,
+		Compaction:          snt.CompactionPolicy{TriggerPartitions: trigger},
+		CompactInBackground: background,
+	})
+	defer eng.Close()
+
+	dir, err := os.MkdirTemp("", "pathhist-sustained-")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: wal dir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.Open(filepath.Join(dir, "extend.wal"))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: wal: %v", err))
+	}
+	defer log.Close()
+
+	stop := make(chan struct{})
+	served := make(chan int, 2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			n := 0
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					served <- n
+					return
+				default:
+				}
+				q := env.Queries[i%len(env.Queries)]
+				_ = eng.TripQuery(SPQFor(q, TemporalFilters, 20))
+				n++
+			}
+		}(g)
+	}
+
+	prevTotal := uint64(eng.Index().Stats().Trajs)
+	lats := make([]float64, 0, len(cuts))
+	ingestStart := time.Now()
+	for b := range cuts {
+		hi := s.Len()
+		if b+1 < len(cuts) {
+			hi = cuts[b+1]
+		}
+		batch := s.Slice(cuts[b], hi)
+		var payload bytes.Buffer
+		if _, err := batch.WriteTo(&payload); err != nil {
+			panic(fmt.Sprintf("experiments: serialising batch %d: %v", b, err))
+		}
+		t0 := time.Now()
+		if err := log.Append(prevTotal, batch.Len(), payload.Bytes()); err != nil {
+			panic(fmt.Sprintf("experiments: wal append %d: %v", b, err))
+		}
+		if _, err := eng.Extend(batch); err != nil {
+			panic(fmt.Sprintf("experiments: sustained extend %d: %v", b, err))
+		}
+		lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+		prevTotal += uint64(batch.Len())
+	}
+	ingestSecs := time.Since(ingestStart).Seconds()
+	drainStart := time.Now()
+	var drainMs float64
+	if background {
+		deadline := time.Now().Add(30 * time.Second)
+		for eng.Index().NumPartitions() >= trigger && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		drainMs = float64(time.Since(drainStart).Microseconds()) / 1000
+	}
+	close(stop)
+	queries := <-served
+	queries += <-served
+
+	sort.Float64s(lats)
+	compactions, _ := eng.CompactionInfo()
+	ws := log.Stats()
+	row := SustainedRow{
+		Mode:          name,
+		Batches:       len(lats),
+		ExtendP50Ms:   percentile(lats, 0.50),
+		ExtendP95Ms:   percentile(lats, 0.95),
+		ExtendP99Ms:   percentile(lats, 0.99),
+		ExtendMaxMs:   percentile(lats, 1.0),
+		QueriesPerSec: float64(queries) / ingestSecs,
+		Compactions:   compactions,
+		DrainMs:       drainMs,
+	}
+	if ws.Appends > 0 {
+		row.FsyncMsPerBatch = float64(ws.FsyncNanos) / 1e6 / float64(ws.Appends)
+	}
+	return row
+}
+
+// FormatSustained renders the regime comparison as an aligned table.
+func FormatSustained(rows []SustainedRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s%9s%10s%10s%10s%10s%12s%9s%13s%10s\n",
+		"regime", "batches", "p50 ms", "p95 ms", "p99 ms", "max ms", "queries/s", "merges", "fsync ms/b", "drain ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s%9d%10.2f%10.2f%10.2f%10.2f%12.0f%9d%13.3f%10.1f\n",
+			r.Mode, r.Batches, r.ExtendP50Ms, r.ExtendP95Ms, r.ExtendP99Ms, r.ExtendMaxMs,
+			r.QueriesPerSec, r.Compactions, r.FsyncMsPerBatch, r.DrainMs)
+	}
+	return b.String()
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,15 @@ type Config struct {
 	// the zero value disables auto-compaction (Engine.Compact can still be
 	// called manually, ignoring the trigger).
 	Compaction snt.CompactionPolicy
+	// CompactInBackground moves auto-compaction off the ingest path: a
+	// triggering Extend returns as soon as its batch is published and a
+	// background goroutine runs the merge — the heavy preparation entirely
+	// off the write lock (concurrent Extends proceed), only the cheap
+	// apply-and-publish under it. A competing compaction (manual Compact)
+	// stales the preparation, which re-bases against the newest snapshot.
+	// The goroutine starts lazily on the first triggering Extend; Close
+	// stops it.
+	CompactInBackground bool
 }
 
 // snapshot is one published index state: the immutable index, the
@@ -109,6 +119,19 @@ type Engine struct {
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
 	lastCompaction  atomic.Pointer[snt.CompactionStats]
+
+	bgMu   sync.Mutex // guards bg and closed
+	bg     *compactor
+	closed bool
+}
+
+// compactor is the background-compaction goroutine's handle: a kick channel
+// (buffered 1, so a burst of triggering Extends coalesces into one wake-up),
+// a stop signal, and a done ack for Close.
+type compactor struct {
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
 }
 
 // NewEngine returns an engine. Zero-value config fields get defaults
@@ -211,11 +234,115 @@ func (e *Engine) Extend(add *traj.Store) (IngestStats, error) {
 	// was rejected; the fragmented layout simply lives on, counted in
 	// CompactionFailures.
 	if tp := e.cfg.Compaction.TriggerPartitions; tp > 0 && nix.NumPartitions() >= tp {
-		if _, err := e.compactLocked(e.cfg.Compaction); err != nil {
+		if e.cfg.CompactInBackground {
+			// Background mode: the ingest returns now; the merge runs off
+			// the lock and publishes its own epoch when ready.
+			e.kickCompactor()
+		} else if _, err := e.compactLocked(e.cfg.Compaction); err != nil {
 			e.compactFailures.Add(1)
 		}
 	}
 	return st, nil
+}
+
+// kickCompactor wakes (lazily starting) the background compactor. The kick
+// is non-blocking: if one is already pending, the running cycle will see the
+// newest snapshot anyway.
+func (e *Engine) kickCompactor() {
+	e.bgMu.Lock()
+	if e.closed {
+		e.bgMu.Unlock()
+		return
+	}
+	if e.bg == nil {
+		e.bg = &compactor{
+			kick: make(chan struct{}, 1),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		go e.compactorLoop(e.bg)
+	}
+	c := e.bg
+	e.bgMu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the background compactor (if one ever started) and waits for
+// it to exit; a merge already applying finishes publishing first. Close is
+// idempotent, and the engine keeps serving queries afterwards — only
+// background compaction stops. Callers that enabled CompactInBackground
+// must Close the engine to avoid leaking its goroutine.
+func (e *Engine) Close() {
+	e.bgMu.Lock()
+	c := e.bg
+	e.bg = nil
+	e.closed = true
+	e.bgMu.Unlock()
+	if c != nil {
+		close(c.stop)
+		<-c.done
+	}
+}
+
+// compactorLoop serves kicks until Close.
+func (e *Engine) compactorLoop(c *compactor) {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+		}
+		e.backgroundCycle(c)
+	}
+}
+
+// backgroundCycle drains the merge backlog: prepare the next chunk of work
+// off the write lock — ingest and queries proceed — then apply and publish
+// it under the lock (cheap: column remap and pointer swap). A preparation
+// staled by a competing compaction is re-based by preparing again against
+// the newest snapshot; concurrent Extends never stale it (they only append
+// partitions, which the apply remaps on the fly). The cycle ends when the
+// policy plans nothing — with MaxRuns set, each iteration merges one
+// bounded chunk, so the lock is never held for a multi-merge stall.
+func (e *Engine) backgroundCycle(c *compactor) {
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		sn := e.snap.Load()
+		prepared, err := sn.ix.PrepareCompaction(e.cfg.Compaction)
+		if err != nil {
+			e.compactFailures.Add(1)
+			return
+		}
+		if prepared == nil {
+			return
+		}
+		e.extMu.Lock()
+		cur := e.snap.Load()
+		nix, stats, err := cur.ix.ApplyCompaction(prepared)
+		if err != nil {
+			e.extMu.Unlock()
+			if errors.Is(err, snt.ErrCompactionStale) {
+				continue // a competing compaction landed: re-base
+			}
+			e.compactFailures.Add(1)
+			return
+		}
+		if nix != cur.ix {
+			next := e.publishLocked(cur, nix)
+			stats.Epoch = next.epoch
+			e.compactions.Add(1)
+			e.lastCompaction.Store(&stats)
+		}
+		e.extMu.Unlock()
+	}
 }
 
 // publishLocked builds the snapshot for a new index (refreshing the

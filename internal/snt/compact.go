@@ -1,6 +1,7 @@
 package snt
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,6 +11,14 @@ import (
 	"pathhist/internal/suffix"
 	"pathhist/internal/temporal"
 )
+
+// ErrCompactionStale is returned by ApplyCompaction when the partitions the
+// prepared merge was planned over are no longer a prefix of the target
+// snapshot — i.e. another compaction landed in between. The caller re-bases
+// by preparing again against the newest snapshot. (Concurrent Extends do
+// NOT stale a preparation: they only append partitions, and the old ones
+// are immutable.)
+var ErrCompactionStale = errors.New("snt: prepared compaction is stale; re-prepare against the newest snapshot")
 
 // Partition compaction. Every Extend adds one temporal partition, and
 // Procedure 2 runs a backward search in every partition, so query cost
@@ -58,6 +67,11 @@ type CompactionPolicy struct {
 	// MinRun is the smallest run worth merging (default 2; merging a
 	// single partition with itself would only churn memory).
 	MinRun int
+	// MaxRuns caps how many runs one compaction merges, which is what makes
+	// background compaction incremental: a bounded chunk of work per cycle
+	// instead of one giant merge, with later cycles picking up the rest.
+	// 0 means unbounded.
+	MaxRuns int
 }
 
 // withDefaults resolves zero fields.
@@ -73,6 +87,15 @@ func (p CompactionPolicy) withDefaults() CompactionPolicy {
 
 // run is a half-open partition-id range [lo, hi) selected for merging.
 type mergeRun struct{ lo, hi int }
+
+// frozenPartW reads a record's partition id, treating an elided partition
+// column as all-zeros.
+func frozenPartW(fx *temporal.FrozenIndex, i int) int32 {
+	if fx.W == nil {
+		return 0
+	}
+	return fx.W[i]
+}
 
 // plan selects the runs of adjacent partitions to merge. parts carries the
 // per-partition record counts Build/Extend maintain.
@@ -102,6 +125,9 @@ func (p CompactionPolicy) plan(parts []partition) []mergeRun {
 		recs += r
 	}
 	flush(len(parts))
+	if p.MaxRuns > 0 && len(runs) > p.MaxRuns {
+		runs = runs[:p.MaxRuns]
+	}
 	return runs
 }
 
@@ -126,29 +152,47 @@ type CompactionStats struct {
 	Epoch uint64
 }
 
-// Compact merges runs of adjacent partitions per the policy and returns the
-// compacted snapshot. When the policy plans no merge the receiver itself is
-// returned (not superseded, still extendable). Otherwise the receiver is
-// superseded exactly like Extend supersedes it: only the returned snapshot
-// may be extended or compacted further. Query results from the compacted
-// snapshot are bit-identical to the receiver's — and to a from-scratch
-// Build over the same trajectories with the merged partition layout.
-func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, error) {
+// PreparedCompaction is the heavy, read-only half of a compaction: merged
+// trajectory strings reconstructed, suffix structures and FM-indexes built,
+// time-of-day histograms merged — everything except the cheap final
+// assembly that ApplyCompaction performs. Because all of it is derived from
+// partitions that are immutable once published (Extend only ever appends
+// new partitions), a preparation stays valid while ingestion continues: it
+// can be built off the write lock against one snapshot and applied later to
+// a newer one. Only another compaction invalidates it (ErrCompactionStale).
+type PreparedCompaction struct {
+	old       int              // partition count the plan covered
+	baseFM    []*fmindex.Index // identity of those partitions, for staleness detection
+	runs      []mergeRun
+	runOf     []int
+	newW      []int32
+	numNew    int // partitions the first old partitions collapse into
+	runBase   []int
+	runLens   [][]int32
+	runStarts [][]int32
+	runISA    [][]int32
+	runFM     []*fmindex.Index
+	filled    []int
+	todMerged [][]*hist.TodHistogram // per-run, nil when the index has no tod
+	trajs     int
+	records   int
+	prepared  time.Duration
+}
+
+// Runs returns how many partition runs the preparation merges.
+func (p *PreparedCompaction) Runs() int { return len(p.runs) }
+
+// PrepareCompaction plans and precomputes a compaction of the receiver per
+// the policy, without superseding anything: the receiver stays extendable
+// and the preparation can run concurrently with reads and with Extends of
+// newer snapshots. A nil preparation (with a nil error) means the policy
+// planned no merge.
+func (ix *Index) PrepareCompaction(policy CompactionPolicy) (*PreparedCompaction, error) {
 	startedAt := time.Now()
-	stats := CompactionStats{PartitionsBefore: len(ix.parts), PartitionsAfter: len(ix.parts)}
 	runs := policy.withDefaults().plan(ix.parts)
 	if len(runs) == 0 {
-		return ix, stats, nil
+		return nil, nil
 	}
-	if ix.superseded.Swap(true) {
-		return nil, stats, ErrSuperseded
-	}
-	committed := false
-	defer func() {
-		if !committed {
-			ix.superseded.Store(false)
-		}
-	}()
 
 	// Partition-id remapping and per-run trajectory-id bases. Partitions
 	// cover contiguous id ranges in partition order, so the run [lo, hi)
@@ -196,15 +240,9 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		runBase[r] = trajStart[ru.lo]
 		runLens[r] = make([]int32, trajStart[ru.hi]-trajStart[ru.lo])
 	}
-	partW := func(fx *temporal.FrozenIndex, i int) int32 {
-		if fx.W == nil {
-			return 0
-		}
-		return fx.W[i]
-	}
 	ix.frozen.Each(func(_ network.EdgeID, fx *temporal.FrozenIndex) {
 		for i, n := 0, fx.Len(); i < n; i++ {
-			r := runOf[partW(fx, i)]
+			r := runOf[frozenPartW(fx, i)]
 			if r < 0 {
 				continue
 			}
@@ -222,7 +260,7 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		total := int32(0)
 		for d, l := range lens {
 			if l == 0 {
-				return nil, stats, fmt.Errorf("snt: compaction found no records for trajectory %d", runBase[r]+d)
+				return nil, fmt.Errorf("snt: compaction found no records for trajectory %d", runBase[r]+d)
 			}
 			starts[d] = total
 			total += l + 1 // trailing terminator
@@ -237,7 +275,7 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 	ix.frozen.Each(func(e network.EdgeID, fx *temporal.FrozenIndex) {
 		sym := int32(e) + fmindex.MinEdgeSymbol
 		for i, n := 0, fx.Len(); i < n; i++ {
-			r := runOf[partW(fx, i)]
+			r := runOf[frozenPartW(fx, i)]
 			if r < 0 {
 				continue
 			}
@@ -246,12 +284,13 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 			filled[r]++
 		}
 	})
+	trajsRebuilt, recordsRebuilt := 0, 0
 	for r := range runs {
 		if want := len(texts[r]) - len(runLens[r]); filled[r] != want {
-			return nil, stats, fmt.Errorf("snt: compaction rebuilt %d of %d records in run %d", filled[r], want, r)
+			return nil, fmt.Errorf("snt: compaction rebuilt %d of %d records in run %d", filled[r], want, r)
 		}
-		stats.RecordsRebuilt += filled[r]
-		stats.TrajsRebuilt += len(runLens[r])
+		recordsRebuilt += filled[r]
+		trajsRebuilt += len(runLens[r])
 	}
 
 	// Rebuild each run's suffix structures and FM-index; keep the ISA for
@@ -264,15 +303,115 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		runFM[r] = fmindex.FromBWT(bwt, ix.alphabet)
 	}
 
+	// Merge each run's per-partition time-of-day histograms now (integer
+	// bucket counts merge exactly, so the result equals a from-scratch
+	// build's); the full per-partition list is assembled at apply time,
+	// when the final layout is known.
+	var todMerged [][]*hist.TodHistogram
+	if ix.tod != nil {
+		todMerged = make([][]*hist.TodHistogram, len(runs))
+		for r := range runs {
+			merged := make([]*hist.TodHistogram, ix.g.NumEdges())
+			for v := runs[r].lo; v < runs[r].hi; v++ {
+				for e, h := range ix.tod[v] {
+					if h == nil {
+						continue
+					}
+					if merged[e] == nil {
+						merged[e] = h.Clone()
+					} else {
+						merged[e].AddAll(h)
+					}
+				}
+			}
+			todMerged[r] = merged
+		}
+	}
+
+	baseFM := make([]*fmindex.Index, old)
+	for w := range ix.parts {
+		baseFM[w] = ix.parts[w].fm
+	}
+	return &PreparedCompaction{
+		old:       old,
+		baseFM:    baseFM,
+		runs:      runs,
+		runOf:     runOf,
+		newW:      newW,
+		numNew:    numNew,
+		runBase:   runBase,
+		runLens:   runLens,
+		runStarts: runStarts,
+		runISA:    runISA,
+		runFM:     runFM,
+		filled:    filled,
+		todMerged: todMerged,
+		trajs:     trajsRebuilt,
+		records:   recordsRebuilt,
+		prepared:  time.Since(startedAt),
+	}, nil
+}
+
+// ApplyCompaction applies a preparation to the receiver — the NEWEST
+// snapshot, which may have been extended any number of times since the
+// preparation was built (those partitions carry over unchanged, their ids
+// shifted down by the merge's net reduction). If another compaction landed
+// in between, the prepared partitions are no longer a prefix of the
+// receiver and ApplyCompaction returns ErrCompactionStale; the caller
+// re-prepares against the newest snapshot. On success the receiver is
+// superseded exactly like Extend supersedes it, and query results from the
+// returned snapshot are bit-identical to the receiver's. A nil preparation
+// returns the receiver unchanged (the no-merge case).
+func (ix *Index) ApplyCompaction(p *PreparedCompaction) (*Index, CompactionStats, error) {
+	startedAt := time.Now()
+	stats := CompactionStats{PartitionsBefore: len(ix.parts), PartitionsAfter: len(ix.parts)}
+	if p == nil {
+		return ix, stats, nil
+	}
+	if len(ix.parts) < p.old {
+		return nil, stats, ErrCompactionStale
+	}
+	for w := 0; w < p.old; w++ {
+		if ix.parts[w].fm != p.baseFM[w] {
+			return nil, stats, ErrCompactionStale
+		}
+	}
+	if ix.superseded.Swap(true) {
+		return nil, stats, ErrSuperseded
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			ix.superseded.Store(false)
+		}
+	}()
+
+	old := p.old
+	numNew := p.numNew + (len(ix.parts) - old)
+	runs, runOf, newW := p.runs, p.runOf, p.newW
+	runBase, runStarts, runISA := p.runBase, p.runStarts, p.runISA
+
+	// mapW maps an old partition id to its new one: prepared partitions via
+	// the planned remap, later-ingested partitions shift down by the
+	// merge's net partition reduction.
+	shift := int32(old - p.numNew)
+	mapW := func(w int32) int32 {
+		if int(w) < old {
+			return newW[w]
+		}
+		return w - shift
+	}
+
 	// Assemble the new partition list: merged runs collapse to one entry,
-	// unmerged partitions carry over (their FM-indexes are shared).
+	// unmerged partitions carry over (their FM-indexes are shared), and
+	// partitions ingested since the preparation are appended unchanged.
 	parts := make([]partition, 0, numNew)
 	for w := 0; w < old; {
 		if r := runOf[w]; r >= 0 {
 			parts = append(parts, partition{
-				fm:      runFM[r],
-				trajs:   len(runLens[r]),
-				records: filled[r],
+				fm:      p.runFM[r],
+				trajs:   len(p.runLens[r]),
+				records: p.filled[r],
 			})
 			w = runs[r].hi
 			continue
@@ -280,18 +419,21 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		parts = append(parts, ix.parts[w])
 		w++
 	}
+	parts = append(parts, ix.parts[old:]...)
 
 	// Rewrite the frozen columns: merged records get their new ISA
 	// position, every record gets its new partition id, and the partition
 	// column is elided when it would be all zeros (always true after full
 	// compaction — the single-partition layout of the paper). Segments
 	// whose records need no change share their index with the receiver.
+	// Records ingested since the preparation (partition id >= old) only
+	// have their partition id remapped — their ISA is already final.
 	frozen := ix.frozen.Rewrite(func(_ network.EdgeID, fx *temporal.FrozenIndex) *temporal.FrozenIndex {
 		n := fx.Len()
 		dirty := false
 		for i := 0; i < n; i++ {
-			w := partW(fx, i)
-			if runOf[w] >= 0 || newW[w] != w {
+			w := frozenPartW(fx, i)
+			if (int(w) < old && runOf[w] >= 0) || mapW(w) != w {
 				dirty = true
 				break
 			}
@@ -307,14 +449,17 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		}
 		hasW := false
 		for i := 0; i < n; i++ {
-			w := partW(fx, i)
-			if r := runOf[w]; r >= 0 {
-				d := int(fx.Traj[i]) - runBase[r]
-				nISA[i] = runISA[r][runStarts[r][d]+fx.Seq[i]]
+			w := frozenPartW(fx, i)
+			if int(w) < old {
+				if r := runOf[w]; r >= 0 {
+					d := int(fx.Traj[i]) - runBase[r]
+					nISA[i] = runISA[r][runStarts[r][d]+fx.Seq[i]]
+				}
 			}
 			if nW != nil {
-				nW[i] = newW[w]
-				if newW[w] != 0 {
+				m := mapW(w)
+				nW[i] = m
+				if m != 0 {
 					hasW = true
 				}
 			}
@@ -328,35 +473,20 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		}
 	})
 
-	// Merge the per-partition time-of-day histograms; integer bucket counts
-	// make the merged histogram exactly the one a from-scratch build over
-	// the merged partition would produce.
+	// Assemble the time-of-day histogram list from the pre-merged runs.
 	var tod [][]*hist.TodHistogram
 	if ix.tod != nil {
 		tod = make([][]*hist.TodHistogram, 0, numNew)
 		for w := 0; w < old; {
-			r := runOf[w]
-			if r < 0 {
-				tod = append(tod, ix.tod[w])
-				w++
+			if r := runOf[w]; r >= 0 {
+				tod = append(tod, p.todMerged[r])
+				w = runs[r].hi
 				continue
 			}
-			merged := make([]*hist.TodHistogram, ix.g.NumEdges())
-			for v := runs[r].lo; v < runs[r].hi; v++ {
-				for e, h := range ix.tod[v] {
-					if h == nil {
-						continue
-					}
-					if merged[e] == nil {
-						merged[e] = h.Clone()
-					} else {
-						merged[e].AddAll(h)
-					}
-				}
-			}
-			tod = append(tod, merged)
-			w = runs[r].hi
+			tod = append(tod, ix.tod[w])
+			w++
 		}
+		tod = append(tod, ix.tod[old:]...)
 	}
 
 	nix := &Index{
@@ -371,15 +501,34 @@ func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, erro
 		maxTrajDur:    ix.maxTrajDur,
 		alphabet:      ix.alphabet,
 		stats:         ix.stats,
-		compactedFrom: old,
+		compactedFrom: len(ix.parts),
 	}
 	nix.stats.Partitions = numNew
 	stats.PartitionsAfter = numNew
 	stats.Runs = len(runs)
-	stats.Elapsed = time.Since(startedAt)
+	stats.TrajsRebuilt = p.trajs
+	stats.RecordsRebuilt = p.records
+	stats.Elapsed = p.prepared + time.Since(startedAt)
 	stats.CompletedUnix = time.Now().Unix()
 	committed = true
 	return nix, stats, nil
+}
+
+// Compact merges runs of adjacent partitions per the policy and returns the
+// compacted snapshot — PrepareCompaction and ApplyCompaction back to back
+// on one snapshot, the synchronous path used by manual /compact and by
+// in-lock auto-compaction. When the policy plans no merge the receiver
+// itself is returned (not superseded, still extendable). Otherwise the
+// receiver is superseded exactly like Extend supersedes it: only the
+// returned snapshot may be extended or compacted further. Query results
+// from the compacted snapshot are bit-identical to the receiver's — and to
+// a from-scratch Build over the same trajectories with the merged layout.
+func (ix *Index) Compact(policy CompactionPolicy) (*Index, CompactionStats, error) {
+	p, err := ix.PrepareCompaction(policy)
+	if err != nil {
+		return nil, CompactionStats{PartitionsBefore: len(ix.parts), PartitionsAfter: len(ix.parts)}, err
+	}
+	return ix.ApplyCompaction(p)
 }
 
 // CompactedFrom returns the partition count before the Compact call that

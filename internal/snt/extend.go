@@ -15,6 +15,41 @@ import (
 // extended: extension chains are strictly linear (see Extend).
 var ErrSuperseded = errors.New("snt: index snapshot already extended; extend the newest snapshot")
 
+// ValidateBatch checks a batch against this snapshot exactly as Extend
+// would, without extending anything: every edge id in range, every
+// trajectory internally valid, and every trajectory starting after the
+// indexed range ends. It exists so the serving layer can establish "Extend
+// will accept this batch" BEFORE durably logging it to the write-ahead log
+// — a batch that passes here fails Extend only on resource exhaustion, so
+// the log never records a batch that replay would then reject. It does not
+// mutate the batch (the minimum start is found by scanning, not sorting).
+func (ix *Index) ValidateBatch(add *traj.Store) error {
+	if add == nil || add.Len() == 0 {
+		return nil
+	}
+	minStart := int64(0)
+	for i := range add.All() {
+		tr := &add.All()[i]
+		for _, e := range tr.Seq {
+			if int(e.Edge) < 0 || int(e.Edge) >= ix.g.NumEdges() {
+				return fmt.Errorf("snt: batch trajectory %d: edge id %d out of range [0, %d)",
+					i, e.Edge, ix.g.NumEdges())
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("snt: batch %w", err)
+		}
+		if s := tr.StartTime(); i == 0 || s < minStart {
+			minStart = s
+		}
+	}
+	if minStart <= ix.tmax {
+		return fmt.Errorf("snt: batch starts at %d, inside indexed range ending %d",
+			minStart, ix.tmax)
+	}
+	return nil
+}
+
 // Extend returns a new index covering the receiver's trajectories plus a
 // batch of newer ones, added as one additional temporal partition — the
 // batch-update path that temporal partitioning exists for (Section 4.3.2):
@@ -45,17 +80,8 @@ func (ix *Index) Extend(add *traj.Store) (*Index, error) {
 	// Validate the batch before anything else: Extend is reachable from
 	// untrusted input through the serving layer, and an out-of-range edge
 	// id would otherwise panic deep inside suffix-array construction.
-	for i := range add.All() {
-		tr := &add.All()[i]
-		for _, e := range tr.Seq {
-			if int(e.Edge) < 0 || int(e.Edge) >= ix.g.NumEdges() {
-				return nil, fmt.Errorf("snt: batch trajectory %d: edge id %d out of range [0, %d)",
-					i, e.Edge, ix.g.NumEdges())
-			}
-		}
-		if err := tr.Validate(); err != nil {
-			return nil, fmt.Errorf("snt: batch %w", err)
-		}
+	if err := ix.ValidateBatch(add); err != nil {
+		return nil, err
 	}
 	// Try-acquire the exclusive right to extend this snapshot. The deferred
 	// release covers every non-committed exit — rejected batches and

@@ -1,0 +1,526 @@
+package ttserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathhist"
+	"pathhist/internal/wal"
+)
+
+// dayBatch builds a one-trajectory batch whose entries start at day d —
+// strictly after the base dataset's time range, so Extend admits it.
+func dayBatch(ids map[string]pathhist.EdgeID, user pathhist.UserID, d int64) *pathhist.Store {
+	day := d * 86400
+	b := pathhist.NewStore()
+	b.Add(user, []pathhist.Entry{
+		{Edge: ids["A"], T: day, TT: 5},
+		{Edge: ids["B"], T: day + 5, TT: 5},
+		{Edge: ids["E"], T: day + 10, TT: 5},
+	})
+	return b
+}
+
+// queryMean fetches /query for the A,B,E path over all time and returns the
+// decoded response.
+func queryMean(t *testing.T, url string, ids map[string]pathhist.EdgeID) Response {
+	t.Helper()
+	r, err := fetch(fmt.Sprintf("%s/query?path=%d,%d,%d&beta=10&until=%d",
+		url, ids["A"], ids["B"], ids["E"], int64(1)<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExtendWALDurability is the acknowledged ⇒ fsynced ⇒ recovered
+// contract over HTTP: every 200 from /extend leaves a log record on disk,
+// and after a simulated SIGKILL (the process state vanishes, only the files
+// survive) a fresh engine + ReplayWAL reproduces exactly the acknowledged
+// state — same trajectory count, same epoch, same query answers.
+func TestExtendWALDurability(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "extend.wal")
+	log, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{EnableExtend: true, WAL: log}))
+	defer srv.Close()
+
+	for d := int64(1); d <= 3; d++ {
+		resp := postBatch(t, srv.URL, dayBatch(ids, 7, d))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extend day %d: status %d", d, resp.StatusCode)
+		}
+	}
+	if st := log.Stats(); st.Records != 3 || st.Appends != 3 {
+		t.Fatalf("wal after 3 acks: %+v", st)
+	}
+	want := queryMean(t, srv.URL, ids)
+
+	// Crash: no shutdown hook runs; the log file is all that survives.
+	// (Close only releases the descriptor — every ack already fsynced.)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	relog, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relog.Close()
+	eng2, _ := testEngine(t)
+	applied, err := ReplayWAL(eng2, relog)
+	if err != nil || applied != 3 {
+		t.Fatalf("replay: applied %d, err %v", applied, err)
+	}
+	if eng2.Trajectories() != eng.Trajectories() || eng2.Epoch() != eng.Epoch() {
+		t.Fatalf("recovered %d trajs @ epoch %d, served %d @ %d",
+			eng2.Trajectories(), eng2.Epoch(), eng.Trajectories(), eng.Epoch())
+	}
+	srv2 := httptest.NewServer(NewServer(eng2, Config{}))
+	defer srv2.Close()
+	got := queryMean(t, srv2.URL, ids)
+	if got.MeanSeconds != want.MeanSeconds || got.P50 != want.P50 || got.Epoch != want.Epoch {
+		t.Fatalf("recovered answers diverge: %+v vs %+v", got, want)
+	}
+
+	// Replay is idempotent: running it again over the recovered engine
+	// applies nothing (every record is covered).
+	if applied, err := ReplayWAL(eng2, relog); err != nil || applied != 0 {
+		t.Fatalf("second replay: applied %d, err %v", applied, err)
+	}
+}
+
+// TestExtendWALSnapshotRotation: WriteSnapshot rotates the log (its records
+// are covered by the durable snapshot), and recovery from snapshot + the
+// remaining log equals the acknowledged state — including when the crash
+// lands between snapshot and rotation, leaving covered records the replay
+// must skip rather than double-apply.
+func TestExtendWALSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snap")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "extend.wal")
+	log, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{
+		EnableExtend: true, WAL: log, SnapshotDir: snapDir,
+	}))
+	defer srv.Close()
+	s := srv.Config.Handler.(*Server)
+
+	postOK := func(d int64) {
+		t.Helper()
+		resp := postBatch(t, srv.URL, dayBatch(ids, 7, d))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extend day %d: status %d", d, resp.StatusCode)
+		}
+	}
+	postOK(1)
+	postOK(2)
+	if _, err := s.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := log.Stats(); st.Records != 0 || st.Rotations != 1 {
+		t.Fatalf("wal after covering snapshot: %+v", st)
+	}
+	postOK(3)
+	if st := log.Stats(); st.Records != 1 {
+		t.Fatalf("wal after post-snapshot extend: %+v", st)
+	}
+	want := queryMean(t, srv.URL, ids)
+
+	// Recover: newest snapshot + replay of the single uncovered record.
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := pathhist.FindLatestSnapshot(snapDir)
+	if err != nil || snap == "" {
+		t.Fatalf("FindLatestSnapshot: %q, %v", snap, err)
+	}
+	g, _ := pathhist.PaperExampleNetwork()
+	eng2, err := pathhist.LoadSnapshotFile(g, snap, pathhist.Options{
+		Partition: pathhist.NoPartition, BucketSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relog, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relog.Close()
+	if applied, err := ReplayWAL(eng2, relog); err != nil || applied != 1 {
+		t.Fatalf("replay: applied %d, err %v", applied, err)
+	}
+	if eng2.Trajectories() != eng.Trajectories() {
+		t.Fatalf("recovered %d trajectories, want %d", eng2.Trajectories(), eng.Trajectories())
+	}
+	srv2 := httptest.NewServer(NewServer(eng2, Config{}))
+	defer srv2.Close()
+	got := queryMean(t, srv2.URL, ids)
+	if got.MeanSeconds != want.MeanSeconds || got.P50 != want.P50 {
+		t.Fatalf("recovered answers diverge: %+v vs %+v", got, want)
+	}
+
+	// Crash-between-snapshot-and-rotation: rebuild that state by replaying
+	// a log that still holds records the snapshot covers. Nothing may be
+	// double-applied.
+	eng3, err := pathhist.LoadSnapshotFile(g, snap, pathhist.Options{
+		Partition: pathhist.NoPartition, BucketSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, err := wal.Open(filepath.Join(dir, "covered.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer covered.Close()
+	var b1, b3 bytes.Buffer
+	if _, err := dayBatch(ids, 7, 1).WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dayBatch(ids, 7, 3).WriteTo(&b3); err != nil {
+		t.Fatal(err)
+	}
+	// Base held 4 trajectories; days 1 and 2 were snapshotted at total 6.
+	if err := covered.Append(4, 1, b1.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := covered.Append(6, 1, b3.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := ReplayWAL(eng3, covered); err != nil || applied != 1 {
+		t.Fatalf("replay over covered records: applied %d, err %v", applied, err)
+	}
+	if eng3.Trajectories() != eng.Trajectories() {
+		t.Fatalf("covered replay: %d trajectories, want %d", eng3.Trajectories(), eng.Trajectories())
+	}
+}
+
+// TestExtendWALTornTail: a crash mid-append leaves a torn record; Open
+// truncates it (it was never acknowledged — the ack strictly follows the
+// fsync) and replay recovers exactly the complete records.
+func TestExtendWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "extend.wal")
+	log, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{EnableExtend: true, WAL: log}))
+	defer srv.Close()
+	for d := int64(1); d <= 2; d++ {
+		resp := postBatch(t, srv.URL, dayBatch(ids, 7, d))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extend day %d: status %d", d, resp.StatusCode)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash hits while record 3 is half-written: simulate with a bare
+	// partial header at the tail.
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 17)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	relog, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relog.Close()
+	st := relog.Stats()
+	if !st.TornTail || st.TornBytes != 17 || st.Records != 2 {
+		t.Fatalf("torn-tail repair: %+v", st)
+	}
+	eng2, _ := testEngine(t)
+	if applied, err := ReplayWAL(eng2, relog); err != nil || applied != 2 {
+		t.Fatalf("replay: applied %d, err %v", applied, err)
+	}
+	if eng2.Trajectories() != eng.Trajectories() {
+		t.Fatalf("recovered %d trajectories, want %d", eng2.Trajectories(), eng.Trajectories())
+	}
+}
+
+// TestReplayWrongSnapshot: a log that does not descend from the restored
+// snapshot — a gap (records start beyond the index) or a partial overlap
+// (a record straddles the index's total) — fails closed instead of
+// serving a state no client was acknowledged.
+func TestReplayWrongSnapshot(t *testing.T) {
+	eng, ids := testEngine(t) // 4 trajectories
+	var payload bytes.Buffer
+	if _, err := dayBatch(ids, 7, 1).WriteTo(&payload); err != nil {
+		t.Fatal(err)
+	}
+	for name, rec := range map[string]struct {
+		prevTotal uint64
+		trajs     int
+	}{
+		"gap":             {6, 1}, // starts beyond the restored total of 4
+		"partial overlap": {3, 2}, // straddles it: 3+2 > 4 but 3 < 4
+	} {
+		log, err := wal.Open(filepath.Join(t.TempDir(), "bad.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Append(rec.prevTotal, rec.trajs, payload.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if applied, err := ReplayWAL(eng, log); err == nil {
+			t.Fatalf("%s: replay applied %d records without error", name, applied)
+		}
+		log.Close()
+	}
+	if eng.Trajectories() != 4 {
+		t.Fatalf("failed replays mutated the engine: %d trajectories", eng.Trajectories())
+	}
+}
+
+// TestExtendValidationPrecedesWAL: a batch the engine would refuse (it
+// overlaps the indexed time range) is rejected with 422 before anything is
+// logged — the WAL only ever holds batches replay will accept.
+func TestExtendValidationPrecedesWAL(t *testing.T) {
+	log, err := wal.Open(filepath.Join(t.TempDir(), "extend.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{EnableExtend: true, WAL: log}))
+	defer srv.Close()
+
+	overlap := pathhist.NewStore()
+	overlap.Add(7, []pathhist.Entry{{Edge: ids["A"], T: 1, TT: 3}}) // inside the base range
+	resp := postBatch(t, srv.URL, overlap)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("overlapping batch: status %d, want 422", resp.StatusCode)
+	}
+	if st := log.Stats(); st.Records != 0 || st.Appends != 0 || st.Rollbacks != 0 {
+		t.Fatalf("rejected batch reached the log: %+v", st)
+	}
+	if eng.Trajectories() != 4 || eng.Epoch() != 0 {
+		t.Fatalf("rejected batch mutated the engine: %d trajs @ epoch %d",
+			eng.Trajectories(), eng.Epoch())
+	}
+}
+
+// TestExtendOverloadSheds: /extend answers 503 + Retry-After once the WAL
+// or the partition backlog outgrows its bound, and recovers as soon as a
+// snapshot (rotation) or compaction pays the debt back down.
+func TestExtendOverloadSheds(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snap")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(filepath.Join(dir, "extend.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{
+		EnableExtend: true,
+		WAL:          log,
+		SnapshotDir:  snapDir,
+		MaxWALBytes:  20, // just above the 16-byte header: any record trips it
+	}))
+	defer srv.Close()
+	s := srv.Config.Handler.(*Server)
+
+	resp := postBatch(t, srv.URL, dayBatch(ids, 7, 1))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first extend: status %d", resp.StatusCode)
+	}
+	resp = postBatch(t, srv.URL, dayBatch(ids, 7, 2))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound extend: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+		t.Fatalf("503 without JSON error body: %v (%+v)", err, er)
+	}
+	// A snapshot rotates the log; ingest resumes.
+	if _, err := s.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	resp = postBatch(t, srv.URL, dayBatch(ids, 7, 2))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rotation extend: status %d", resp.StatusCode)
+	}
+
+	// Partition-backlog bound, same shape: base(1) + 2 batches = 3
+	// partitions > 2 sheds, compaction readmits.
+	srv2 := httptest.NewServer(NewServer(eng, Config{
+		EnableExtend:        true,
+		MaxPartitionBacklog: 2,
+	}))
+	defer srv2.Close()
+	if eng.Partitions() <= 2 {
+		t.Fatalf("fixture: %d partitions, want > 2", eng.Partitions())
+	}
+	resp = postBatch(t, srv2.URL, dayBatch(ids, 7, 3))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("backlogged extend: status %d, want 503", resp.StatusCode)
+	}
+	creq, err := http.Post(srv2.URL+"/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creq.Body.Close()
+	if creq.StatusCode != http.StatusOK {
+		t.Fatalf("compact: status %d", creq.StatusCode)
+	}
+	resp = postBatch(t, srv2.URL, dayBatch(ids, 7, 3))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-compaction extend: status %d", resp.StatusCode)
+	}
+}
+
+// TestDrainAndReadyz: BeginDrain turns every serving endpoint into a
+// 503 + Retry-After with a JSON body (instead of the connection resets a
+// closing listener used to hand out), while /healthz stays alive and
+// /readyz reports unroutable; SetReady cannot resurrect a draining server.
+func TestDrainAndReadyz(t *testing.T) {
+	dir := t.TempDir()
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{EnableExtend: true, SnapshotDir: dir}))
+	defer srv.Close()
+	s := srv.Config.Handler.(*Server)
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh /readyz: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	s.SetReady(false)
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after SetReady(false): %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	s.SetReady(true)
+
+	s.BeginDrain()
+	for _, probe := range []struct {
+		method, path string
+	}{
+		{http.MethodGet, fmt.Sprintf("/query?path=%d&beta=2&until=100", ids["A"])},
+		{http.MethodPost, "/extend"},
+		{http.MethodPost, "/compact"},
+		{http.MethodPost, "/snapshot"},
+	} {
+		req, err := http.NewRequest(probe.method, srv.URL+probe.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining %s: status %d, want 503", probe.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("draining %s: no Retry-After", probe.path)
+		}
+		var er ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+			t.Fatalf("draining %s: no JSON error body (%v)", probe.path, err)
+		}
+		resp.Body.Close()
+	}
+	if resp := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining /healthz: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	s.SetReady(true) // a drain is terminal
+	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// /statsz reflects the lifecycle bits.
+	resp := get("/statsz")
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || !st.Draining {
+		t.Fatalf("statsz lifecycle: ready=%v draining=%v", st.Ready, st.Draining)
+	}
+}
+
+// TestStatszWALFields: with a WAL wired in, /statsz surfaces its counters.
+func TestStatszWALFields(t *testing.T) {
+	log, err := wal.Open(filepath.Join(t.TempDir(), "extend.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{EnableExtend: true, WAL: log}))
+	defer srv.Close()
+	resp := postBatch(t, srv.URL, dayBatch(ids, 7, 1))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend: status %d", resp.StatusCode)
+	}
+	sresp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.WALEnabled || st.WALRecords != 1 || st.WALAppends != 1 ||
+		st.WALBytes <= 16 || st.WALFsyncMsTotal <= 0 {
+		t.Fatalf("statsz wal fields: %+v", st)
+	}
+}

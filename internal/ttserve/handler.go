@@ -9,14 +9,25 @@
 // accepts a trajectory batch in the traj binary format (Store.WriteTo) and
 // publishes it through Engine.Extend: queries keep flowing while the batch
 // is indexed, and the response reports the newly published epoch.
+//
+// Durability (DESIGN.md §11): with Config.WAL set, /extend acknowledges a
+// batch only after its raw bytes are fsynced to the write-ahead log —
+// validate, append, index, in that order under one ingest lock — so a 200
+// means the batch survives a crash at any later instant. On restart,
+// ReplayWAL re-applies every logged record the restored snapshot does not
+// already cover. WriteSnapshot rotates the log (the snapshot durably covers
+// its records) and prunes old snapshot generations, and /extend sheds load
+// with 503 + Retry-After when the log or the merge backlog outgrows its
+// bound — backpressure instead of unbounded replay debt.
 package ttserve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +35,7 @@ import (
 	"time"
 
 	"pathhist"
+	"pathhist/internal/wal"
 )
 
 // Config parameterises the handler.
@@ -45,16 +57,57 @@ type Config struct {
 	// giant partition in the request goroutine.
 	MaxExtendTrajectories int
 	// SnapshotDir, when set, is where Server.WriteSnapshot persists the
-	// served index (atomically, as SnapshotDir/snapshot.snt). Together
+	// served index (atomically, as an epoch-named snapshot file). Together
 	// with EnableExtend it also registers the POST /snapshot endpoint —
 	// snapshotting is a mutation of durable state, so the HTTP trigger
 	// sits behind the same deployment gate as /extend and /compact
 	// (cmd/ttserve: -snapshot-dir).
 	SnapshotDir string
+	// SnapshotKeep bounds how many epoch-named snapshot generations
+	// WriteSnapshot retains in SnapshotDir (DefaultSnapshotKeep when 0;
+	// the newest is always kept). Older generations only waste disk once a
+	// newer snapshot is durably on disk — but several survivors mean a
+	// corrupt newest file still leaves a recovery point.
+	SnapshotKeep int
+	// WAL, when non-nil, makes acknowledged ingestion durable: every
+	// /extend batch is appended (and fsynced) to this log before the
+	// engine indexes it, and rolled back if indexing then fails — the log
+	// holds exactly the acknowledged, applied batches. The caller owns the
+	// log's lifecycle (cmd/ttserve opens it, replays it into the engine
+	// via ReplayWAL, and hands it here).
+	WAL *wal.WAL
+	// LoadedSnapshotPath names the snapshot file the engine was restored
+	// from, when it was. Retention (WriteSnapshot's pruning) never deletes
+	// this file: until a newer snapshot lands it is the only durable base
+	// the WAL's records chain from.
+	LoadedSnapshotPath string
+	// MaxWALBytes sheds ingest load once the write-ahead log outgrows this
+	// many bytes (0 = unbounded): /extend answers 503 + Retry-After until
+	// a snapshot rotates the log. A growing log means snapshots have
+	// fallen behind — accepting more batches would only deepen the replay
+	// debt a crash victim has to pay.
+	MaxWALBytes int64
+	// MaxPartitionBacklog sheds ingest load once the served index holds
+	// more than this many partitions (0 = unbounded): /extend answers
+	// 503 + Retry-After until compaction catches up. The partition count
+	// is the merge backlog — background compaction keeps ingest out of
+	// the merge path, and this bound keeps a sustained burst from growing
+	// the backlog (and per-query partition fan-out) without limit.
+	MaxPartitionBacklog int
 }
 
 // DefaultMaxExtendBytes is the default /extend body cap (64 MiB).
 const DefaultMaxExtendBytes = 64 << 20
+
+// DefaultSnapshotKeep is the default snapshot retention (newest K files).
+const DefaultSnapshotKeep = 3
+
+// retryAfterSeconds is the Retry-After hint on 503 responses: overload
+// (WAL or merge backlog over bound) clears on the next snapshot or
+// compaction cycle — seconds, not milliseconds — while draining never
+// clears, so the hint mainly keeps well-behaved clients from hammering a
+// dying listener.
+const retryAfterSeconds = 1
 
 // Response is the JSON shape of a /query answer.
 type Response struct {
@@ -105,6 +158,15 @@ type Stats struct {
 	SnapshotEpoch          uint64  `json:"snapshot_epoch"`
 	LastSnapshotUnix       int64   `json:"last_snapshot_unix,omitempty"`
 	SnapshotBytes          int64   `json:"snapshot_bytes,omitempty"`
+	Ready                  bool    `json:"ready"`
+	Draining               bool    `json:"draining,omitempty"`
+	WALEnabled             bool    `json:"wal_enabled"`
+	WALRecords             int     `json:"wal_records,omitempty"`
+	WALBytes               int64   `json:"wal_bytes,omitempty"`
+	WALAppends             int64   `json:"wal_appends,omitempty"`
+	WALFsyncMsTotal        float64 `json:"wal_fsync_ms_total,omitempty"`
+	WALRotations           int64   `json:"wal_rotations,omitempty"`
+	WALRollbacks           int64   `json:"wal_rollbacks,omitempty"`
 	Index                  string  `json:"index"`
 }
 
@@ -178,6 +240,21 @@ type Server struct {
 	extendOverloads atomic.Int64
 	lastExtendUnix  atomic.Int64
 
+	// ingestMu serialises the durable admission sequence — validate, WAL
+	// append, index — so the log order is exactly the apply order. Without
+	// a WAL the engine's own extend lock would suffice; with one, two
+	// interleaved requests could otherwise log in one order and apply in
+	// the other.
+	ingestMu sync.Mutex
+
+	// ready and draining drive /readyz and load-balancer behaviour: ready
+	// starts true (a constructed Server has a fully recovered engine) and
+	// flips false on BeginDrain; draining additionally turns the serving
+	// endpoints into 503 + Retry-After so a rolling restart sheds clients
+	// to peers instead of resetting their connections.
+	ready    atomic.Bool
+	draining atomic.Bool
+
 	// snapshotMu serialises snapshot writes: concurrent triggers would
 	// race on the same target file for no benefit (each write captures
 	// the newest published epoch anyway).
@@ -203,11 +280,19 @@ func NewServer(eng *pathhist.Engine, cfg Config) *Server {
 	if cfg.MaxExtendBytes <= 0 {
 		cfg.MaxExtendBytes = DefaultMaxExtendBytes
 	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = DefaultSnapshotKeep
+	}
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s.ready.Store(true)
+	// Liveness vs readiness: /healthz answers 200 as long as the process
+	// serves HTTP at all (even draining — the process is alive), while
+	// /readyz tells the load balancer whether to route here.
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/readyz", s.readyz)
 	s.mux.HandleFunc("/statsz", s.statsz)
 	s.mux.HandleFunc("/query", s.query)
 	if cfg.EnableExtend {
@@ -223,19 +308,54 @@ func NewServer(eng *pathhist.Engine, cfg Config) *Server {
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// SnapshotPath returns the snapshot target file, or "" when persistence is
-// not configured.
-func (s *Server) SnapshotPath() string {
-	if s.cfg.SnapshotDir == "" {
-		return ""
-	}
-	return filepath.Join(s.cfg.SnapshotDir, pathhist.SnapshotFileName)
+// BeginDrain moves the server into its terminal draining state: /readyz
+// flips to 503 and the serving endpoints (/query, /extend, /compact,
+// /snapshot) answer 503 + Retry-After with a JSON error body instead of
+// having their connections reset by the closing listener. Call it before
+// http.Server.Shutdown so the load balancer stops routing here while
+// in-flight requests finish.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
 }
 
-// WriteSnapshot persists the currently published index snapshot to
-// Config.SnapshotDir (atomic temp-file + rename) and records the outcome in
-// the /statsz counters. It is the engine behind POST /snapshot and the
-// final snapshot of a graceful shutdown.
+// SetReady overrides the readiness bit (it starts true — a constructed
+// Server wraps a fully recovered engine). BeginDrain clears it permanently.
+func (s *Server) SetReady(v bool) { s.ready.Store(v && !s.draining.Load()) }
+
+// readyz reports routability: 200 once recovery (snapshot load + WAL
+// replay) is complete and the server is not draining, 503 otherwise.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.ready.Load() && !s.draining.Load() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "not ready")
+}
+
+// unavailable writes a 503 with a Retry-After hint and a JSON error body.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	rejectJSON(w, http.StatusServiceUnavailable, msg)
+}
+
+// WriteSnapshot persists the currently published index snapshot as an
+// epoch-named file in Config.SnapshotDir (atomic temp-file + rename),
+// rotates the write-ahead log — the snapshot durably covers every batch up
+// to its trajectory count, so those records are dead weight a crash victim
+// would only re-skip — prunes old snapshot generations down to
+// Config.SnapshotKeep (never the file the engine was loaded from), and
+// records the outcome in the /statsz counters. It is the engine behind
+// POST /snapshot, the periodic snapshot loop, and the final snapshot of a
+// graceful shutdown.
+//
+// The order matters for crash safety: snapshot first (fsync + rename +
+// directory fsync), then log rotation, then pruning. A crash between any
+// two steps leaves extra durable state (stale WAL records a replay skips,
+// an extra snapshot file), never missing state.
 func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 	if s.cfg.SnapshotDir == "" {
 		return SnapshotResponse{}, fmt.Errorf("ttserve: no snapshot directory configured")
@@ -243,22 +363,35 @@ func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 	s.snapshotMu.Lock()
 	defer s.snapshotMu.Unlock()
 	started := time.Now()
-	st, err := s.eng.SnapshotFile(s.SnapshotPath())
+	st, err := s.eng.SnapshotFileIn(s.cfg.SnapshotDir)
 	if err != nil {
 		return SnapshotResponse{}, err
 	}
 	// The counters report what the file actually holds (the epoch pinned
-	// inside SnapshotFile), not a re-read of engine state that a racing
+	// inside SnapshotFileIn), not a re-read of engine state that a racing
 	// extend may already have advanced.
 	s.snapshotEpoch.Store(st.Epoch)
 	s.snapshotBytes.Store(st.Bytes)
 	s.lastSnapshotUnix.Store(time.Now().Unix())
-	return SnapshotResponse{
-		Path:      s.SnapshotPath(),
-		Bytes:     st.Bytes,
-		Epoch:     st.Epoch,
-		ElapsedMs: float64(time.Since(started).Microseconds()) / 1000,
-	}, nil
+	resp := SnapshotResponse{
+		Path:  st.Path,
+		Bytes: st.Bytes,
+		Epoch: st.Epoch,
+	}
+	if log := s.cfg.WAL; log != nil {
+		if err := log.TruncateCovered(uint64(st.Trajectories)); err != nil {
+			// The snapshot itself is durable; a rotation failure only means
+			// the log keeps covered records (replay skips them).
+			resp.ElapsedMs = float64(time.Since(started).Microseconds()) / 1000
+			return resp, fmt.Errorf("ttserve: rotating WAL after snapshot: %w", err)
+		}
+	}
+	if _, err := pathhist.PruneSnapshots(s.cfg.SnapshotDir, s.cfg.SnapshotKeep, s.cfg.LoadedSnapshotPath); err != nil {
+		resp.ElapsedMs = float64(time.Since(started).Microseconds()) / 1000
+		return resp, err
+	}
+	resp.ElapsedMs = float64(time.Since(started).Microseconds()) / 1000
+	return resp, nil
 }
 
 // snapshot handles POST /snapshot: persist the served index now. Gated by
@@ -267,6 +400,10 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST to /snapshot to persist the served index", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
 		return
 	}
 	resp, err := s.WriteSnapshot()
@@ -311,7 +448,19 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 		SnapshotEpoch:          s.snapshotEpoch.Load(),
 		LastSnapshotUnix:       s.lastSnapshotUnix.Load(),
 		SnapshotBytes:          s.snapshotBytes.Load(),
+		Ready:                  s.ready.Load(),
+		Draining:               s.draining.Load(),
+		WALEnabled:             s.cfg.WAL != nil,
 		Index:                  s.eng.IndexInfo(),
+	}
+	if log := s.cfg.WAL; log != nil {
+		ws := log.Stats()
+		st.WALRecords = ws.Records
+		st.WALBytes = ws.Bytes
+		st.WALAppends = ws.Appends
+		st.WALFsyncMsTotal = float64(ws.FsyncNanos) / 1e6
+		st.WALRotations = ws.Rotations
+		st.WALRollbacks = ws.Rollbacks
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		st.CacheHitRatio = float64(cs.Hits) / float64(total)
@@ -324,6 +473,12 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// A draining listener used to just close on clients mid-restart;
+		// a 503 with Retry-After lets them fail over cleanly instead.
+		s.unavailable(w, "server is draining")
+		return
+	}
 	q, err := parseQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -344,15 +499,44 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 // extend ingests a trajectory batch: the request body is the traj binary
 // format (pathhist.Store.WriteTo / ReadStore — the same bytes ttgen writes
 // to trajectories.bin). Malformed bodies are 400s; well-formed batches the
-// engine rejects (e.g. overlapping the indexed time range) are 422s.
+// engine rejects (e.g. overlapping the indexed time range) are 422s; an
+// overloaded or draining server sheds with 503 + Retry-After before doing
+// any work. With a WAL configured, the 200 is only written after the batch
+// is fsynced to the log and indexed (see ingest).
 func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST a traj-format batch to /extend", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.draining.Load() {
+		s.extendOverloads.Add(1)
+		s.unavailable(w, "server is draining")
+		return
+	}
+	// Overload shedding, checked before the body is even read: both
+	// conditions are repay-the-debt signals (a snapshot rotates the log, a
+	// compaction cycle shrinks the backlog), so the honest answer is
+	// "retry shortly", not a slow accept that deepens the hole.
+	if max := s.cfg.MaxWALBytes; max > 0 && s.cfg.WAL != nil && s.cfg.WAL.Size() > max {
+		s.extendOverloads.Add(1)
+		s.unavailable(w, fmt.Sprintf(
+			"write-ahead log holds %d bytes (bound %d); waiting for a snapshot to rotate it",
+			s.cfg.WAL.Size(), max))
+		return
+	}
+	if max := s.cfg.MaxPartitionBacklog; max > 0 && s.eng.Partitions() > max {
+		s.extendOverloads.Add(1)
+		s.unavailable(w, fmt.Sprintf(
+			"index holds %d partitions (bound %d); waiting for compaction to catch up",
+			s.eng.Partitions(), max))
+		return
+	}
 	started := time.Now()
-	batch, err := pathhist.ReadStore(http.MaxBytesReader(w, r.Body, s.cfg.MaxExtendBytes))
+	// The raw bytes are read once and decoded from memory: the WAL logs
+	// exactly the bytes the client sent (replay re-decodes them), so the
+	// decode and the log entry can never disagree.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxExtendBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -366,6 +550,12 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.extendRejects.Add(1)
+		http.Error(w, fmt.Sprintf("reading batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	batch, err := pathhist.ReadStore(bytes.NewReader(raw))
+	if err != nil {
+		s.extendRejects.Add(1)
 		http.Error(w, fmt.Sprintf("decoding batch: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -378,10 +568,10 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch holds %d trajectories, limit is %d; split it into smaller batches", batch.Len(), max))
 		return
 	}
-	st, err := s.eng.Extend(batch)
+	st, status, err := s.ingest(raw, batch)
 	if err != nil {
 		s.extendRejects.Add(1)
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), status)
 		return
 	}
 	s.extends.Add(1)
@@ -399,6 +589,94 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ingest runs the durable admission sequence for one batch under the
+// ingest lock: validate, append to the WAL (fsynced), then index. The
+// returned status is the HTTP code to report alongside a non-nil error.
+//
+// The ordering is the durability contract. Validation runs first so the
+// log never records a batch replay would refuse; the fsynced append runs
+// before Extend so an acknowledged batch is on disk before any client can
+// observe it (acknowledged ⇒ fsynced ⇒ recovered); and if Extend still
+// fails after validation passed, the fresh record is rolled back so the
+// log stays exactly the applied history.
+func (s *Server) ingest(raw []byte, batch *pathhist.Store) (pathhist.IngestStats, int, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	log := s.cfg.WAL
+	if log == nil {
+		st, err := s.eng.Extend(batch)
+		if err != nil {
+			return st, http.StatusUnprocessableEntity, err
+		}
+		return st, http.StatusOK, nil
+	}
+	if err := s.eng.ValidateExtend(batch); err != nil {
+		return pathhist.IngestStats{}, http.StatusUnprocessableEntity, err
+	}
+	if err := log.Append(uint64(s.eng.Trajectories()), batch.Len(), raw); err != nil {
+		// A batch that cannot be made durable is not acknowledged — the
+		// failure is the server's (disk trouble), not the client's.
+		return pathhist.IngestStats{}, http.StatusInternalServerError,
+			fmt.Errorf("write-ahead log: %v", err)
+	}
+	st, err := s.eng.Extend(batch)
+	if err != nil {
+		// Validation mirrors Extend's admission checks, so this is a
+		// should-not-happen path — but the log must not keep a record the
+		// index refused.
+		if rbErr := log.RollbackLast(); rbErr != nil {
+			return st, http.StatusInternalServerError,
+				fmt.Errorf("%v (and rolling back its WAL record failed: %v)", err, rbErr)
+		}
+		return st, http.StatusUnprocessableEntity, err
+	}
+	return st, http.StatusOK, nil
+}
+
+// ReplayWAL applies every logged record the restored engine does not
+// already cover, in log order, and returns how many batches it applied.
+// Records are correlated on trajectory totals: a record whose end
+// (PrevTotal+Trajs) the engine already holds is skipped — the snapshot
+// covers it, and a crash between snapshot and log rotation leaves exactly
+// such records — and the first uncovered record must start at the engine's
+// current total. Anything else (a gap, a partial overlap) means the log
+// does not descend from the restored snapshot — a mispaired -wal-path /
+// snapshot-dir — and replay fails closed rather than serve a state no
+// client was ever acknowledged.
+func ReplayWAL(eng *pathhist.Engine, log *wal.WAL) (int, error) {
+	recs, err := log.Records()
+	if err != nil {
+		return 0, err
+	}
+	total := uint64(eng.Trajectories())
+	applied := 0
+	for i, rec := range recs {
+		end := rec.PrevTotal + uint64(rec.Trajs)
+		if end <= total {
+			continue // durably covered by the snapshot already
+		}
+		if rec.PrevTotal != total {
+			return applied, fmt.Errorf(
+				"ttserve: wal record %d spans trajectories %d..%d but the index holds %d: log does not match the restored snapshot",
+				i, rec.PrevTotal, end, total)
+		}
+		batch, err := pathhist.ReadStore(bytes.NewReader(rec.Batch))
+		if err != nil {
+			return applied, fmt.Errorf("ttserve: decoding wal record %d: %w", i, err)
+		}
+		if batch.Len() != int(rec.Trajs) {
+			return applied, fmt.Errorf("ttserve: wal record %d holds %d trajectories, header says %d",
+				i, batch.Len(), rec.Trajs)
+		}
+		if _, err := eng.Extend(batch); err != nil {
+			return applied, fmt.Errorf("ttserve: replaying wal record %d: %w", i, err)
+		}
+		total = end
+		applied++
+	}
+	return applied, nil
+}
+
 // compact triggers partition compaction: the engine merges the temporal
 // partitions accumulated by /extend batches back into few large ones and
 // publishes the result as a new epoch, off the serving path. Idempotent —
@@ -407,6 +685,10 @@ func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST to /compact to merge ingested partitions", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
 		return
 	}
 	st, err := s.eng.Compact()

@@ -216,6 +216,17 @@ type Options struct {
 	// are left alone). 0 merges without bound: compaction always yields a
 	// single partition.
 	MaxCompactedRecords int
+	// CompactInBackground moves auto-compaction off the ingest path: a
+	// triggering Extend returns as soon as its batch is published, and a
+	// background goroutine prepares the merge off the write lock (ingest
+	// and queries proceed), applying and publishing it as its own epoch
+	// when ready. Engines with this set must be Closed to stop the
+	// goroutine. Requires AutoCompactPartitions > 0 to ever trigger.
+	CompactInBackground bool
+	// MaxCompactionRuns caps how many partition runs one background
+	// compaction cycle merges — the incremental-merge bound that keeps any
+	// single publication small. 0 merges all plannable runs at once.
+	MaxCompactionRuns int
 }
 
 // Engine answers travel-time queries over an indexed trajectory set.
@@ -291,7 +302,9 @@ func engineConfig(ix *snt.Index, opts Options) query.Config {
 		Compaction: snt.CompactionPolicy{
 			TriggerPartitions: opts.AutoCompactPartitions,
 			MaxMergedRecords:  opts.MaxCompactedRecords,
+			MaxRuns:           opts.MaxCompactionRuns,
 		},
+		CompactInBackground: opts.CompactInBackground,
 	}
 }
 
@@ -309,6 +322,22 @@ type IngestStats = query.IngestStats
 // engine's id space. Concurrent Extend calls are serialised; a rejected
 // batch leaves the engine unchanged.
 func (e *Engine) Extend(batch *Store) (IngestStats, error) { return e.qe.Extend(batch) }
+
+// ValidateExtend checks a batch against the currently published snapshot
+// exactly as Extend would — edge ids in range, trajectories internally
+// valid, every start time after the indexed range — without ingesting or
+// mutating anything. It exists for write-ahead logging: the serving layer
+// validates first, durably logs the raw batch, then Extends, so the log
+// never records a batch that replay would reject. A nil error here is
+// Extend's admission contract modulo a concurrent Extend (callers wanting
+// the full guarantee serialise the validate→log→extend sequence).
+func (e *Engine) ValidateExtend(batch *Store) error { return e.qe.Index().ValidateBatch(batch) }
+
+// Close stops the engine's background compactor, if Options.
+// CompactInBackground ever started one, and waits for a merge in flight to
+// finish publishing. The engine keeps answering queries (and even Extends)
+// after Close — only background merging stops. Close is idempotent.
+func (e *Engine) Close() { e.qe.Close() }
 
 // Epoch returns the engine's current index epoch: 0 at construction,
 // incremented by every successful non-empty Extend and every effective

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"pathhist/internal/query"
 	"pathhist/internal/snt"
@@ -18,16 +19,126 @@ import (
 // the dataset's network.bin: the road network is loaded separately and the
 // snapshot refuses to load against a different network.
 
-// SnapshotFileName is the canonical snapshot file name inside a snapshot
-// directory (cmd/ttserve's -snapshot-dir writes it, -load-snapshot and
-// LoadSnapshotFile read it).
+// SnapshotFileName is the legacy single-snapshot file name inside a
+// snapshot directory. SnapshotFileIn now writes epoch-named files (see
+// SnapshotName) so several generations can be retained; FindLatestSnapshot
+// still recognises this name so directories written by older builds keep
+// loading.
 const SnapshotFileName = "snapshot.snt"
 
-// SnapshotStats reports one written snapshot: its size and the index epoch
-// it captured.
+// SnapshotStats reports one written snapshot: its size, the index epoch it
+// captured, and how many trajectories that index held. The trajectory
+// count is captured from the same pinned publication as the epoch, which
+// is what lets a write-ahead log discard exactly the records the snapshot
+// covers (wal.TruncateCovered correlates on trajectory totals).
 type SnapshotStats struct {
-	Bytes int64
-	Epoch uint64
+	Bytes        int64
+	Epoch        uint64
+	Trajectories int
+	// Path is the file the snapshot was written to (empty for Snapshot,
+	// which writes to a caller-provided Writer).
+	Path string
+}
+
+// SnapshotName returns the canonical file name for a snapshot of the given
+// epoch: zero-padded hex, so lexicographic order is epoch order.
+func SnapshotName(epoch uint64) string {
+	return fmt.Sprintf("snapshot-%016x.snt", epoch)
+}
+
+// FindLatestSnapshot locates the newest snapshot file in dir: the
+// highest-epoch SnapshotName file, falling back to the legacy
+// SnapshotFileName when no epoch-named snapshot exists. Empty string (and
+// nil error) means the directory holds no snapshot at all.
+func FindLatestSnapshot(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best := ""
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !snapshotNamed(name) {
+			continue
+		}
+		if best == "" || name > best {
+			best = name
+		}
+	}
+	if best != "" {
+		return filepath.Join(dir, best), nil
+	}
+	legacy := filepath.Join(dir, SnapshotFileName)
+	if _, err := os.Stat(legacy); err == nil {
+		return legacy, nil
+	}
+	return "", nil
+}
+
+// snapshotNamed reports whether name matches the epoch-named snapshot
+// pattern snapshot-%016x.snt.
+func snapshotNamed(name string) bool {
+	const pre, suf = "snapshot-", ".snt"
+	if len(name) != len(pre)+16+len(suf) ||
+		name[:len(pre)] != pre || name[len(name)-len(suf):] != suf {
+		return false
+	}
+	for _, c := range name[len(pre) : len(pre)+16] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneSnapshots enforces the retention bound in dir: the newest keep
+// epoch-named snapshots survive, older ones are deleted. protect names a
+// file (by full path) that is never deleted regardless of age — the
+// snapshot a running replay or serving engine was loaded from, which must
+// stay on disk until a newer snapshot durably covers it. The legacy
+// SnapshotFileName is treated as older than every epoch-named snapshot
+// (it is only deleted once an epoch-named one exists, and never while
+// protected). Returns the deleted file names. keep < 1 is treated as 1.
+func PruneSnapshots(dir string, keep int, protect string) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var named []string
+	legacy := false
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if snapshotNamed(ent.Name()) {
+			named = append(named, ent.Name())
+		} else if ent.Name() == SnapshotFileName {
+			legacy = true
+		}
+	}
+	sort.Strings(named) // zero-padded hex: lexicographic == epoch order
+	var doomed []string
+	if len(named) > keep {
+		doomed = named[:len(named)-keep]
+	}
+	if legacy && len(named) > 0 {
+		doomed = append(doomed, SnapshotFileName)
+	}
+	var deleted []string
+	for _, name := range doomed {
+		path := filepath.Join(dir, name)
+		if path == protect {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return deleted, fmt.Errorf("pathhist: pruning snapshot %s: %w", name, err)
+		}
+		deleted = append(deleted, name)
+	}
+	return deleted, nil
 }
 
 // Snapshot writes the engine's currently published index snapshot and epoch
@@ -38,7 +149,49 @@ type SnapshotStats struct {
 func (e *Engine) Snapshot(w io.Writer) (SnapshotStats, error) {
 	ix, epoch := e.qe.Snapshot()
 	n, err := ix.WriteSnapshot(w, epoch)
-	return SnapshotStats{Bytes: n, Epoch: epoch}, err
+	return SnapshotStats{Bytes: n, Epoch: epoch, Trajectories: ix.Stats().Trajs}, err
+}
+
+// SnapshotFileIn writes an epoch-named snapshot (SnapshotName) into dir
+// with SnapshotFile's atomicity, returning stats whose Path names the
+// written file. The name is derived from the epoch actually captured (one
+// pinned publication — a concurrent Extend cannot make name and content
+// disagree). Distinct epochs get distinct files, which is what makes
+// retention (PruneSnapshots) and never-delete-the-loaded-file protection
+// possible; writing the same epoch twice harmlessly replaces the file with
+// identical bytes.
+func (e *Engine) SnapshotFileIn(dir string) (SnapshotStats, error) {
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return SnapshotStats{}, fmt.Errorf("pathhist: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (SnapshotStats, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return SnapshotStats{}, err
+	}
+	st, err := e.Snapshot(tmp)
+	if err != nil {
+		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("pathhist: closing snapshot: %w", err))
+	}
+	path := filepath.Join(dir, SnapshotName(st.Epoch))
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	st.Path = path
+	return st, nil
 }
 
 // SnapshotFile writes the snapshot to path atomically: the bytes go to a
