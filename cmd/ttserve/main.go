@@ -77,6 +77,8 @@ type config struct {
 	disableWAL        bool
 	maxWALMiB         int64
 	maxBacklog        int
+	queryTimeout      time.Duration
+	extendTimeout     time.Duration
 
 	// started, when non-nil, receives the bound listener address once the
 	// server is recovered and serving (used by the lifecycle tests; nil in
@@ -122,6 +124,10 @@ func main() {
 		"shed /extend load (503 + Retry-After) once the write-ahead log exceeds this many MiB (0 = unbounded)")
 	flag.IntVar(&cfg.maxBacklog, "max-partition-backlog", 0,
 		"shed /extend load (503 + Retry-After) once the index holds more than this many partitions (0 = unbounded)")
+	flag.DurationVar(&cfg.queryTimeout, "query-timeout", 0,
+		"abort /query requests that exceed this deadline with 504 (0 = unbounded); a ?timeout= parameter can lower but never raise it")
+	flag.DurationVar(&cfg.extendTimeout, "extend-timeout", 0,
+		"shed /extend requests still waiting for the ingest lock after this long with 504 (0 = unbounded); never interrupts a batch once it is logged")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -290,6 +296,8 @@ func run(ctx context.Context, cfg config) error {
 		LoadedSnapshotPath:    snapshotPath,
 		MaxWALBytes:           cfg.maxWALMiB << 20,
 		MaxPartitionBacklog:   cfg.maxBacklog,
+		QueryTimeout:          cfg.queryTimeout,
+		ExtendTimeout:         cfg.extendTimeout,
 	})
 	// Recovery complete: swap the real handler in; /readyz flips to 200.
 	handler.Store(handlerBox{srv})

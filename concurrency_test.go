@@ -1,10 +1,15 @@
 package pathhist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"pathhist/internal/workload"
 )
@@ -128,5 +133,128 @@ func TestCacheDisabledEngine(t *testing.T) {
 	}
 	if st := eng.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
 		t.Fatalf("engine cache stats nonzero: %+v", st)
+	}
+}
+
+// TestQueryDeadlineBounded is the bounded-latency acceptance check: a
+// query run under a deadline always comes back — answered, or with
+// context.DeadlineExceeded — and a timed-out query returns well inside 2×
+// its deadline (the cancellation stride bounds how long a scan can overrun;
+// a generous scheduling grace absorbs CI jitter for sub-millisecond
+// deadlines). Deadlines are swept from already-expired to comfortable so
+// both outcomes occur on every run.
+func TestQueryDeadlineBounded(t *testing.T) {
+	e := env(t)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grace = 100 * time.Millisecond // scheduler + stride slack
+	deadlines := []time.Duration{0, 20 * time.Microsecond, 500 * time.Microsecond, 50 * time.Millisecond}
+	var timedOut, completed int
+	for i, q := range e.Queries {
+		d := deadlines[i%len(deadlines)]
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		start := time.Now()
+		res, err := eng.QueryCtx(ctx, Query{Path: q.Path, Around: q.T0, Beta: 20})
+		lat := time.Since(start)
+		cancel()
+		switch {
+		case err == nil:
+			completed++
+			if res == nil {
+				t.Fatalf("query %d: nil result without error", i)
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			timedOut++
+			if res != nil {
+				t.Fatalf("query %d: partial result alongside a deadline error", i)
+			}
+			bound := 2*d + grace
+			if lat > bound {
+				t.Fatalf("query %d: deadline %v but returned after %v (bound %v)", i, d, lat, bound)
+			}
+		default:
+			t.Fatalf("query %d: unexpected error %v", i, err)
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("no query timed out: the sweep never exercised the deadline path")
+	}
+	if completed == 0 {
+		t.Fatal("no query completed: the sweep never exercised the success path")
+	}
+}
+
+// TestCancellationLeaksNothing hammers a shared engine with queries whose
+// contexts are canceled at random moments, racing the scan (run under
+// -race in CI). Afterwards the process must be clean: the goroutine count
+// settles back (speculative workers exited), and a fresh uncanceled run of
+// every query still matches the sequential reference — a canceled query
+// freed its pooled scratch without poisoning it and never planted a
+// partial answer in a cache.
+func TestCancellationLeaksNothing(t *testing.T) {
+	e := env(t)
+	seq, err := NewEngine(e.DS.G, e.DS.Store, Options{Workers: 1, DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewEngine(e.DS.G, e.DS.Store, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := e.Queries
+	if len(qs) > 16 {
+		qs = qs[:16]
+	}
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for j := 0; j < 40; j++ {
+				q := qs[rng.Intn(len(qs))]
+				ctx, cancel := context.WithCancel(context.Background())
+				go func(after time.Duration) {
+					time.Sleep(after)
+					cancel()
+				}(time.Duration(rng.Intn(200)) * time.Microsecond)
+				_, err := shared.QueryCtx(ctx, Query{Path: q.Path, Around: q.T0, Beta: 20})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("goroutine %d query %d: %v", g, j, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Goroutines must settle back to the pre-hammer level (the canceler
+	// goroutines and any speculative workers exit on their own).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+2 {
+		t.Fatalf("goroutines leaked under cancellation: %d before, %d after", before, now)
+	}
+	// The pool survived: uncanceled queries still answer exactly.
+	for i, q := range qs {
+		want, err := seq.Query(Query{Path: q.Path, Around: q.T0, Beta: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := shared.Query(Query{Path: q.Path, Around: q.T0, Beta: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sameResults(want, got); err != nil {
+			t.Fatalf("query %d after cancellation storm: %v", i, err)
+		}
 	}
 }

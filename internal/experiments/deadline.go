@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pathhist/internal/query"
+	"pathhist/internal/temporal"
+)
+
+// DeadlineResult summarises one bounded-latency run: how many queries
+// finished inside the deadline, how many were cut off, and how far past the
+// deadline the slowest abort came back (the overrun the cancellation
+// stride actually delivers — DESIGN.md §12 promises < 2× on the serving
+// path).
+type DeadlineResult struct {
+	Deadline   time.Duration
+	Queries    int
+	Completed  int
+	TimedOut   int
+	MaxLatency time.Duration // slowest observed response, completed or not
+	MaxOverrun time.Duration // worst (latency - deadline) among timeouts
+}
+
+// RunDeadline replays the query set through TripQueryCtx under a per-query
+// deadline, the same code path ttserve's -query-timeout exercises. Every
+// query must come back — with an answer or with context.DeadlineExceeded —
+// and a timed-out query's latency bounds how long a stuck client can hold
+// a scratch buffer.
+func (env *Env) RunDeadline(deadline time.Duration, beta int) DeadlineResult {
+	ix := env.Index(temporal.CSS, 0, 0)
+	eng := query.NewEngine(ix, query.Config{
+		Partitioner: query.Partitioner{Kind: query.ZoneCategory},
+		Splitter:    query.SigmaL,
+		BucketWidth: 10,
+	})
+	out := DeadlineResult{Deadline: deadline, Queries: len(env.Queries)}
+	for _, q := range env.Queries {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		_, err := eng.TripQueryCtx(ctx, SPQFor(q, TemporalFilters, beta))
+		lat := time.Since(start)
+		cancel()
+		if lat > out.MaxLatency {
+			out.MaxLatency = lat
+		}
+		switch {
+		case err == nil:
+			out.Completed++
+		case errors.Is(err, context.DeadlineExceeded):
+			out.TimedOut++
+			if over := lat - deadline; over > out.MaxOverrun {
+				out.MaxOverrun = over
+			}
+		}
+	}
+	return out
+}

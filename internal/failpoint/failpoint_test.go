@@ -1,0 +1,92 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInactiveSiteIsFree(t *testing.T) {
+	Reset()
+	if err := Inject("never.enabled"); err != nil {
+		t.Fatalf("inactive site injected %v", err)
+	}
+	if got := Hits("never.enabled"); got != 0 {
+		t.Fatalf("inactive site counted %d hits", got)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("t.err", Injection{Err: boom})
+	if err := Inject("t.err"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	// Other sites stay clean while one is enabled.
+	if err := Inject("t.other"); err != nil {
+		t.Fatalf("unrelated site injected %v", err)
+	}
+	Disable("t.err")
+	if err := Inject("t.err"); err != nil {
+		t.Fatalf("disabled site injected %v", err)
+	}
+}
+
+func TestSkipFirstAndTimes(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("t.window", Injection{Err: boom, SkipFirst: 2, Times: 1})
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, Inject("t.window") != nil)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if h := Hits("t.window"); h != 5 {
+		t.Fatalf("hits = %d, want 5", h)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Reset()
+	Enable("t.panic", Injection{Panic: "simulated"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = Inject("t.panic")
+}
+
+func TestDelayInjection(t *testing.T) {
+	defer Reset()
+	Enable("t.delay", Injection{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("delay-only injection returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay injection returned after %v", d)
+	}
+}
+
+func TestEnableReplacesAndResets(t *testing.T) {
+	defer Reset()
+	Enable("t.re", Injection{Err: errors.New("a")})
+	_ = Inject("t.re")
+	Enable("t.re", Injection{SkipFirst: 1, Err: errors.New("b")})
+	if h := Hits("t.re"); h != 0 {
+		t.Fatalf("re-enable kept %d hits", h)
+	}
+	if err := Inject("t.re"); err != nil {
+		t.Fatalf("first hit after re-enable fired: %v", err)
+	}
+	if err := Inject("t.re"); err == nil {
+		t.Fatal("second hit after re-enable did not fire")
+	}
+}

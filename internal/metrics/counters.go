@@ -1,0 +1,48 @@
+package metrics
+
+import "sync/atomic"
+
+// ServerCounters are the serving-layer robustness counters exported on
+// /statsz (DESIGN.md §12): how often deadlines fired, clients hung up,
+// handlers panicked, and whether the process is in degraded read-only mode
+// after a WAL failure. The counters are monotonically increasing except the
+// two gauges; everything is safe for concurrent use.
+type ServerCounters struct {
+	// QueryTimeouts counts queries aborted by their server- or
+	// client-requested deadline.
+	QueryTimeouts atomic.Int64
+	// CanceledRequests counts requests aborted because the client
+	// disconnected before the response was written.
+	CanceledRequests atomic.Int64
+	// PanicsRecovered counts handler panics the recovery middleware
+	// converted to 500 responses instead of a process crash.
+	PanicsRecovered atomic.Int64
+	// WALFailed is a gauge: 1 after the write-ahead log latched its sticky
+	// failed state, 0 while it is healthy.
+	WALFailed atomic.Int64
+	// DegradedMode is a gauge: 1 while the server is shedding writes and
+	// serving reads only, 0 in normal operation.
+	DegradedMode atomic.Int64
+}
+
+// ServerCounterValues is the plain-value snapshot of ServerCounters that
+// marshals into the /statsz response.
+type ServerCounterValues struct {
+	QueryTimeouts    int64 `json:"query_timeouts"`
+	CanceledRequests int64 `json:"canceled_requests"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+	WALFailed        int64 `json:"wal_failed"`
+	DegradedMode     int64 `json:"degraded_mode"`
+}
+
+// Snapshot reads every counter once. The values are individually atomic,
+// not a consistent cut — fine for monitoring.
+func (c *ServerCounters) Snapshot() ServerCounterValues {
+	return ServerCounterValues{
+		QueryTimeouts:    c.QueryTimeouts.Load(),
+		CanceledRequests: c.CanceledRequests.Load(),
+		PanicsRecovered:  c.PanicsRecovered.Load(),
+		WALFailed:        c.WALFailed.Load(),
+		DegradedMode:     c.DegradedMode.Load(),
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -208,8 +209,24 @@ type IngestStats struct {
 // calls are serialised internally; a failed or empty batch leaves the
 // published snapshot unchanged.
 func (e *Engine) Extend(add *traj.Store) (IngestStats, error) {
+	return e.ExtendCtx(context.Background(), add)
+}
+
+// ExtendCtx is Extend honouring a context deadline at its two cheap
+// abort points: before taking the writer lock and after acquiring it (the
+// wait for a slow competing writer may have consumed the whole deadline).
+// The index build itself is not interruptible — once it starts, the batch
+// is published; a context canceled mid-build still publishes, exactly like
+// Extend, so callers never see a batch both acknowledged and absent.
+func (e *Engine) ExtendCtx(ctx context.Context, add *traj.Store) (IngestStats, error) {
+	if err := ctx.Err(); err != nil {
+		return IngestStats{}, err
+	}
 	e.extMu.Lock()
 	defer e.extMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return IngestStats{}, err
+	}
 	sn := e.snap.Load()
 	nix, err := sn.ix.Extend(add)
 	if err != nil {
@@ -542,6 +559,12 @@ func (e *Engine) attempt(sn *snapshot, sub *subQ, iv snt.Interval, sc *snt.Scrat
 		stale = st
 	}
 	view, fallback := sn.ix.GetTravelTimesWith(sc, sub.path, iv, sub.filter, sub.beta)
+	if sc.Canceled() {
+		// The scan may have been aborted mid-sweep (TripQueryCtx deadline):
+		// the view is partial and must not be cached or trusted — the caller
+		// is aborting the whole query, so return an inert outcome.
+		return outcome{stale: stale}
+	}
 	if len(view) == 0 {
 		if e.cache != nil {
 			e.cache.put(sub.path, iv, sub.filter, sub.beta, sn.epoch, subValue{})
@@ -636,7 +659,26 @@ func (e *Engine) effective(base snt.Interval, done int, shiftS, shiftR int64) sn
 // fixed intervals or DisableShiftEnlarge every speculative outcome
 // reconciles, and the pass is pure speedup.
 func (e *Engine) TripQuery(q SPQ) Result {
+	res, _ := e.TripQueryCtx(context.Background(), q)
+	return res
+}
+
+// TripQueryCtx is TripQuery honouring context cancellation. The deadline is
+// checked at every sub-query boundary and, inside the index scans, every
+// few thousand records (snt.Scratch cancellation), so a pathological query
+// stops within microseconds of its deadline instead of finishing a
+// multi-second scan. A canceled query returns the zero Result and ctx.Err();
+// nothing partial is ever written to the sub-result or full-result caches.
+// With a background (non-cancelable) context the behaviour — including the
+// produced Result, bit for bit — is exactly TripQuery's.
+func (e *Engine) TripQueryCtx(ctx context.Context, q SPQ) (Result, error) {
 	start := time.Now()
+	done := ctx.Done()
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	// One snapshot per query: everything below — estimator, scans, cache
 	// stamps — reads this snapshot, so a concurrent Extend cannot shear a
 	// query across epochs.
@@ -650,7 +692,7 @@ func (e *Engine) TripQuery(q SPQ) Result {
 	if e.full != nil {
 		v, ok, stale := e.full.get(q.Path, q.Interval, q.Filter, q.Beta, sn.epoch)
 		if ok {
-			return Result{Hist: v.hist, Subs: v.subs, FullCacheHit: true, Epoch: sn.epoch, Elapsed: time.Since(start)}
+			return Result{Hist: v.hist, Subs: v.subs, FullCacheHit: true, Epoch: sn.epoch, Elapsed: time.Since(start)}, nil
 		}
 		staleFull = stale
 		// The final Subs hold sub-paths sliced out of q.Path and are about
@@ -665,9 +707,18 @@ func (e *Engine) TripQuery(q SPQ) Result {
 	initial := e.initialSubs(sn, q)
 	var spec []outcome
 	if w := e.workers(); w > 1 && len(initial) > 1 {
-		spec = e.speculate(sn, initial, w)
+		spec = e.speculate(sn, initial, w, done)
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				// Workers canceled mid-scan leave partial outcomes behind;
+				// none of them were cached, so dropping the slice is enough.
+				return Result{}, err
+			}
+		}
 	}
 	sc := snt.AcquireScratch()
+	defer snt.ReleaseScratch(sc) // also disarms the cancel channel
+	sc.SetCancel(done)
 	var shiftS, shiftR int64
 	for i := range initial {
 		sub := initial[i]
@@ -682,22 +733,27 @@ func (e *Engine) TripQuery(q SPQ) Result {
 				res.accept(&sub, iv, &o, &shiftS, &shiftR)
 				continue
 			}
-			e.drain(sn, e.relax(sn, sub, iv), &res, &shiftS, &shiftR, sc)
+			if !e.drain(sn, e.relax(sn, sub, iv, sc), &res, &shiftS, &shiftR, sc) {
+				return Result{}, ctx.Err()
+			}
 			continue
 		}
-		e.drain(sn, []subQ{sub}, &res, &shiftS, &shiftR, sc)
+		if !e.drain(sn, []subQ{sub}, &res, &shiftS, &shiftR, sc) {
+			return Result{}, ctx.Err()
+		}
 	}
-	snt.ReleaseScratch(sc)
 	res.Hist = convolveSubs(res.Subs)
-	if e.full != nil {
+	if e.full != nil && !sc.Canceled() {
 		// Hist and Subs become shared with future hits; both are immutable
 		// from here on (the final histogram is never recycled, and Subs'
 		// samples/histograms are already shared through the sub-result
-		// cache contract).
+		// cache contract). A query that raced its own cancellation to the
+		// finish line is complete and correct, but its last scan may have
+		// been clipped — skip the memoisation rather than trust it.
 		e.full.put(q.Path, q.Interval, q.Filter, q.Beta, sn.epoch, fullValue{hist: res.Hist, subs: res.Subs})
 	}
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // initialSubs partitions the query and applies the per-zone β overrides.
@@ -732,8 +788,12 @@ func (e *Engine) workers() int {
 
 // speculate is the parallel first pass: attempt every initial sub-query
 // concurrently with its un-shifted base interval. Each worker holds one
-// scratch for its whole batch.
-func (e *Engine) speculate(sn *snapshot, initial []subQ, workers int) []outcome {
+// scratch for its whole batch, armed with the query's cancel channel: on
+// cancellation the workers stop claiming sub-queries and abort their scans
+// at the next poll, so the pool drains promptly and no goroutine outlives
+// the deadline by more than one scan stride. The caller must discard the
+// outcomes when the context was canceled — they may be partial.
+func (e *Engine) speculate(sn *snapshot, initial []subQ, workers int, done <-chan struct{}) []outcome {
 	if workers > len(initial) {
 		workers = len(initial)
 	}
@@ -746,7 +806,11 @@ func (e *Engine) speculate(sn *snapshot, initial []subQ, workers int) []outcome 
 			defer wg.Done()
 			sc := snt.AcquireScratch()
 			defer snt.ReleaseScratch(sc)
+			sc.SetCancel(done)
 			for {
+				if sc.Canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(initial) {
 					return
@@ -761,20 +825,27 @@ func (e *Engine) speculate(sn *snapshot, initial []subQ, workers int) []outcome 
 
 // drain runs the sequential Procedure 6 loop over a queue seeded with one
 // (possibly already-relaxed) sub-query, prepending Procedure 1 relaxations
-// until the queue is empty.
-func (e *Engine) drain(sn *snapshot, queue []subQ, res *Result, shiftS, shiftR *int64, sc *snt.Scratch) {
+// until the queue is empty. It reports whether the queue drained to
+// completion: false means the scratch's cancel channel fired — the attempt
+// that observed it returned untrustworthy (possibly clipped) output, so the
+// caller must abort the whole query rather than keep the partial Result.
+func (e *Engine) drain(sn *snapshot, queue []subQ, res *Result, shiftS, shiftR *int64, sc *snt.Scratch) bool {
 	for len(queue) > 0 {
 		sub := queue[0]
 		queue = queue[1:]
 		iv := e.effective(sub.base, len(res.Subs), *shiftS, *shiftR)
 		o := e.attempt(sn, &sub, iv, sc)
+		if sc.Canceled() {
+			return false
+		}
 		e.count(res, &o)
 		if !o.success() {
-			queue = append(e.relax(sn, sub, iv), queue...)
+			queue = append(e.relax(sn, sub, iv, sc), queue...)
 			continue
 		}
 		res.accept(&sub, iv, &o, shiftS, shiftR)
 	}
+	return true
 }
 
 // convolveSubs folds the sub-query histograms in path order, recycling the
@@ -816,7 +887,7 @@ func (e *Engine) widenIndexOf(iv snt.Interval) int {
 // αmin; then drop non-temporal predicates; finally fall back to all data in
 // the fixed interval [0, tmax) with no β. The returned sub-queries replace
 // the failed one at the front of the queue, preserving path order.
-func (e *Engine) relax(sn *snapshot, sub subQ, effective snt.Interval) []subQ {
+func (e *Engine) relax(sn *snapshot, sub subQ, effective snt.Interval, sc *snt.Scratch) []subQ {
 	alphas := e.cfg.Alphas
 	if sub.base.IsPeriodic() && sub.widenIdx+1 < len(alphas) {
 		sub.widenIdx++
@@ -824,7 +895,7 @@ func (e *Engine) relax(sn *snapshot, sub subQ, effective snt.Interval) []subQ {
 		return []subQ{sub}
 	}
 	if len(sub.path) > 1 {
-		m := e.splitPoint(sn, sub, effective)
+		m := e.splitPoint(sn, sub, effective, sc)
 		mk := func(p network.Path) subQ {
 			child := subQ{path: p, base: sub.base, filter: sub.filter, beta: sub.beta}
 			if child.base.IsPeriodic() {
@@ -853,8 +924,12 @@ func (e *Engine) relax(sn *snapshot, sub subQ, effective snt.Interval) []subQ {
 	}}
 }
 
-// splitPoint returns m so the path splits into P[0,m) and P[m,l).
-func (e *Engine) splitPoint(sn *snapshot, sub subQ, effective snt.Interval) int {
+// splitPoint returns m so the path splits into P[0,m) and P[m,l). The
+// counting scans run on the caller's scratch so they honour its cancel
+// channel; a canceled count returns a wrong split point, which is harmless
+// because the caller aborts the query before using it (drain re-checks
+// Canceled after the next attempt).
+func (e *Engine) splitPoint(sn *snapshot, sub subQ, effective snt.Interval, sc *snt.Scratch) int {
 	l := len(sub.path)
 	if e.cfg.Splitter == SigmaR || sub.beta <= 0 {
 		return l / 2
@@ -863,12 +938,12 @@ func (e *Engine) splitPoint(sn *snapshot, sub subQ, effective snt.Interval) int 
 	// non-increasing in m, so binary search with exact counting scans
 	// (capped at β) — this is the expense Figure 9 charges to σL.
 	lo, hi := 1, l-1 // invariant: count(lo) >= β assumed, answer in [lo, hi]
-	if sn.ix.CountMatches(sub.path[:1], effective, sub.filter, sub.beta) < sub.beta {
+	if sn.ix.CountMatchesWith(sc, sub.path[:1], effective, sub.filter, sub.beta) < sub.beta {
 		return 1 // even a single segment falls short; minimal prefix
 	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if sn.ix.CountMatches(sub.path[:mid], effective, sub.filter, sub.beta) >= sub.beta {
+		if sn.ix.CountMatchesWith(sc, sub.path[:mid], effective, sub.filter, sub.beta) >= sub.beta {
 			lo = mid
 		} else {
 			hi = mid - 1

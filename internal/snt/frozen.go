@@ -204,6 +204,11 @@ func (s *frozenScan) sweep(sc *Scratch, st, en int, descending bool) bool {
 		i, step = en-1, -1
 	}
 	for n := en - st; n > 0; n, i = n-1, i+step {
+		if n&(cancelStride-1) == 0 && sc.Canceled() {
+			// Abort mid-window: report "stop scanning" so the enumeration
+			// ends; the caller sees Canceled() and discards the partial map.
+			return true
+		}
 		if !s.admit(i) {
 			continue
 		}
@@ -270,6 +275,9 @@ func (ix *Index) buildMap(sc *Scratch, e network.EdgeID, ranges []Range, iv Inte
 	sc.resetTable(beta)
 	s := newFrozenScan(ix, fx, ranges, f, beta)
 	forEachWindow(ts, iv, descending, func(st, en int) bool {
+		if sc.Canceled() {
+			return false
+		}
 		return !s.sweep(sc, st, en, descending)
 	})
 	return s.minT, s.maxT
@@ -292,11 +300,17 @@ func (ix *Index) scanSingle(sc *Scratch, e network.EdgeID, ranges []Range, iv In
 	s := newFrozenScan(ix, fx, ranges, f, beta)
 	descending := !ix.opts.OldestFirst
 	forEachWindow(fx.Ts, iv, descending, func(st, en int) bool {
+		if sc.Canceled() {
+			return false
+		}
 		i, step := st, 1
 		if descending {
 			i, step = en-1, -1
 		}
 		for n := en - st; n > 0; n, i = n-1, i+step {
+			if n&(cancelStride-1) == 0 && sc.Canceled() {
+				return false
+			}
 			if !s.admit(i) {
 				continue
 			}
@@ -343,6 +357,9 @@ func (ix *Index) probeMap(sc *Scratch, e network.EdgeID, l int, minT, maxT int64
 	st := lowerBound(ts[:en], minT)
 	seqShift := 1 - int32(l)
 	for i := st; i < en; i++ {
+		if (i-st)&(cancelStride-1) == cancelStride-1 && sc.Canceled() {
+			break
+		}
 		if diff, ok := sc.lookup(packKey(int32(fx.Traj[i]), fx.Seq[i]+seqShift)); ok {
 			sc.xs = append(sc.xs, int(fx.A[i]-diff))
 		}

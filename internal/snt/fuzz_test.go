@@ -1,0 +1,37 @@
+package snt
+
+import (
+	"testing"
+)
+
+// FuzzReadSnapshotBytes drives the snapshot loader with arbitrary file
+// images. The loader's contract is fail-closed: truncations, bit flips,
+// hostile section lengths and cross-section disagreements must all come
+// back as errors — never a panic, never a huge allocation, and never a
+// half-populated index. Anything it does accept must serve a query and
+// re-snapshot without crashing.
+func FuzzReadSnapshotBytes(f *testing.F) {
+	g, _, ix := snapshotFixture(f)
+	seed := snapshotBytes(f, ix, 42)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated mid-section
+	f.Add(seed[:8])           // not even a full header
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/3] ^= 0x40 // checksum-breaking bit flip
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		re, epoch, err := ReadSnapshotBytes(g, data)
+		if err != nil {
+			return
+		}
+		// An accepted snapshot is a live index: it answers the basic scan
+		// and writes itself back out at the same epoch.
+		st := re.Stats()
+		if st.Trajs < 0 || st.Records < 0 {
+			t.Fatalf("accepted snapshot with negative stats: %+v", st)
+		}
+		_ = snapshotBytes(t, re, epoch)
+	})
+}

@@ -19,6 +19,40 @@ type Scratch struct {
 	hits   []int32 // accepted column offsets of the single-segment fast path
 	syms   []int32 // trajectory-string symbols of the query path
 	ranges []Range // per-partition ISA ranges
+
+	// cancel, when non-nil, is polled by the scan loops at window
+	// boundaries and every cancelStride records within a window: a closed
+	// channel aborts the scan early (DESIGN.md §12). The aborted scan's
+	// output is partial — callers that set a cancel channel must discard
+	// the results of any scan during which Canceled() became true.
+	cancel <-chan struct{}
+}
+
+// cancelStride bounds how many records a scan sweeps between cancellation
+// polls: one poll (a non-blocking channel select) per 8k records keeps the
+// overhead unmeasurable while bounding post-deadline scan time to
+// microseconds.
+const cancelStride = 8192
+
+// SetCancel arms (or, with nil, disarms) scan cancellation on this Scratch.
+// The query layer passes a context's Done channel; ReleaseScratch disarms
+// automatically.
+func (sc *Scratch) SetCancel(done <-chan struct{}) { sc.cancel = done }
+
+// Canceled reports whether the armed cancel channel is closed. It is the
+// check the scan loops poll, and callers use it after a scan to decide
+// whether the output is trustworthy (a scan that observed cancellation
+// returns partial data).
+func (sc *Scratch) Canceled() bool {
+	if sc.cancel == nil {
+		return false
+	}
+	select {
+	case <-sc.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // emptySlot is never a valid packed key: trajectory ids are non-negative
@@ -132,4 +166,7 @@ func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 
 // ReleaseScratch returns a Scratch to the pool. The buffers of any result
 // returned by a *With call are invalid after release.
-func ReleaseScratch(sc *Scratch) { scratchPool.Put(sc) }
+func ReleaseScratch(sc *Scratch) {
+	sc.cancel = nil // never let a dead query's context leak into the pool
+	scratchPool.Put(sc)
+}

@@ -1,0 +1,57 @@
+package traj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedStore builds a small store whose serialisation seeds the corpus.
+func fuzzSeedStore() *Store {
+	s := NewStore()
+	s.Add(7, []Entry{{Edge: 1, T: 100, TT: 30}, {Edge: 2, T: 130, TT: 45}})
+	s.Add(9, []Entry{{Edge: 3, T: 86400, TT: 12}})
+	return s
+}
+
+// FuzzReadStore drives the /extend wire-format reader with arbitrary
+// bytes: hostile length prefixes, truncations and bit flips must surface
+// as errors, never as panics or runaway allocations. Whenever a read
+// succeeds, the store must survive a write/read round trip bit-identically
+// — the decoder accepts only what the encoder can reproduce.
+func FuzzReadStore(f *testing.F) {
+	var seed bytes.Buffer
+	if _, err := fuzzSeedStore().WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("NCT1"))
+	// A lying count with no payload behind it.
+	lying := append([]byte("NCT1"), 0xff, 0xff, 0xff, 0x7f)
+	f.Add(lying)
+	// A lying per-trajectory length prefix.
+	huge := append([]byte("NCT1"), make([]byte, 12)...)
+	binary.LittleEndian.PutUint32(huge[4:], 1)
+	binary.LittleEndian.PutUint32(huge[12:], 1<<30)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadStore(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := s.WriteTo(&out); err != nil {
+			t.Fatalf("re-encoding an accepted store: %v", err)
+		}
+		s2, err := ReadStore(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding: %v", err)
+		}
+		if !reflect.DeepEqual(s.trajs, s2.trajs) {
+			t.Fatal("round trip changed the store")
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package ttserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pathhist"
+)
+
+// TestErrorBodiesAreJSON is the error-contract audit: every 4xx/5xx the
+// serving endpoints (/query, /extend, /compact, /snapshot) produce carries
+// Content-Type application/json and a decodable {"error": "..."} body, so
+// clients never have to sniff between JSON and text/plain.
+func TestErrorBodiesAreJSON(t *testing.T) {
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{
+		EnableExtend: true, SnapshotDir: t.TempDir(), MaxExtendTrajectories: 1,
+	}))
+	defer srv.Close()
+
+	drainEng, _ := testEngine(t)
+	drainSrv := httptest.NewServer(NewServer(drainEng, Config{EnableExtend: true, SnapshotDir: t.TempDir()}))
+	defer drainSrv.Close()
+	drainSrv.Config.Handler.(*Server).BeginDrain()
+
+	// An oversized batch for the trajectory-budget rejection.
+	bigBatch := pathhist.NewStore()
+	for d := int64(1); d <= 2; d++ {
+		day := d * 86400
+		bigBatch.Add(7, []pathhist.Entry{{Edge: ids["A"], T: day, TT: 5}})
+	}
+	var big bytes.Buffer
+	if _, err := bigBatch.WriteTo(&big); err != nil {
+		t.Fatal(err)
+	}
+	// A batch Extend itself refuses: it overlaps the indexed time range.
+	overlapping := pathhist.NewStore()
+	overlapping.Add(7, []pathhist.Entry{{Edge: ids["A"], T: 0, TT: 5}})
+	var overlap bytes.Buffer
+	if _, err := overlapping.WriteTo(&overlap); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		base   *httptest.Server
+		method string
+		url    string
+		body   []byte
+		want   int
+	}{
+		{"query missing path", srv, "GET", "/query", nil, 400},
+		{"query bad edge", srv, "GET", "/query?path=abc", nil, 400},
+		{"query bad timeout", srv, "GET", fmt.Sprintf("/query?path=%d&timeout=bogus", ids["A"]), nil, 400},
+		{"query untraversable", srv, "GET", fmt.Sprintf("/query?path=%d,%d", ids["A"], ids["D"]), nil, 422},
+		{"query draining", drainSrv, "GET", fmt.Sprintf("/query?path=%d", ids["A"]), nil, 503},
+		{"extend wrong method", srv, "GET", "/extend", nil, 405},
+		{"extend garbage body", srv, "POST", "/extend", []byte("not a batch"), 400},
+		{"extend over trajectory budget", srv, "POST", "/extend", big.Bytes(), 413},
+		{"extend engine rejects", srv, "POST", "/extend", overlap.Bytes(), 422},
+		{"extend draining", drainSrv, "POST", "/extend", overlap.Bytes(), 503},
+		{"compact wrong method", srv, "GET", "/compact", nil, 405},
+		{"compact draining", drainSrv, "POST", "/compact", nil, 503},
+		{"snapshot wrong method", srv, "GET", "/snapshot", nil, 405},
+		{"snapshot draining", drainSrv, "POST", "/snapshot", nil, 503},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, c.base.URL+c.url, bytes.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (body %q)", c.name, resp.StatusCode, c.want, raw)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: Content-Type %q, want application/json (body %q)", c.name, ct, raw)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q not an {\"error\": ...} document (err %v)", c.name, raw, err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package ttserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathhist"
+	"pathhist/internal/failpoint"
+	"pathhist/internal/wal"
+)
+
+// stripTelemetry zeroes the per-request cache/scan telemetry so two
+// servings of the same answer compare equal on the statistical content.
+func stripTelemetry(r Response) Response {
+	r.IndexScans, r.CacheHits, r.CacheMisses, r.Invalidations = 0, 0, 0, 0
+	r.FullCacheHit = false
+	return r
+}
+
+// getJSON fetches a URL and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestFailStopEndToEnd is the fault-injection acceptance suite of
+// DESIGN.md §12: an injected fsync failure on the Nth acknowledged batch
+// must (a) refuse that batch and every later one, (b) flip the server into
+// degraded read-only mode — 503 on the mutating endpoints, 200 with
+// identical answers on /query — and (c) leave on-disk state from which a
+// restart recovers exactly the acknowledged prefix, bit-identically.
+func TestFailStopEndToEnd(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "extend.wal")
+	log, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{
+		EnableExtend: true, WAL: log, SnapshotDir: filepath.Join(dir, "snap"),
+	}))
+	defer srv.Close()
+	s := srv.Config.Handler.(*Server)
+
+	// Two acknowledged batches, then remember the served answer.
+	for d := int64(1); d <= 2; d++ {
+		resp := postBatch(t, srv.URL, dayBatch(ids, 7, d))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extend day %d: status %d", d, resp.StatusCode)
+		}
+	}
+	want := stripTelemetry(queryMean(t, srv.URL, ids))
+	ackTrajs := eng.Trajectories()
+	ackEpoch := eng.Epoch()
+
+	// The third batch's fsync fails: the disk ate the write.
+	failpoint.Enable(wal.FailpointAppendSync, failpoint.Injection{Err: errors.New("simulated disk failure")})
+	resp := postBatch(t, srv.URL, dayBatch(ids, 7, 3))
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("failed extend body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || e.Error == "" {
+		t.Fatalf("failed extend: status %d, body %+v; want 500 with an error", resp.StatusCode, e)
+	}
+	failpoint.Reset()
+
+	if !s.Degraded() {
+		t.Fatal("server not degraded after the WAL failure")
+	}
+	// No later batch is acknowledged, even though the disk "recovered".
+	resp = postBatch(t, srv.URL, dayBatch(ids, 7, 4))
+	e = ErrorResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("degraded extend body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(e.Error, "degraded") {
+		t.Fatalf("degraded extend: status %d, body %+v; want 503 degraded", resp.StatusCode, e)
+	}
+	// Compaction and snapshots are shut too: both mutate durable anchors.
+	for _, ep := range []string{"/compact", "/snapshot"} {
+		pr, err := http.Post(srv.URL+ep, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("degraded POST %s: status %d, want 503", ep, pr.StatusCode)
+		}
+	}
+	if _, err := s.WriteSnapshot(); err == nil {
+		t.Fatal("WriteSnapshot succeeded in degraded mode")
+	}
+	// Reads keep serving the acknowledged state, answers unchanged.
+	got := stripTelemetry(queryMean(t, srv.URL, ids))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("degraded read diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// Routability: /readyz stays 200 (reads work) but says degraded.
+	rr, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := rr.Body.Read(body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), "degraded") {
+		t.Fatalf("readyz: status %d, body %q; want 200 mentioning degraded", rr.StatusCode, body[:n])
+	}
+	var st Stats
+	if code := getJSON(t, srv.URL+"/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz: status %d", code)
+	}
+	if st.WALFailed != 1 || st.DegradedMode != 1 || st.DegradedCause == "" {
+		t.Fatalf("statsz gauges: wal_failed %d, degraded_mode %d, cause %q",
+			st.WALFailed, st.DegradedMode, st.DegradedCause)
+	}
+
+	// Restart: only the files survive. Recovery must produce exactly the
+	// acknowledged prefix — two batches, same epoch, same answers — and a
+	// healthy write path.
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	relog, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relog.Close()
+	if relog.Failed() {
+		t.Fatal("reopened log inherited the failed state")
+	}
+	eng2, _ := testEngine(t)
+	applied, err := ReplayWAL(eng2, relog)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("replay applied %d batches, want the 2 acknowledged", applied)
+	}
+	if eng2.Trajectories() != ackTrajs || eng2.Epoch() != ackEpoch {
+		t.Fatalf("recovered %d trajs @ epoch %d, acknowledged %d @ %d",
+			eng2.Trajectories(), eng2.Epoch(), ackTrajs, ackEpoch)
+	}
+	srv2 := httptest.NewServer(NewServer(eng2, Config{EnableExtend: true, WAL: relog}))
+	defer srv2.Close()
+	s2 := srv2.Config.Handler.(*Server)
+	if s2.Degraded() {
+		t.Fatal("recovered server started degraded")
+	}
+	got2 := stripTelemetry(queryMean(t, srv2.URL, ids))
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("recovered answers diverge:\n got %+v\nwant %+v", got2, want)
+	}
+	// The write path is back: the batch that failed mid-flight can be
+	// resubmitted and acknowledged now.
+	resp = postBatch(t, srv2.URL, dayBatch(ids, 7, 3))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit after recovery: status %d", resp.StatusCode)
+	}
+}
+
+// TestPanicIsolation: a panic inside a handler — injected at the /query
+// failpoint, standing in for any latent bug a hostile request tickles —
+// answers that request with a 500 JSON error and increments the counter;
+// the process and every later request keep working.
+func TestPanicIsolation(t *testing.T) {
+	defer failpoint.Reset()
+	eng, ids := testEngine(t)
+	srv := httptest.NewServer(NewServer(eng, Config{}))
+	defer srv.Close()
+	s := srv.Config.Handler.(*Server)
+
+	okURL := srv.URL + "/query?path=" + queryPath(ids)
+	failpoint.Enable(FailpointQueryPanic, failpoint.Injection{Panic: "injected bug"})
+	var e ErrorResponse
+	if code := getJSON(t, okURL, &e); code != http.StatusInternalServerError {
+		t.Fatalf("panicking query: status %d, want 500", code)
+	}
+	if !strings.Contains(e.Error, "internal error") {
+		t.Fatalf("panicking query body: %+v", e)
+	}
+	failpoint.Reset()
+	if got := s.Counters().PanicsRecovered.Load(); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	// One bad request harmed nobody: the next one answers normally.
+	var r Response
+	if code := getJSON(t, okURL, &r); code != http.StatusOK {
+		t.Fatalf("query after panic: status %d", code)
+	}
+	var st Stats
+	getJSON(t, srv.URL+"/statsz", &st)
+	if st.PanicsRecovered != 1 {
+		t.Fatalf("statsz panics_recovered = %d, want 1", st.PanicsRecovered)
+	}
+}
+
+// queryPath formats the A,B,E path parameter (plus a small beta) for URL
+// building.
+func queryPath(ids map[string]pathhist.EdgeID) string {
+	return fmt.Sprintf("%d,%d,%d&beta=2", ids["A"], ids["B"], ids["E"])
+}

@@ -23,6 +23,7 @@ package ttserve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,8 @@ import (
 	"time"
 
 	"pathhist"
+	"pathhist/internal/failpoint"
+	"pathhist/internal/metrics"
 	"pathhist/internal/wal"
 )
 
@@ -94,6 +97,20 @@ type Config struct {
 	// the merge path, and this bound keeps a sustained burst from growing
 	// the backlog (and per-query partition fan-out) without limit.
 	MaxPartitionBacklog int
+	// QueryTimeout bounds each /query's end-to-end processing time (0 =
+	// unbounded). The deadline propagates into the engine's scan loops, so
+	// a pathological query is cut off within a hair of the limit and
+	// answered with a 504 JSON error instead of holding its goroutine and
+	// scratch memory for seconds (cmd/ttserve: -query-timeout). A request
+	// may lower (never raise) its own limit with ?timeout=.
+	QueryTimeout time.Duration
+	// ExtendTimeout bounds how long a /extend waits to become the active
+	// writer (0 = unbounded). Ingests serialise on one lock, so a slow
+	// build stalls the queue behind it; with a deadline the queued request
+	// sheds with a 504 instead. Once a batch reaches the WAL it is always
+	// fully applied — the deadline only covers the wait, never tears the
+	// acknowledged⇒applied invariant (cmd/ttserve: -extend-timeout).
+	ExtendTimeout time.Duration
 }
 
 // DefaultMaxExtendBytes is the default /extend body cap (64 MiB).
@@ -108,6 +125,18 @@ const DefaultSnapshotKeep = 3
 // clears, so the hint mainly keeps well-behaved clients from hammering a
 // dying listener.
 const retryAfterSeconds = 1
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// for a request whose client disconnected before the response was written.
+// The client never sees it; it exists so access logs and counters separate
+// "we were too slow" (504) from "they hung up" (499).
+const StatusClientClosedRequest = 499
+
+// FailpointQueryPanic names the fault-injection site inside the /query
+// handler that the panic-isolation tests fire (see internal/failpoint): a
+// panic injected here stands in for any handler bug, and must surface as a
+// 500 on this request only, never a process crash.
+const FailpointQueryPanic = "ttserve.query.panic"
 
 // Response is the JSON shape of a /query answer.
 type Response struct {
@@ -167,6 +196,12 @@ type Stats struct {
 	WALFsyncMsTotal        float64 `json:"wal_fsync_ms_total,omitempty"`
 	WALRotations           int64   `json:"wal_rotations,omitempty"`
 	WALRollbacks           int64   `json:"wal_rollbacks,omitempty"`
+	QueryTimeouts          int64   `json:"query_timeouts"`
+	CanceledRequests       int64   `json:"canceled_requests"`
+	PanicsRecovered        int64   `json:"panics_recovered"`
+	WALFailed              int64   `json:"wal_failed"`
+	DegradedMode           int64   `json:"degraded_mode"`
+	DegradedCause          string  `json:"degraded_cause,omitempty"`
 	Index                  string  `json:"index"`
 }
 
@@ -262,6 +297,44 @@ type Server struct {
 	snapshotEpoch    atomic.Uint64
 	snapshotBytes    atomic.Int64
 	lastSnapshotUnix atomic.Int64
+
+	// counters are the robustness counters exported on /statsz.
+	counters metrics.ServerCounters
+
+	// degraded latches the fail-stop read-only mode (DESIGN.md §12): once
+	// the WAL reports a write/sync failure, the mutating endpoints shed
+	// with 503 while reads keep serving the (healthy, in-memory) index.
+	// The latch never clears in-process — the disk is suspect, and the
+	// only trustworthy reset is a restart, whose recovery re-reads the log
+	// from the bytes that actually made it down.
+	degraded      atomic.Bool
+	degradedCause atomic.Pointer[string]
+}
+
+// enterDegraded latches degraded read-only mode, recording the first cause.
+func (s *Server) enterDegraded(cause error) {
+	if s.degraded.CompareAndSwap(false, true) {
+		msg := cause.Error()
+		s.degradedCause.Store(&msg)
+		s.counters.DegradedMode.Store(1)
+		s.counters.WALFailed.Store(1)
+	}
+}
+
+// Degraded reports whether the server latched read-only mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// Counters exposes the robustness counters (shared, live — callers must
+// only read).
+func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
+
+// checkWAL inspects the log's health after a failed WAL operation and
+// latches degraded mode when the failure was the log's sticky fail-stop
+// (as opposed to a transient admission error that left the log healthy).
+func (s *Server) checkWAL(err error) {
+	if log := s.cfg.WAL; log != nil && log.Failed() {
+		s.enterDegraded(err)
+	}
 }
 
 // NewHandler returns the service handler for an engine with the default
@@ -305,8 +378,48 @@ func NewServer(eng *pathhist.Engine, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the service mux.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// headerTracker remembers whether a handler already committed a response,
+// so the panic-recovery path knows whether a 500 can still be written.
+type headerTracker struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (h *headerTracker) WriteHeader(code int) {
+	h.wrote = true
+	h.ResponseWriter.WriteHeader(code)
+}
+
+func (h *headerTracker) Write(b []byte) (int, error) {
+	h.wrote = true
+	return h.ResponseWriter.Write(b)
+}
+
+// ServeHTTP dispatches to the service mux behind panic isolation: a panic
+// in one handler — a bug tickled by one hostile request — is converted to a
+// 500 on that request (when the response is still unwritten) and counted,
+// instead of unwinding into net/http's connection teardown with the whole
+// process's fate depending on what the panic corrupted. http.ErrAbortHandler
+// is re-panicked: it is net/http's own sanctioned way to abort a response,
+// not a bug.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	tw := &headerTracker{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.counters.PanicsRecovered.Add(1)
+		if !tw.wrote {
+			rejectJSON(tw.ResponseWriter, http.StatusInternalServerError,
+				fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(tw, r)
+}
 
 // BeginDrain moves the server into its terminal draining state: /readyz
 // flips to 503 and the serving endpoints (/query, /extend, /compact,
@@ -328,6 +441,12 @@ func (s *Server) SetReady(v bool) { s.ready.Store(v && !s.draining.Load()) }
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.ready.Load() && !s.draining.Load() {
 		w.WriteHeader(http.StatusOK)
+		if s.degraded.Load() {
+			// Still routable — reads serve fine — but operators watching
+			// readiness probes should see the write path is gone.
+			fmt.Fprintln(w, "ready (degraded: read-only after a write-ahead log failure)")
+			return
+		}
 		fmt.Fprintln(w, "ready")
 		return
 	}
@@ -360,6 +479,12 @@ func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 	if s.cfg.SnapshotDir == "" {
 		return SnapshotResponse{}, fmt.Errorf("ttserve: no snapshot directory configured")
 	}
+	if s.degraded.Load() {
+		// The disk already ate one write; a snapshot would trust it with
+		// the whole index and then rotate away the log records that are
+		// the only durable account of what was acknowledged.
+		return SnapshotResponse{}, fmt.Errorf("ttserve: refusing snapshot in degraded mode (write-ahead log failed)")
+	}
 	s.snapshotMu.Lock()
 	defer s.snapshotMu.Unlock()
 	started := time.Now()
@@ -381,7 +506,10 @@ func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 	if log := s.cfg.WAL; log != nil {
 		if err := log.TruncateCovered(uint64(st.Trajectories)); err != nil {
 			// The snapshot itself is durable; a rotation failure only means
-			// the log keeps covered records (replay skips them).
+			// the log keeps covered records (replay skips them). But if the
+			// failure latched the log's fail-stop state, the write path
+			// must close with it.
+			s.checkWAL(err)
 			resp.ElapsedMs = float64(time.Since(started).Microseconds()) / 1000
 			return resp, fmt.Errorf("ttserve: rotating WAL after snapshot: %w", err)
 		}
@@ -399,11 +527,15 @@ func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST to /snapshot to persist the served index", http.StatusMethodNotAllowed)
+		rejectJSON(w, http.StatusMethodNotAllowed, "POST to /snapshot to persist the served index")
 		return
 	}
 	if s.draining.Load() {
 		s.unavailable(w, "server is draining")
+		return
+	}
+	if s.degraded.Load() {
+		s.unavailable(w, "server is degraded (read-only) after a write-ahead log failure; restart to recover")
 		return
 	}
 	resp, err := s.WriteSnapshot()
@@ -453,6 +585,15 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 		WALEnabled:             s.cfg.WAL != nil,
 		Index:                  s.eng.IndexInfo(),
 	}
+	cv := s.counters.Snapshot()
+	st.QueryTimeouts = cv.QueryTimeouts
+	st.CanceledRequests = cv.CanceledRequests
+	st.PanicsRecovered = cv.PanicsRecovered
+	st.WALFailed = cv.WALFailed
+	st.DegradedMode = cv.DegradedMode
+	if cause := s.degradedCause.Load(); cause != nil {
+		st.DegradedCause = *cause
+	}
 	if log := s.cfg.WAL; log != nil {
 		ws := log.Stats()
 		st.WALRecords = ws.Records
@@ -461,6 +602,11 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 		st.WALFsyncMsTotal = float64(ws.FsyncNanos) / 1e6
 		st.WALRotations = ws.Rotations
 		st.WALRollbacks = ws.Rollbacks
+		if ws.Failed && st.WALFailed == 0 {
+			// The log failed outside a request path this server drove
+			// (defence in depth): surface it even before a handler trips.
+			st.WALFailed = 1
+		}
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		st.CacheHitRatio = float64(cs.Hits) / float64(total)
@@ -472,6 +618,44 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(st)
 }
 
+// parseTimeout reads a ?timeout= value: a Go duration string ("50ms",
+// "1.5s") or a bare integer meaning milliseconds.
+func parseTimeout(raw string) (time.Duration, error) {
+	if ms, err := strconv.Atoi(raw); err == nil {
+		if ms <= 0 {
+			return 0, fmt.Errorf("bad timeout %q: must be positive", raw)
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q: want a positive duration like 50ms", raw)
+	}
+	return d, nil
+}
+
+// requestDeadline resolves the effective deadline for a request: the
+// configured server limit, lowered (never raised) by a ?timeout= parameter.
+// It returns the derived context and its cancel func (both unchanged when
+// no limit applies).
+func requestDeadline(r *http.Request, limit time.Duration) (context.Context, context.CancelFunc, time.Duration, error) {
+	ctx := r.Context()
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := parseTimeout(raw)
+		if err != nil {
+			return ctx, nil, 0, err
+		}
+		if limit == 0 || d < limit {
+			limit = d
+		}
+	}
+	if limit <= 0 {
+		return ctx, nil, 0, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, limit)
+	return ctx, cancel, limit, nil
+}
+
 func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		// A draining listener used to just close on clients mid-restart;
@@ -481,12 +665,40 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := parseQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		rejectJSON(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.eng.Query(q)
+	ctx, cancel, limit, err := requestDeadline(r, s.cfg.QueryTimeout)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		rejectJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := failpoint.Inject(FailpointQueryPanic); err != nil {
+		// The site exists for panic injection; an error injection surfaces
+		// as a plain 500 so tests can also drive that path.
+		rejectJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := s.eng.QueryCtx(ctx, q)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The query, not the client, ran out of time: the engine
+			// abandoned its scans at the deadline and freed its scratch
+			// state; nothing partial was computed or cached.
+			s.counters.QueryTimeouts.Add(1)
+			rejectJSON(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("query exceeded its %v deadline", limit))
+		case errors.Is(err, context.Canceled):
+			// The client hung up; the status is for logs and counters only.
+			s.counters.CanceledRequests.Add(1)
+			rejectJSON(w, StatusClientClosedRequest, "client closed the request")
+		default:
+			rejectJSON(w, http.StatusUnprocessableEntity, err.Error())
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -506,12 +718,20 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST a traj-format batch to /extend", http.StatusMethodNotAllowed)
+		rejectJSON(w, http.StatusMethodNotAllowed, "POST a traj-format batch to /extend")
 		return
 	}
 	if s.draining.Load() {
 		s.extendOverloads.Add(1)
 		s.unavailable(w, "server is draining")
+		return
+	}
+	if s.degraded.Load() {
+		// Fail-stop: the WAL can no longer make batches durable, so no
+		// batch is acknowledged. Reads keep serving; the write path stays
+		// closed until a restart re-establishes a trustworthy log.
+		s.extendRejects.Add(1)
+		s.unavailable(w, "server is degraded (read-only) after a write-ahead log failure; restart to recover")
 		return
 	}
 	// Overload shedding, checked before the body is even read: both
@@ -550,13 +770,13 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.extendRejects.Add(1)
-		http.Error(w, fmt.Sprintf("reading batch: %v", err), http.StatusBadRequest)
+		rejectJSON(w, http.StatusBadRequest, fmt.Sprintf("reading batch: %v", err))
 		return
 	}
 	batch, err := pathhist.ReadStore(bytes.NewReader(raw))
 	if err != nil {
 		s.extendRejects.Add(1)
-		http.Error(w, fmt.Sprintf("decoding batch: %v", err), http.StatusBadRequest)
+		rejectJSON(w, http.StatusBadRequest, fmt.Sprintf("decoding batch: %v", err))
 		return
 	}
 	if max := s.cfg.MaxExtendTrajectories; max > 0 && batch.Len() > max {
@@ -568,10 +788,24 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch holds %d trajectories, limit is %d; split it into smaller batches", batch.Len(), max))
 		return
 	}
-	st, status, err := s.ingest(raw, batch)
+	ctx := r.Context()
+	if s.cfg.ExtendTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ExtendTimeout)
+		defer cancel()
+	}
+	st, status, err := s.ingest(ctx, raw, batch)
 	if err != nil {
 		s.extendRejects.Add(1)
-		http.Error(w, err.Error(), status)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.counters.QueryTimeouts.Add(1)
+			status = http.StatusGatewayTimeout
+			err = fmt.Errorf("extend timed out after %v waiting for the writer lock; no batch was acknowledged", s.cfg.ExtendTimeout)
+		} else if errors.Is(err, context.Canceled) {
+			s.counters.CanceledRequests.Add(1)
+			status = StatusClientClosedRequest
+		}
+		rejectJSON(w, status, err.Error())
 		return
 	}
 	s.extends.Add(1)
@@ -599,23 +833,36 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 // observe it (acknowledged ⇒ fsynced ⇒ recovered); and if Extend still
 // fails after validation passed, the fresh record is rolled back so the
 // log stays exactly the applied history.
-func (s *Server) ingest(raw []byte, batch *pathhist.Store) (pathhist.IngestStats, int, error) {
+// The context only guards the entry points — the wait for the ingest lock
+// and the moment before the WAL append. Once a batch's record is fsynced,
+// the sequence always runs to the publication: aborting between append and
+// Extend would leave a logged-but-unapplied record, breaking the invariant
+// that the log is exactly the applied history.
+func (s *Server) ingest(ctx context.Context, raw []byte, batch *pathhist.Store) (pathhist.IngestStats, int, error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	log := s.cfg.WAL
 	if log == nil {
-		st, err := s.eng.Extend(batch)
+		st, err := s.eng.ExtendCtx(ctx, batch)
 		if err != nil {
 			return st, http.StatusUnprocessableEntity, err
 		}
 		return st, http.StatusOK, nil
+	}
+	if err := ctx.Err(); err != nil {
+		// The wait for a slow predecessor consumed the deadline; nothing
+		// was logged or applied, so shedding here is clean.
+		return pathhist.IngestStats{}, http.StatusGatewayTimeout, err
 	}
 	if err := s.eng.ValidateExtend(batch); err != nil {
 		return pathhist.IngestStats{}, http.StatusUnprocessableEntity, err
 	}
 	if err := log.Append(uint64(s.eng.Trajectories()), batch.Len(), raw); err != nil {
 		// A batch that cannot be made durable is not acknowledged — the
-		// failure is the server's (disk trouble), not the client's.
+		// failure is the server's (disk trouble), not the client's. A
+		// write/sync failure latches the log's fail-stop state; mirror it
+		// into degraded read-only serving.
+		s.checkWAL(err)
 		return pathhist.IngestStats{}, http.StatusInternalServerError,
 			fmt.Errorf("write-ahead log: %v", err)
 	}
@@ -625,6 +872,7 @@ func (s *Server) ingest(raw []byte, batch *pathhist.Store) (pathhist.IngestStats
 		// should-not-happen path — but the log must not keep a record the
 		// index refused.
 		if rbErr := log.RollbackLast(); rbErr != nil {
+			s.checkWAL(rbErr)
 			return st, http.StatusInternalServerError,
 				fmt.Errorf("%v (and rolling back its WAL record failed: %v)", err, rbErr)
 		}
@@ -684,16 +932,23 @@ func ReplayWAL(eng *pathhist.Engine, log *wal.WAL) (int, error) {
 func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST to /compact to merge ingested partitions", http.StatusMethodNotAllowed)
+		rejectJSON(w, http.StatusMethodNotAllowed, "POST to /compact to merge ingested partitions")
 		return
 	}
 	if s.draining.Load() {
 		s.unavailable(w, "server is draining")
 		return
 	}
+	if s.degraded.Load() {
+		// Compaction is safe for the in-memory index, but it advances the
+		// epoch and invites a snapshot of state the broken log no longer
+		// anchors; in fail-stop mode, do nothing but serve reads.
+		s.unavailable(w, "server is degraded (read-only) after a write-ahead log failure; restart to recover")
+		return
+	}
 	st, err := s.eng.Compact()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		rejectJSON(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"pathhist/internal/failpoint"
+)
+
+// errDisk is the simulated I/O failure every test here injects.
+var errDisk = errors.New("simulated disk failure")
+
+// TestAppendSyncFailureIsSticky is the fail-stop contract: after a failed
+// fsync the log refuses every further mutation with ErrWALFailed, and a
+// restart's Open recovers exactly the records appended before the failure.
+func TestAppendSyncFailureIsSticky(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	appendT(t, w, 0, 2, batch(1, 64))
+	appendT(t, w, 2, 3, batch(2, 48))
+
+	// Fail the third append's fsync.
+	failpoint.Enable(FailpointAppendSync, failpoint.Injection{Err: errDisk})
+	err := w.Append(5, 1, batch(3, 32))
+	if !errors.Is(err, errDisk) {
+		t.Fatalf("failed append returned %v, want the injected %v", err, errDisk)
+	}
+	failpoint.Disable(FailpointAppendSync)
+	if !w.Failed() {
+		t.Fatal("log not marked failed after a sync failure")
+	}
+	if !w.Stats().Failed {
+		t.Fatal("Stats().Failed false after a sync failure")
+	}
+
+	// Every further mutation is refused, even though the disk "recovered".
+	if err := w.Append(5, 1, batch(4, 16)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append after failure returned %v, want ErrWALFailed", err)
+	}
+	if err := w.RollbackLast(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("rollback after failure returned %v, want ErrWALFailed", err)
+	}
+	if err := w.TruncateCovered(5); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("rotation after failure returned %v, want ErrWALFailed", err)
+	}
+
+	// Reads keep working: the acknowledged records are still served.
+	recs, err := w.Records()
+	if err != nil {
+		t.Fatalf("Records on a failed log: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("failed log serves %d records, want the 2 acknowledged", len(recs))
+	}
+	w.Close()
+
+	// Restart: the partial third record was truncated away before the
+	// failure latched, so Open recovers exactly the acknowledged prefix.
+	r := openT(t, path)
+	if r.Failed() {
+		t.Fatal("reopened log inherited the failed state")
+	}
+	recs, err = r.Records()
+	if err != nil {
+		t.Fatalf("Records after reopen: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("reopened log holds %d records, want 2", len(recs))
+	}
+	if st := r.Stats(); st.TornTail {
+		t.Fatalf("reopen found a torn tail (%d bytes): the failed append was not cleanly undone", st.TornBytes)
+	}
+	if !bytes.Equal(recs[1].Batch, batch(2, 48)) {
+		t.Fatal("recovered record 1 differs from the acknowledged payload")
+	}
+	// And the recovered log accepts appends again.
+	if err := r.Append(5, 1, batch(5, 24)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// TestAppendWriteFailureIsSticky is the same contract for a failed write
+// (ENOSPC-style) rather than a failed fsync.
+func TestAppendWriteFailureIsSticky(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	appendT(t, w, 0, 1, batch(1, 40))
+	failpoint.Enable(FailpointAppendWrite, failpoint.Injection{Err: errDisk})
+	if err := w.Append(1, 1, batch(2, 40)); !errors.Is(err, errDisk) {
+		t.Fatalf("failed append returned %v", err)
+	}
+	failpoint.Reset()
+	if err := w.Append(1, 1, batch(2, 40)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append after write failure returned %v, want ErrWALFailed", err)
+	}
+	w.Close()
+	r := openT(t, path)
+	recs, err := r.Records()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("reopen: %d records, err %v; want 1, nil", len(recs), err)
+	}
+}
+
+// TestNthAppendFails pins the SkipFirst wiring the serving-layer suite
+// depends on: appends 1..N-1 succeed, append N fails, none after N land.
+func TestNthAppendFails(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	const n = 3
+	failpoint.Enable(FailpointAppendSync, failpoint.Injection{Err: errDisk, SkipFirst: n - 1})
+	total := uint64(0)
+	acked := 0
+	for i := 0; i < 5; i++ {
+		err := w.Append(total, 2, batch(byte(i), 32))
+		if err == nil {
+			total += 2
+			acked++
+			continue
+		}
+		if i < n-1 {
+			t.Fatalf("append %d failed early: %v", i+1, err)
+		}
+	}
+	if acked != n-1 {
+		t.Fatalf("%d appends acknowledged, want %d", acked, n-1)
+	}
+	w.Close()
+	r := openT(t, path)
+	recs, err := r.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if len(recs) != n-1 {
+		t.Fatalf("recovered %d records, want the %d acknowledged", len(recs), n-1)
+	}
+}
+
+// TestRotationFailureIsSticky: a failed rotation latches fail-stop too —
+// the serving layer stops accepting ingest rather than risking replay debt
+// on an unknown file state.
+func TestRotationFailureIsSticky(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	appendT(t, w, 0, 2, batch(1, 64))
+	failpoint.Enable(FailpointRotate, failpoint.Injection{Err: errDisk})
+	if err := w.TruncateCovered(2); !errors.Is(err, errDisk) {
+		t.Fatalf("rotation returned %v", err)
+	}
+	failpoint.Reset()
+	if err := w.Append(2, 1, batch(2, 16)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append after rotation failure returned %v, want ErrWALFailed", err)
+	}
+}
+
+// TestRollbackSyncFailureIsSticky: RollbackLast's own sync failing latches
+// the state as well (the record may or may not still be on disk).
+func TestRollbackSyncFailureIsSticky(t *testing.T) {
+	defer failpoint.Reset()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	appendT(t, w, 0, 2, batch(1, 64))
+	failpoint.Enable(FailpointRollbackSync, failpoint.Injection{Err: errDisk})
+	if err := w.RollbackLast(); !errors.Is(err, errDisk) {
+		t.Fatalf("rollback returned %v", err)
+	}
+	failpoint.Reset()
+	if err := w.Append(2, 1, batch(2, 16)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append after rollback failure returned %v, want ErrWALFailed", err)
+	}
+	if err := w.RollbackLast(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("second rollback returned %v, want ErrWALFailed", err)
+	}
+}

@@ -35,6 +35,22 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"pathhist/internal/failpoint"
+)
+
+// Fault-injection sites (internal/failpoint) at the I/O operations whose
+// failures the fail-stop state machine must handle. Production cost is one
+// atomic load per site when nothing is enabled.
+const (
+	// FailpointAppendWrite fails the record write of Append.
+	FailpointAppendWrite = "wal.append.write"
+	// FailpointAppendSync fails the fsync that makes an append durable.
+	FailpointAppendSync = "wal.append.sync"
+	// FailpointRotate fails the log rotation (TruncateCovered).
+	FailpointRotate = "wal.rotate"
+	// FailpointRollbackSync fails the fsync of a RollbackLast truncation.
+	FailpointRollbackSync = "wal.rollback.sync"
 )
 
 // Magic identifies a pathhist write-ahead log file (8 bytes).
@@ -45,6 +61,16 @@ const Version uint32 = 1
 
 // Sentinel errors, one per failure mode (wrapped with positional detail).
 var (
+	// ErrWALFailed means a previous append or sync failed and the log is in
+	// its sticky failed state: the bytes on disk may or may not include the
+	// failed record (an fsync error leaves the kernel's and the platter's
+	// view unknowable), so every further mutation — Append, RollbackLast,
+	// TruncateCovered — is refused. Fail-stop is the only safe behaviour:
+	// continuing to append after a failed sync could acknowledge batches
+	// into a log whose prefix is not durable, silently breaking the
+	// acknowledged ⇒ fsynced ⇒ recovered guarantee. The repair is a process
+	// restart, whose Open re-scans what actually reached the disk.
+	ErrWALFailed = errors.New("wal: log is in failed state after an earlier write/sync error")
 	// ErrBadMagic means the file is not a write-ahead log at all.
 	ErrBadMagic = errors.New("wal: bad magic (not a write-ahead log)")
 	// ErrVersion means the log was written by an incompatible version.
@@ -114,6 +140,8 @@ type Stats struct {
 	// and TornBytes how many bytes it dropped.
 	TornTail  bool
 	TornBytes int64
+	// Failed reports the sticky fail-stop state (see ErrWALFailed).
+	Failed bool
 }
 
 // WAL is an open write-ahead log. All methods are safe for concurrent use,
@@ -133,6 +161,11 @@ type WAL struct {
 	rollbacks     int64
 	tornTail      bool
 	tornBytes     int64
+
+	// failed latches the first mutation failure (see ErrWALFailed); cause
+	// keeps that first error for diagnostics.
+	failed bool
+	cause  error
 }
 
 // recMeta locates one live record inside the file.
@@ -289,16 +322,72 @@ func (w *WAL) hdrAt(off int64) []byte {
 	return h[:]
 }
 
+// failLocked latches the log's sticky failed state (keeping the first
+// cause) and returns err. Callers hold mu.
+func (w *WAL) failLocked(err error) error {
+	if !w.failed {
+		w.failed = true
+		w.cause = err
+	}
+	return err
+}
+
+// checkLocked refuses every mutation once the log failed. Callers hold mu.
+func (w *WAL) checkLocked() error {
+	if w.failed {
+		return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.cause)
+	}
+	return nil
+}
+
+// Failed reports whether the log is in its sticky failed state (see
+// ErrWALFailed): reads keep working, every mutation is refused.
+func (w *WAL) Failed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// syncAppend runs the fsync of one appended record (behind its failpoint).
+func (w *WAL) syncAppend() error {
+	if err := failpoint.Inject(FailpointAppendSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// writeAppend writes one record's bytes at the log tail (behind its
+// failpoint).
+func (w *WAL) writeAppend(buf []byte) error {
+	if err := failpoint.Inject(FailpointAppendWrite); err != nil {
+		return err
+	}
+	_, err := w.f.WriteAt(buf, w.size)
+	return err
+}
+
 // Append logs one batch and fsyncs it. It must complete before the batch is
 // acknowledged to the client — the fsync is the durability point the
 // recovery guarantee rests on. prevTotal is the indexed trajectory count the
 // batch is being applied on top of, trajs the batch's own count.
+//
+// Failure is fail-stop: after any write or fsync error the on-disk state is
+// unknowable (the kernel may or may not have persisted the bytes it
+// reported failure for), so the log latches ErrWALFailed and refuses every
+// later mutation. Before latching, Append makes one best-effort attempt to
+// truncate the partial record back off the file, so a disk that recovers
+// (or a simulated fault) leaves the file holding exactly the acknowledged
+// prefix — a restart's Open then recovers exactly what clients were told
+// succeeded, never more.
 func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 	if len(batch) == 0 || trajs <= 0 {
 		return fmt.Errorf("wal: refusing to log an empty batch")
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.checkLocked(); err != nil {
+		return err
+	}
 	padded := (int64(len(batch)) + 7) &^ 7
 	buf := make([]byte, recHdrSize+padded)
 	binary.LittleEndian.PutUint64(buf, prevTotal)
@@ -306,12 +395,14 @@ func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 	binary.LittleEndian.PutUint64(buf[16:], uint64(len(batch)))
 	binary.LittleEndian.PutUint32(buf[24:], recordCRC(buf[:24], batch))
 	copy(buf[recHdrSize:], batch)
-	if _, err := w.f.WriteAt(buf, w.size); err != nil {
-		return fmt.Errorf("wal: appending record: %w", err)
+	if err := w.writeAppend(buf); err != nil {
+		w.undoPartialAppendLocked()
+		return w.failLocked(fmt.Errorf("wal: appending record: %w", err))
 	}
 	started := time.Now()
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing record: %w", err)
+	if err := w.syncAppend(); err != nil {
+		w.undoPartialAppendLocked()
+		return w.failLocked(fmt.Errorf("wal: syncing record: %w", err))
 	}
 	w.fsyncNanos += time.Since(started).Nanoseconds()
 	w.recs = append(w.recs, recMeta{off: w.size, len: int64(len(buf)), prevTotal: prevTotal, trajs: uint32(trajs)})
@@ -319,6 +410,19 @@ func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 	w.appends++
 	w.appendedBytes += int64(len(buf))
 	return nil
+}
+
+// undoPartialAppendLocked best-effort truncates a failed append's bytes
+// back off the file (and syncs the truncation) so the on-disk log holds
+// exactly the acknowledged records again. Its own failures are swallowed:
+// the caller is already latching the failed state, and even a record left
+// behind is unacknowledged, fully framed, and therefore harmless — replay
+// applies at most one batch no client was told about, and the torn-tail
+// repair handles a partial one. Callers hold mu.
+func (w *WAL) undoPartialAppendLocked() {
+	if err := w.f.Truncate(w.size); err == nil {
+		_ = w.f.Sync()
+	}
 }
 
 // RollbackLast withdraws the most recently appended record — the repair for
@@ -330,20 +434,33 @@ func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 func (w *WAL) RollbackLast() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.checkLocked(); err != nil {
+		// A failed log cannot be repaired by truncation — the write position
+		// itself is in doubt. Restart and re-scan instead.
+		return err
+	}
 	if len(w.recs) == 0 {
 		return fmt.Errorf("wal: rollback with no records")
 	}
 	last := w.recs[len(w.recs)-1]
 	if err := w.f.Truncate(last.off); err != nil {
-		return fmt.Errorf("wal: rollback truncate: %w", err)
+		return w.failLocked(fmt.Errorf("wal: rollback truncate: %w", err))
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: rollback sync: %w", err)
+	if err := w.syncRollback(); err != nil {
+		return w.failLocked(fmt.Errorf("wal: rollback sync: %w", err))
 	}
 	w.recs = w.recs[:len(w.recs)-1]
 	w.size = last.off
 	w.rollbacks++
 	return nil
+}
+
+// syncRollback syncs a rollback truncation (behind its failpoint).
+func (w *WAL) syncRollback() error {
+	if err := failpoint.Inject(FailpointRollbackSync); err != nil {
+		return err
+	}
+	return w.f.Sync()
 }
 
 // TruncateCovered drops every record a snapshot at coveredTotal indexed
@@ -359,6 +476,12 @@ func (w *WAL) RollbackLast() error {
 func (w *WAL) TruncateCovered(coveredTotal uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.checkLocked(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FailpointRotate); err != nil {
+		return w.failLocked(fmt.Errorf("wal: rotation: %w", err))
+	}
 	keep := 0
 	for keep < len(w.recs) && w.recs[keep].prevTotal+uint64(w.recs[keep].trajs) <= coveredTotal {
 		keep++
@@ -367,12 +490,13 @@ func (w *WAL) TruncateCovered(coveredTotal uint64) error {
 		return nil
 	}
 	if keep == len(w.recs) {
-		// Nothing survives: truncate in place to a bare header.
+		// Nothing survives: truncate in place to a bare header. An in-place
+		// truncation failure leaves the live file in doubt — fail-stop.
 		if err := w.f.Truncate(headerSize); err != nil {
-			return fmt.Errorf("wal: rotation truncate: %w", err)
+			return w.failLocked(fmt.Errorf("wal: rotation truncate: %w", err))
 		}
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("wal: rotation sync: %w", err)
+			return w.failLocked(fmt.Errorf("wal: rotation sync: %w", err))
 		}
 		w.recs = w.recs[:0]
 		w.size = headerSize
@@ -453,6 +577,7 @@ func (w *WAL) Stats() Stats {
 		Rollbacks:     w.rollbacks,
 		TornTail:      w.tornTail,
 		TornBytes:     w.tornBytes,
+		Failed:        w.failed,
 	}
 }
 

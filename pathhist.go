@@ -31,6 +31,7 @@
 package pathhist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -323,6 +324,16 @@ type IngestStats = query.IngestStats
 // batch leaves the engine unchanged.
 func (e *Engine) Extend(batch *Store) (IngestStats, error) { return e.qe.Extend(batch) }
 
+// ExtendCtx is Extend honouring a context deadline while waiting to become
+// the active writer (concurrent Extends serialise on an internal lock, so a
+// slow competing ingest can consume a caller's whole deadline before its
+// own work starts). Once the index build begins it always runs to
+// publication: a context canceled mid-build does not un-publish the batch,
+// so callers never observe a batch both acknowledged and absent.
+func (e *Engine) ExtendCtx(ctx context.Context, batch *Store) (IngestStats, error) {
+	return e.qe.ExtendCtx(ctx, batch)
+}
+
 // ValidateExtend checks a batch against the currently published snapshot
 // exactly as Extend would — edge ids in range, trajectories internally
 // valid, every start time after the indexed range — without ingesting or
@@ -447,6 +458,18 @@ type Result struct {
 
 // Query answers a travel-time query.
 func (e *Engine) Query(q Query) (*Result, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query honouring context cancellation and deadlines: the
+// engine checks the context at every sub-query boundary and, inside the
+// index scans, every few thousand records, so even a query whose scans
+// cover millions of traversal records returns within a hair of its
+// deadline. A canceled query returns ctx.Err() (test with errors.Is against
+// context.DeadlineExceeded / context.Canceled); no partial result is
+// returned and nothing partial enters the engine's caches. With a
+// background context the behaviour and the result are exactly Query's.
+func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Result, error) {
 	if len(q.Path) == 0 {
 		return nil, errors.New("pathhist: empty query path")
 	}
@@ -492,7 +515,10 @@ func (e *Engine) Query(q Query) (*Result, error) {
 		Filter:   snt.Filter{User: user, ExcludeTraj: excl},
 		Beta:     beta,
 	}
-	res := e.qe.TripQuery(spq)
+	res, err := e.qe.TripQueryCtx(ctx, spq)
+	if err != nil {
+		return nil, err
+	}
 	out := &Result{
 		Histogram:          res.Hist,
 		MeanSeconds:        res.PredictedMean(),

@@ -7,9 +7,46 @@ import (
 	"path/filepath"
 	"sort"
 
+	"pathhist/internal/failpoint"
 	"pathhist/internal/query"
 	"pathhist/internal/snt"
 )
+
+// Failpoint sites on the snapshot I/O path (internal/failpoint). Each sits
+// immediately before the real syscall it stands in for, so an injected error
+// exercises exactly the cleanup that syscall's failure would.
+const (
+	// FailpointSnapshotWrite fires before the snapshot bytes are written to
+	// the temp file.
+	FailpointSnapshotWrite = "snapshot.write"
+	// FailpointSnapshotSync fires before the temp file is fsynced.
+	FailpointSnapshotSync = "snapshot.sync"
+	// FailpointSnapshotRename fires before the temp file is renamed over
+	// the target.
+	FailpointSnapshotRename = "snapshot.rename"
+	// FailpointSnapshotDirSync fires before the directory fsync that
+	// persists the rename.
+	FailpointSnapshotDirSync = "snapshot.dirsync"
+	// FailpointSnapshotLoad fires before a snapshot file is read back.
+	FailpointSnapshotLoad = "snapshot.load"
+)
+
+// syncDir persists a just-completed rename in dir: without the directory
+// fsync the new directory entry may not survive a crash even though the
+// file's bytes would. Failure is reported, not swallowed — the caller's
+// snapshot exists but its publication is not yet crash-durable, and pruning
+// or WAL truncation must not proceed on that assumption.
+func syncDir(dir string) error {
+	if err := failpoint.Inject(FailpointSnapshotDirSync); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
 
 // Restart persistence (DESIGN.md §10). An Engine can write its currently
 // published index snapshot — every structure the serving path reads, plus
@@ -171,9 +208,15 @@ func (e *Engine) SnapshotFileIn(dir string) (SnapshotStats, error) {
 		os.Remove(tmpName)
 		return SnapshotStats{}, err
 	}
+	if err := failpoint.Inject(FailpointSnapshotWrite); err != nil {
+		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
 	st, err := e.Snapshot(tmp)
 	if err != nil {
 		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
+	if err := failpoint.Inject(FailpointSnapshotSync); err != nil {
+		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
@@ -182,13 +225,18 @@ func (e *Engine) SnapshotFileIn(dir string) (SnapshotStats, error) {
 		return fail(fmt.Errorf("pathhist: closing snapshot: %w", err))
 	}
 	path := filepath.Join(dir, SnapshotName(st.Epoch))
+	if err := failpoint.Inject(FailpointSnapshotRename); err != nil {
+		os.Remove(tmpName)
+		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
+	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	if err := syncDir(dir); err != nil {
+		// The file is on disk but its directory entry may not survive a
+		// crash; report that rather than claim a durable publication.
+		return SnapshotStats{}, fmt.Errorf("pathhist: persisting snapshot publication: %w", err)
 	}
 	st.Path = path
 	return st, nil
@@ -213,9 +261,15 @@ func (e *Engine) SnapshotFile(path string) (SnapshotStats, error) {
 		os.Remove(tmpName)
 		return SnapshotStats{}, err
 	}
+	if err := failpoint.Inject(FailpointSnapshotWrite); err != nil {
+		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
 	st, err := e.Snapshot(tmp)
 	if err != nil {
 		return fail(fmt.Errorf("pathhist: writing snapshot: %w", err))
+	}
+	if err := failpoint.Inject(FailpointSnapshotSync); err != nil {
+		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(fmt.Errorf("pathhist: syncing snapshot: %w", err))
@@ -223,15 +277,18 @@ func (e *Engine) SnapshotFile(path string) (SnapshotStats, error) {
 	if err := tmp.Close(); err != nil {
 		return fail(fmt.Errorf("pathhist: closing snapshot: %w", err))
 	}
+	if err := failpoint.Inject(FailpointSnapshotRename); err != nil {
+		os.Remove(tmpName)
+		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
+	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return SnapshotStats{}, fmt.Errorf("pathhist: publishing snapshot: %w", err)
 	}
 	// Persist the rename itself: fsync the directory so the publication
 	// survives a crash right after SnapshotFile returns.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+	if err := syncDir(dir); err != nil {
+		return SnapshotStats{}, fmt.Errorf("pathhist: persisting snapshot publication: %w", err)
 	}
 	return st, nil
 }
@@ -260,6 +317,9 @@ func LoadSnapshot(g *Graph, r io.Reader, opts Options) (*Engine, error) {
 // LoadSnapshotFile restores an Engine from a snapshot file: one stat-sized
 // read, then sections decode straight out of that buffer.
 func LoadSnapshotFile(g *Graph, path string, opts Options) (*Engine, error) {
+	if err := failpoint.Inject(FailpointSnapshotLoad); err != nil {
+		return nil, fmt.Errorf("pathhist: reading snapshot %s: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

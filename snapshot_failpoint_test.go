@@ -1,0 +1,127 @@
+package pathhist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathhist/internal/failpoint"
+)
+
+// tmpLitter returns the names of leftover .snapshot-*.tmp files in dir. A
+// failed snapshot write must clean these up: litter accumulating on every
+// retry is how a degraded disk fills up for good.
+func tmpLitter(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".snapshot-") && strings.HasSuffix(e.Name(), ".tmp") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+// TestSnapshotWriteFailpoints injects a failure at every stage of the
+// atomic snapshot write — payload write, fsync, rename, directory fsync —
+// and checks the contract each stage promises: the error surfaces, no temp
+// file is left behind, and the target file either does not exist (failure
+// before rename) or is complete and loadable (failure after rename). A
+// clean retry then succeeds against the same directory.
+func TestSnapshotWriteFailpoints(t *testing.T) {
+	defer failpoint.Reset()
+	g, eng, qs := lifecycleEngine(t, Options{})
+	boom := errors.New("injected disk failure")
+
+	stages := []struct {
+		site string
+		// renamed reports whether the failure strikes after the target
+		// file was published by the rename.
+		renamed bool
+	}{
+		{FailpointSnapshotWrite, false},
+		{FailpointSnapshotSync, false},
+		{FailpointSnapshotRename, false},
+		{FailpointSnapshotDirSync, true},
+	}
+	for _, st := range stages {
+		t.Run(st.site, func(t *testing.T) {
+			defer failpoint.Reset()
+			dir := t.TempDir()
+			failpoint.Enable(st.site, failpoint.Injection{Err: boom})
+			_, err := eng.SnapshotFileIn(dir)
+			if !errors.Is(err, boom) {
+				t.Fatalf("SnapshotFileIn error = %v, want the injected failure", err)
+			}
+			if tmps := tmpLitter(t, dir); len(tmps) != 0 {
+				t.Fatalf("temp litter after failed write: %v", tmps)
+			}
+			latest, err := FindLatestSnapshot(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.renamed {
+				// Failure after publication: the file is complete even if
+				// the claim of durability was withdrawn.
+				if latest == "" {
+					t.Fatal("no snapshot file despite failing after rename")
+				}
+				failpoint.Reset()
+				re, err := LoadSnapshotFile(g, latest, Options{})
+				if err != nil {
+					t.Fatalf("loading post-rename snapshot: %v", err)
+				}
+				assertSameAnswers(t, eng, re, qs, st.site)
+			} else if latest != "" {
+				t.Fatalf("snapshot file %q exists despite failing before rename", latest)
+			}
+			// The disk "recovers": a retry into the same directory succeeds.
+			failpoint.Reset()
+			stats, err := eng.SnapshotFileIn(dir)
+			if err != nil {
+				t.Fatalf("retry after injected failure: %v", err)
+			}
+			re, err := LoadSnapshotFile(g, stats.Path, Options{})
+			if err != nil {
+				t.Fatalf("loading retried snapshot: %v", err)
+			}
+			assertSameAnswers(t, eng, re, qs, st.site+"/retry")
+		})
+	}
+}
+
+// TestSnapshotLoadFailpoint: an injected read failure on load surfaces as
+// an error naming the file, and the SkipFirst knob proves the site is
+// consulted per call, not latched.
+func TestSnapshotLoadFailpoint(t *testing.T) {
+	defer failpoint.Reset()
+	g, eng, _ := lifecycleEngine(t, Options{})
+	dir := t.TempDir()
+	stats, err := eng.SnapshotFileIn(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected read failure")
+	failpoint.Enable(FailpointSnapshotLoad, failpoint.Injection{Err: boom})
+	if _, err := LoadSnapshotFile(g, stats.Path, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("LoadSnapshotFile error = %v, want the injected failure", err)
+	}
+	failpoint.Reset()
+	// One transient failure then success: SkipFirst delays the injection.
+	failpoint.Enable(FailpointSnapshotLoad, failpoint.Injection{Err: boom, SkipFirst: 1, Times: 1})
+	if _, err := LoadSnapshotFile(g, stats.Path, Options{}); err != nil {
+		t.Fatalf("first load with SkipFirst=1: %v", err)
+	}
+	if _, err := LoadSnapshotFile(g, stats.Path, Options{}); !errors.Is(err, boom) {
+		t.Fatalf("second load error = %v, want the injected failure", err)
+	}
+	if _, err := LoadSnapshotFile(g, filepath.Join(dir, "nope.snt"), Options{}); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
