@@ -83,6 +83,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrecord: go %s: %v\n", strings.Join(args, " "), err)
 		os.Exit(1)
 	}
+	//lint:ignore syncerr the stdout echo is informational; the JSON artifact write below is checked
 	os.Stdout.Write(raw)
 
 	f := File{

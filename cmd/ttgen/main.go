@@ -85,6 +85,7 @@ func writeFile(path string, fn func(*os.File) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
+		//lint:ignore syncerr the generator's error wins; the partial file is useless either way
 		f.Close()
 		return err
 	}

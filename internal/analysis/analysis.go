@@ -1,0 +1,272 @@
+// Package analysis is the engine's invariant lint suite (DESIGN.md §13):
+// custom static-analysis passes that mechanically enforce the concurrency
+// and durability contracts the compiler cannot see — published index state
+// is immutable, query paths pin one snapshot, durability errors are never
+// discarded, pooled scratch never escapes, and long scans poll cancellation.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape (Analyzer,
+// Pass, Diagnostic) but is self-contained on the standard library: packages
+// are loaded through `go list -json -deps -export` and typechecked from
+// source with dependencies imported from compiler export data, so the suite
+// runs offline, with no module requirements beyond the toolchain itself.
+//
+// Suppression convention: a diagnostic is silenced by
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory — a directive without one is itself reported (rule
+// "lintignore") — so every accepted violation documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one invariant check. Run reports findings through the Pass;
+// the driver owns suppression filtering and output.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the pass guards.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path equals
+	// an entry or ends in "/"+entry. Nil means every package. (Fixture
+	// packages under testdata match by their trailing path element.)
+	Packages []string
+	// Run performs the analysis on one package.
+	Run func(*Pass)
+}
+
+// applies reports whether the analyzer covers the package.
+func (a *Analyzer) applies(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzed package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(token.Pos, string)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// ---- shared AST/type helpers used by the passes ----
+
+// deref peels pointers off t.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// namedType returns the *types.Named behind t (through pointers and
+// aliases), or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = deref(types.Unalias(t))
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (through pointers) is the named type
+// pkgPath.name. Generic instantiations match their origin.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	n = n.Origin()
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves the called function or method of call, or nil (for
+// builtins, function-typed variables, conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// funcOwner describes where a *types.Func lives: its package path and, for
+// methods, the receiver's named type.
+func funcOwner(f *types.Func) (pkgPath, recvName string) {
+	if f == nil {
+		return "", ""
+	}
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedType(sig.Recv().Type()); n != nil {
+			recvName = n.Origin().Obj().Name()
+		}
+	}
+	return pkgPath, recvName
+}
+
+// isMethod reports whether f is the method pkgPath.(recv).name.
+func isMethod(f *types.Func, pkgPath, recv, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	p, r := funcOwner(f)
+	return p == pkgPath && r == recv
+}
+
+// isFunc reports whether f is the package-level function pkgPath.name.
+func isFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	p, r := funcOwner(f)
+	return p == pkgPath && r == ""
+}
+
+// funcUnit is one analyzed function body: a declaration or a function
+// literal. Passes that reason about resource lifetimes treat each unit
+// independently (a closure owns what it acquires); passes that reason about
+// captured state (a scratch's cancel channel) walk declarations with their
+// nested literals included.
+type funcUnit struct {
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+}
+
+// functionUnits collects every function body in f: declarations and all
+// (transitively nested) function literals.
+func functionUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				units = append(units, funcUnit{decl: n, body: n.Body})
+			}
+		case *ast.FuncLit:
+			units = append(units, funcUnit{body: n.Body})
+		}
+		return true
+	})
+	return units
+}
+
+// walkUnit traverses the unit's body without descending into nested
+// function literals (each literal is its own unit).
+func walkUnit(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// rootIdent peels selectors, index expressions, parens, stars and slices
+// off e and returns the base identifier, or nil (e.g. when the chain is
+// rooted in a call).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a selector/ident chain ("e.snap") for use as a map
+// key; non-chain expressions render as "".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const temporalPkg = "pathhist/internal/temporal"
+
+// FrozenMut enforces the publication invariant of ROADMAP ("published index
+// state is immutable; mutation = build new + atomic epoch publication") at
+// its sharpest edge: the frozen columnar state. A temporal.FrozenIndex or
+// temporal.FrozenForest may be written only while it is being constructed —
+// through a variable the same function bound to a fresh composite literal
+// or new() — because once a snapshot is published (returned, stored,
+// fetched from a forest map, received as a parameter) concurrent readers
+// hold it lock-free and any write is a data race that no -race run is
+// guaranteed to catch.
+//
+// The pass flags assignments, op-assignments, ++/-- and copy() whose
+// destination is rooted in frozen state that the enclosing function did not
+// construct itself. Aliased columns are tracked one hop deep
+// (col := fx.Ts; col[i] = ... is still a write to fx).
+var FrozenMut = &Analyzer{
+	Name: "frozenmut",
+	Doc: "writes to temporal.FrozenIndex/FrozenForest state are only legal " +
+		"during construction (through a locally-built value); published " +
+		"snapshots are immutable and mutation means build-new-and-republish",
+	Run: runFrozenMut,
+}
+
+func runFrozenMut(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, unit := range functionUnits(f) {
+			checkFrozenUnit(pass, unit)
+		}
+	}
+}
+
+// isFrozenType reports whether t is (a pointer to) one of the frozen
+// temporal types.
+func isFrozenType(t types.Type) bool {
+	return isNamed(t, temporalPkg, "FrozenIndex") || isNamed(t, temporalPkg, "FrozenForest")
+}
+
+// frozenRoot walks up e's selector/index chain and returns the base
+// identifier of the innermost sub-expression whose type is frozen state
+// (nil when the chain never touches frozen state, or when the frozen value
+// is not rooted in a plain identifier — e.g. produced by a call, which is
+// never locally constructed and therefore reported with a nil root).
+func frozenRoot(pass *Pass, e ast.Expr) (root *ast.Ident, frozen bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if isFrozenType(pass.TypeOf(x.X)) {
+				return rootIdent(x.X), true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if isFrozenType(pass.TypeOf(x.X)) {
+				return rootIdent(x.X), true
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// checkFrozenUnit analyzes one function body. Two flow-insensitive sets are
+// built first: variables the unit binds to freshly constructed frozen
+// values, and variables aliasing a column of such fresh values (writes
+// through those are construction too).
+func checkFrozenUnit(pass *Pass, unit funcUnit) {
+	fresh := make(map[types.Object]bool)       // locally constructed frozen values
+	freshCol := make(map[types.Object]bool)    // columns sliced off fresh values
+	frozenAlias := make(map[types.Object]bool) // columns aliasing published values
+
+	// isFreshExpr reports whether e evaluates to a frozen value this unit
+	// constructs: a composite literal, &literal, new(T), or another fresh
+	// variable.
+	isFreshExpr := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		switch x := e.(type) {
+		case *ast.CompositeLit:
+			return isFrozenType(pass.TypeOf(x))
+		case *ast.CallExpr:
+			return isBuiltin(pass.Info, x, "new") && len(x.Args) == 1 &&
+				isFrozenType(pass.TypeOf(x.Args[0]))
+		case *ast.Ident:
+			if obj, ok := pass.Info.Uses[x]; ok {
+				return fresh[obj]
+			}
+		}
+		return false
+	}
+	objOf := func(id *ast.Ident) types.Object {
+		if obj, ok := pass.Info.Defs[id]; ok && obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+
+	// Pass 1: collect fresh bindings and column aliases.
+	walkUnit(unit.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(id)
+			if obj == nil {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if isFrozenType(pass.TypeOf(lhs)) && isFreshExpr(rhs) {
+				fresh[obj] = true
+				continue
+			}
+			// Column alias: v := fx.Ts (or a slice of it).
+			if _, root, ok := columnSource(pass, rhs); ok {
+				if root != nil {
+					if robj := pass.Info.Uses[root]; robj != nil && fresh[robj] {
+						freshCol[obj] = true
+						continue
+					}
+				}
+				frozenAlias[obj] = true
+			}
+		}
+		return true
+	})
+
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "write to published frozen %s outside construction; "+
+			"published snapshots are immutable — build a new index and republish it", what)
+	}
+	// checkDst flags dst when it writes through published frozen state.
+	checkDst := func(dst ast.Expr) {
+		if root, frozen := frozenRoot(pass, dst); frozen {
+			if root != nil {
+				if obj := pass.Info.Uses[root]; obj != nil && fresh[obj] {
+					return
+				}
+			}
+			report(dst, describeFrozen(pass, dst))
+			return
+		}
+		// Writes through a column alias of published state.
+		if ix, ok := ast.Unparen(dst).(*ast.IndexExpr); ok {
+			if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && frozenAlias[obj] && !freshCol[obj] {
+					report(dst, "column (via alias "+id.Name+")")
+				}
+			}
+		}
+	}
+
+	// Pass 2: find the writes.
+	walkUnit(unit.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				// Rebinding a variable (fx = ...) is not a mutation; writes
+				// go through selectors/indexes.
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					continue
+				}
+				checkDst(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkDst(st.X)
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, st, "copy") && len(st.Args) == 2 {
+				checkDst(st.Args[0])
+			}
+		}
+		return true
+	})
+}
+
+// columnSource reports whether e reads a column (slice-typed field) off a
+// frozen value, returning the selector and its root identifier.
+func columnSource(pass *Pass, e ast.Expr) (*ast.SelectorExpr, *ast.Ident, bool) {
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !isFrozenType(pass.TypeOf(sel.X)) {
+		return nil, nil, false
+	}
+	if _, ok := pass.TypeOf(sel).Underlying().(*types.Slice); !ok {
+		return nil, nil, false
+	}
+	return sel, rootIdent(sel.X), true
+}
+
+// describeFrozen names what is being written for the diagnostic.
+func describeFrozen(pass *Pass, dst ast.Expr) string {
+	for {
+		switch x := dst.(type) {
+		case *ast.SelectorExpr:
+			if isFrozenType(pass.TypeOf(x.X)) {
+				n := namedType(pass.TypeOf(x.X))
+				return n.Obj().Name() + "." + x.Sel.Name
+			}
+			dst = x.X
+		case *ast.IndexExpr:
+			dst = x.X
+		case *ast.ParenExpr:
+			dst = x.X
+		case *ast.StarExpr:
+			dst = x.X
+		case *ast.SliceExpr:
+			dst = x.X
+		default:
+			return "state"
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SnapPin enforces the one-snapshot-per-query rule (DESIGN.md §8): a
+// function must load an atomic.Pointer-published snapshot exactly once and
+// thread the pinned value everywhere. Two loads of the same pointer can
+// straddle an epoch publication — the first half of the work runs against
+// epoch N, the second against N+1 — which is precisely the shear the
+// snapshot indirection exists to prevent (caches stamped with one epoch,
+// scans against another).
+//
+// The pass counts Load() call sites per function body (nested closures
+// included — they run within the query's dynamic extent) keyed by the
+// loaded chain ("e.snap"): the second and every further site is reported.
+// Writer-side code that deliberately re-loads to re-base under the write
+// lock documents itself with a //lint:ignore snappin directive.
+var SnapPin = &Analyzer{
+	Name: "snappin",
+	Doc: "a function loads an atomic.Pointer snapshot at most once and " +
+		"threads the pinned value; a reload can straddle an epoch publication",
+	Run: runSnapPin,
+}
+
+func runSnapPin(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, unit := range functionUnits(f) {
+			if unit.decl == nil {
+				continue // literals are counted within their declaration
+			}
+			seen := make(map[string]int)
+			ast.Inspect(unit.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Load" {
+					return true
+				}
+				if !isNamed(pass.TypeOf(sel.X), "sync/atomic", "Pointer") {
+					return true
+				}
+				chain := exprString(sel.X)
+				if chain == "" {
+					chain = "<expr>"
+				}
+				seen[chain]++
+				if seen[chain] > 1 {
+					pass.Reportf(call.Pos(),
+						"%s.Load() called %d times in one function; pin the snapshot once "+
+							"and pass it down — a second load can straddle an epoch publication",
+						chain, seen[chain])
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression convention (package doc): `//lint:ignore <rules> <reason>`
+// silences the named rules on its own line and the line directly below. The
+// reason is mandatory so every accepted violation carries its justification
+// in the source.
+
+const ignorePrefix = "lint:ignore"
+
+// suppressions maps file name -> line -> rules suppressed at that line.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans a package's comments for lint:ignore
+// directives. Malformed directives (missing rule list or reason) are
+// returned as diagnostics under the rule "lintignore" — a suppression that
+// silently fails to parse would otherwise look like a clean pass.
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "lintignore",
+						Message: "malformed //lint:ignore directive: want //lint:ignore <rule>[,<rule>...] <reason>",
+					})
+					continue
+				}
+				byFile := sup[pos.Filename]
+				if byFile == nil {
+					byFile = make(map[int]map[string]bool)
+					sup[pos.Filename] = byFile
+				}
+				rules := byFile[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					byFile[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					if r != "" {
+						rules[r] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, malformed
+}
+
+// suppressed reports whether a diagnostic of rule at pos is silenced by a
+// directive on its line or the line above.
+func (s suppressions) suppressed(rule string, pos token.Position) bool {
+	byFile := s[pos.Filename]
+	if byFile == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if rules := byFile[line]; rules != nil && rules[rule] {
+			return true
+		}
+	}
+	return false
+}

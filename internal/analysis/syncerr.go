@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr enforces the fail-closed durability discipline of DESIGN.md
+// §10-§12 (PR 7's ErrWALFailed latch): the error of every operation that
+// moves acknowledged bytes toward the disk — file writes, fsyncs,
+// truncations, renames, and the Close that flushes a write — must be
+// checked, propagated, or explicitly latched. A discarded Sync error is
+// the exact failure mode that silently breaks "acknowledged ⇒ fsynced ⇒
+// recovered": the client saw a 200, the platter never saw the bytes.
+//
+// Flagged: calls whose error result is dropped (expression statements and
+// assignments to blank identifiers only) to
+//   - (*os.File) Write / WriteAt / Sync / Truncate / Close,
+//   - os.Rename,
+//   - Close / Sync methods of types declared in internal/wal and
+//     internal/snapio.
+//
+// `defer f.Close()` is exempt: on read paths it is idiomatic and harmless,
+// and the repo's write paths all Sync-then-Close explicitly before the
+// deferred cleanup runs. Deliberate best-effort discards (error-path
+// cleanup where the primary error must win) carry a //lint:ignore syncerr
+// directive with the justification.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: "durability-path errors (os.File Write/Sync/Truncate/Close, " +
+		"os.Rename, wal/snapio Close/Sync) must be checked or explicitly latched",
+	Run: runSyncErr,
+}
+
+// durabilityPkgs are the packages whose own Close/Sync methods latch or
+// surface durability state.
+var durabilityPkgs = map[string]bool{
+	"pathhist/internal/wal":    true,
+	"pathhist/internal/snapio": true,
+}
+
+func runSyncErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkSyncCall(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkSyncCall(pass, st.Call, true)
+			case *ast.GoStmt:
+				checkSyncCall(pass, st.Call, true)
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+						return true // some result is kept
+					}
+				}
+				checkSyncCall(pass, call, false)
+			}
+			return true
+		})
+	}
+}
+
+// checkSyncCall reports call if it discards a durability error. deferred
+// exempts Close (but not Sync/Write/Rename — deferring those still drops
+// the error).
+func checkSyncCall(pass *Pass, call *ast.CallExpr, deferred bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || !returnsError(fn) {
+		return
+	}
+	name := fn.Name()
+	pkgPath, recv := funcOwner(fn)
+	var target bool
+	switch {
+	case recv == "File" && pkgPath == "os":
+		switch name {
+		case "Write", "WriteAt", "WriteString", "Sync", "Truncate", "Close":
+			target = true
+		}
+	case recv == "" && pkgPath == "os" && name == "Rename":
+		target = true
+	case durabilityPkgs[pkgPath] && (name == "Close" || name == "Sync"):
+		target = true
+	}
+	if !target {
+		return
+	}
+	if deferred && name == "Close" {
+		return
+	}
+	what := name
+	if recv != "" {
+		what = "(" + recv + ")." + name
+	}
+	pass.Reportf(call.Pos(),
+		"discarded error from %s on the durability path; check it, propagate it, "+
+			"or latch it fail-closed (//lint:ignore syncerr <reason> for deliberate best-effort)",
+		what)
+}
+
+// returnsError reports whether fn's last result is an error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

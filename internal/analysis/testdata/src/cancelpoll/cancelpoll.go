@@ -1,0 +1,60 @@
+// Package cancelpoll is the test fixture for the cancelpoll analyzer: scan
+// loops over frozen columns in Scratch-holding functions must poll
+// Scratch.Canceled.
+package cancelpoll
+
+import (
+	"pathhist/internal/snt"
+	"pathhist/internal/temporal"
+)
+
+// unbounded sweeps a column without ever checking the deadline.
+func unbounded(sc *snt.Scratch, fx *temporal.FrozenIndex) int64 {
+	var s int64
+	for i := range fx.Ts { // want `scan loop over frozen columns never polls Scratch\.Canceled`
+		s += int64(fx.TT[i])
+	}
+	return s
+}
+
+// polled checks the cancel channel at the stride: the required shape.
+func polled(sc *snt.Scratch, fx *temporal.FrozenIndex) int64 {
+	var s int64
+	for i := range fx.Ts {
+		if i&8191 == 0 && sc.Canceled() {
+			return s
+		}
+		s += int64(fx.TT[i])
+	}
+	return s
+}
+
+// viaAlias scans through a local alias of a column; still a scan loop.
+func viaAlias(sc *snt.Scratch, fx *temporal.FrozenIndex) int64 {
+	ts := fx.Ts
+	var s int64
+	for i := 0; i < len(ts); i++ { // want `scan loop over frozen columns never polls Scratch\.Canceled`
+		s += ts[i]
+	}
+	return s
+}
+
+// noScratch is construction/compaction-shaped code: not cancellable, so
+// its sweeps are not flagged.
+func noScratch(fx *temporal.FrozenIndex) int64 {
+	var s int64
+	for _, t := range fx.Ts {
+		s += t
+	}
+	return s
+}
+
+// suppressed documents a deliberately unpolled loop.
+func suppressed(sc *snt.Scratch, fx *temporal.FrozenIndex) int64 {
+	var s int64
+	//lint:ignore cancelpoll fixture: demonstrates that a justified suppression is honored
+	for i := range fx.Ts {
+		s += int64(fx.W[i])
+	}
+	return s
+}

@@ -1,0 +1,14 @@
+// Package lintignore is the test fixture for the suppression machinery
+// itself: a //lint:ignore directive without a reason is malformed — it is
+// reported under the rule "lintignore" and registers no suppression, so the
+// violation it meant to silence still fires. Checked by
+// TestMalformedDirective rather than // want annotations, because the
+// directive line cannot also carry an annotation.
+package lintignore
+
+import "os"
+
+func malformed(f *os.File) {
+	//lint:ignore syncerr
+	f.Close()
+}

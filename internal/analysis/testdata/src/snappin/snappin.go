@@ -1,0 +1,43 @@
+// Package snappin is the test fixture for the snappin analyzer: a function
+// may load an atomic.Pointer snapshot at most once.
+package snappin
+
+import "sync/atomic"
+
+type snapshot struct{ epoch uint64 }
+
+type engine struct {
+	snap  atomic.Pointer[snapshot]
+	other atomic.Pointer[snapshot]
+}
+
+// pinned loads once and threads the value: the correct shape.
+func pinned(e *engine) uint64 {
+	sn := e.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return sn.epoch + helper(sn)
+}
+
+func helper(sn *snapshot) uint64 { return sn.epoch }
+
+// sheared loads twice: the two snapshots can straddle a publication.
+func sheared(e *engine) uint64 {
+	a := e.snap.Load().epoch
+	b := e.snap.Load().epoch // want `e\.snap\.Load\(\) called 2 times in one function`
+	return a + b
+}
+
+// distinct pointers are independent: one load of each is fine.
+func distinct(e *engine) uint64 {
+	return e.snap.Load().epoch + e.other.Load().epoch
+}
+
+// suppressed documents a deliberate re-read.
+func suppressed(e *engine) uint64 {
+	a := e.snap.Load().epoch
+	//lint:ignore snappin fixture: deliberate re-read under an exclusion lock
+	b := e.snap.Load().epoch
+	return a + b
+}

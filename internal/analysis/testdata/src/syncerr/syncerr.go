@@ -1,0 +1,51 @@
+// Package syncerr is the test fixture for the syncerr analyzer: durability
+// errors must be checked, propagated, or explicitly latched.
+package syncerr
+
+import (
+	"os"
+
+	"pathhist/internal/wal"
+)
+
+// dropped discards errors on the durability path.
+func dropped(f *os.File, w *wal.WAL) {
+	f.Sync()            // want `discarded error from \(File\)\.Sync`
+	_ = f.Close()       // want `discarded error from \(File\)\.Close`
+	f.Truncate(0)       // want `discarded error from \(File\)\.Truncate`
+	os.Rename("a", "b") // want `discarded error from Rename`
+	w.Close()           // want `discarded error from \(WAL\)\.Close`
+	go f.Sync()         // want `discarded error from \(File\)\.Sync`
+}
+
+// checked propagates everything; the deferred Close is idiomatic on read
+// paths and exempt.
+func checked(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // ok: deferred Close is exempt
+	var buf [8]byte
+	if _, err := f.Read(buf[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeChecked is the fail-closed write shape the engine uses.
+func writeChecked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// suppressed is a deliberate best-effort discard with its justification.
+func suppressed(f *os.File) {
+	//lint:ignore syncerr fixture: error-path cleanup where the primary error wins
+	f.Close()
+}

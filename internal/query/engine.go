@@ -342,6 +342,10 @@ func (e *Engine) backgroundCycle(c *compactor) {
 			return
 		}
 		e.extMu.Lock()
+		// The plan above ran against a possibly-stale snapshot; under extMu
+		// the apply must re-base onto the latest publication, so this second
+		// load is the point, not an accident.
+		//lint:ignore snappin deliberate re-read under extMu: compaction plans lock-free and re-bases on the current snapshot before publishing
 		cur := e.snap.Load()
 		nix, stats, err := cur.ix.ApplyCompaction(prepared)
 		if err != nil {

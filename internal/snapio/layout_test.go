@@ -1,0 +1,74 @@
+package snapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"unsafe"
+
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// TestLayoutInvariants re-states the compile-time audit of layout.go as a
+// runtime test, so a violation shows up as a named failure and not only as
+// a build break.
+func TestLayoutInvariants(t *testing.T) {
+	if headerSize%8 != 0 {
+		t.Errorf("headerSize = %d, not a multiple of 8", headerSize)
+	}
+	if sectionHdrSize%8 != 0 {
+		t.Errorf("sectionHdrSize = %d, not a multiple of 8", sectionHdrSize)
+	}
+	checks := []struct {
+		name  string
+		size  uintptr
+		align uintptr
+	}{
+		{"traj.ID", unsafe.Sizeof(traj.ID(0)), unsafe.Alignof(traj.ID(0))},
+		{"network.EdgeID", unsafe.Sizeof(network.EdgeID(0)), unsafe.Alignof(network.EdgeID(0))},
+		{"uint16", unsafe.Sizeof(uint16(0)), unsafe.Alignof(uint16(0))},
+		{"int32", unsafe.Sizeof(int32(0)), unsafe.Alignof(int32(0))},
+		{"int64", unsafe.Sizeof(int64(0)), unsafe.Alignof(int64(0))},
+		{"uint64", unsafe.Sizeof(uint64(0)), unsafe.Alignof(uint64(0))},
+	}
+	for _, c := range checks {
+		if 8%c.align != 0 {
+			t.Errorf("%s alignment %d does not divide the format's 8-byte padding", c.name, c.align)
+		}
+		if c.align > c.size {
+			t.Errorf("%s alignment %d exceeds its size %d", c.name, c.align, c.size)
+		}
+	}
+	if got := unsafe.Sizeof(traj.ID(0)); got != 4 {
+		t.Errorf("traj.ID size = %d, want 4 (wire contract of the ~int32 codecs)", got)
+	}
+	if got := unsafe.Sizeof(network.EdgeID(0)); got != 4 {
+		t.Errorf("network.EdgeID size = %d, want 4 (wire contract of the ~int32 codecs)", got)
+	}
+}
+
+// TestRawBytesMatchesEncoding proves the bulk-copy view of an id column is
+// byte-for-byte the little-endian wire encoding — the equivalence the
+// hostLittleEndian fast path relies on.
+func TestRawBytesMatchesEncoding(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("big-endian host: the bulk-copy path is disabled by construction")
+	}
+	ids := []traj.ID{0, 1, -2, 0x01020304, -0x7fffffff}
+	var want []byte
+	for _, id := range ids {
+		want = binary.LittleEndian.AppendUint32(want, uint32(id))
+	}
+	if got := rawBytes(ids); !bytes.Equal(got, want) {
+		t.Fatalf("rawBytes([]traj.ID) = % x, want % x", got, want)
+	}
+	ts := []int64{1, -9, 1 << 40}
+	want = want[:0]
+	for _, v := range ts {
+		want = binary.LittleEndian.AppendUint64(want, uint64(v))
+	}
+	if got := rawBytes(ts); !bytes.Equal(got, want) {
+		t.Fatalf("rawBytes([]int64) = % x, want % x", got, want)
+	}
+}

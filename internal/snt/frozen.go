@@ -324,12 +324,22 @@ func (ix *Index) scanSingle(sc *Scratch, e network.EdgeID, ranges []Range, iv In
 	if len(sc.hits) == 0 {
 		return nil, 0
 	}
+	// The emission sweep is bounded by the accepted hits, but β-free queries
+	// can accept the whole column — poll at the same stride as the admit
+	// loop. A cancelled emission returns the partial samples; the caller
+	// observes sc.Canceled() and discards them with a deadline error.
 	if descending {
 		for k := len(sc.hits) - 1; k >= 0; k-- {
+			if k&(cancelStride-1) == 0 && sc.Canceled() {
+				break
+			}
 			sc.xs = append(sc.xs, int(fx.TT[sc.hits[k]]))
 		}
 	} else {
-		for _, i := range sc.hits {
+		for n, i := range sc.hits {
+			if n&(cancelStride-1) == 0 && sc.Canceled() {
+				break
+			}
 			sc.xs = append(sc.xs, int(fx.TT[i]))
 		}
 	}

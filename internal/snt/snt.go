@@ -245,10 +245,9 @@ type Range struct{ St, Ed int64 }
 // the range buffer is reused — so only the returned slice is allocated.
 func (ix *Index) ISARanges(p network.Path) []Range {
 	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
 	ranges, _ := ix.isaRanges(sc, p)
-	out := append([]Range(nil), ranges...)
-	ReleaseScratch(sc)
-	return out
+	return append([]Range(nil), ranges...)
 }
 
 // PathCount returns c_P: the exact number of times the path occurs in the
@@ -257,8 +256,8 @@ func (ix *Index) ISARanges(p network.Path) []Range {
 // per-partition searches run over a pooled Scratch.
 func (ix *Index) PathCount(p network.Path) int64 {
 	sc := AcquireScratch()
+	defer ReleaseScratch(sc)
 	_, c := ix.isaRanges(sc, p)
-	ReleaseScratch(sc)
 	return c
 }
 

@@ -204,6 +204,7 @@ func (e *Engine) SnapshotFileIn(dir string) (SnapshotStats, error) {
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) (SnapshotStats, error) {
+		//lint:ignore syncerr fail closure: the primary snapshot error wins and the temp file is removed
 		tmp.Close()
 		os.Remove(tmpName)
 		return SnapshotStats{}, err
@@ -257,6 +258,7 @@ func (e *Engine) SnapshotFile(path string) (SnapshotStats, error) {
 	// Any failure from here on removes the temp file; the target is only
 	// ever touched by the final rename.
 	fail := func(err error) (SnapshotStats, error) {
+		//lint:ignore syncerr fail closure: the primary snapshot error wins and the temp file is removed
 		tmp.Close()
 		os.Remove(tmpName)
 		return SnapshotStats{}, err
