@@ -50,7 +50,8 @@ const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" 
 	"BenchmarkManyPartitions|BenchmarkCompact$|BenchmarkFMIndexBackwardSearch|" +
 	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan|" +
 	"BenchmarkSnapshotBuild|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|" +
-	"BenchmarkSustainedIngestInLock|BenchmarkSustainedIngestBackground|BenchmarkWALAppend"
+	"BenchmarkSustainedIngestInLock|BenchmarkSustainedIngestBackground|BenchmarkWALAppend|" +
+	"BenchmarkShardScaling"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -236,6 +237,18 @@ func derive(recs []Record) map[string]string {
 	}
 	if w, ok := byName["BenchmarkWALAppend"]; ok && w.Metrics["fsync-ms"] > 0 {
 		out["wal_fsync_ms_per_batch"] = fmt.Sprintf("%.2f ms", w.Metrics["fsync-ms"])
+	}
+	// Sharded scatter-gather serving (PR 9): concurrent-ingest throughput
+	// and per-query merge overhead of 4 shards relative to 1.
+	if s1, ok := byName["BenchmarkShardScaling/shards1"]; ok && s1.Metrics["trajs/s"] > 0 {
+		if s4, ok := byName["BenchmarkShardScaling/shards4"]; ok && s4.Metrics["trajs/s"] > 0 {
+			out["shard4_ingest_throughput_vs_shard1"] = fmt.Sprintf("%.2fx",
+				s4.Metrics["trajs/s"]/s1.Metrics["trajs/s"])
+		}
+		if s4, ok := byName["BenchmarkShardScaling/shards4"]; ok && s1.Metrics["query-ms"] > 0 && s4.Metrics["query-ms"] > 0 {
+			out["shard4_query_ms_vs_shard1"] = fmt.Sprintf("%.2fx",
+				s4.Metrics["query-ms"]/s1.Metrics["query-ms"])
+		}
 	}
 	for _, r := range recs {
 		if r.BaselineNsPerOp > 0 && r.NsPerOp > 0 {

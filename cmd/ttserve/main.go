@@ -65,6 +65,7 @@ import (
 type config struct {
 	data              string
 	addr              string
+	shards            int
 	enableExtend      bool
 	maxExtendMiB      int64
 	maxTrajs          int
@@ -101,6 +102,8 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.data, "data", "data", "dataset directory (from ttgen)")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.shards, "shards", 1,
+		"number of independent index shards; >1 serves through the fault-tolerant scatter-gather front with one engine, write-ahead log and snapshot directory (shard-K under -snapshot-dir) per shard")
 	flag.BoolVar(&cfg.enableExtend, "enable-extend", false,
 		"accept live trajectory batches on POST /extend, compaction on POST /compact and snapshots on POST /snapshot")
 	flag.Int64Var(&cfg.maxExtendMiB, "max-extend-mib", 64, "largest accepted /extend body in MiB")
@@ -146,7 +149,7 @@ func bootstrapHandler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", ttserve.RetryAfter())
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"error":"recovering: snapshot load and log replay in progress"}`)
@@ -157,6 +160,9 @@ func bootstrapHandler() http.Handler {
 // run is the whole service lifecycle. It returns once the server has shut
 // down cleanly (nil) or failed.
 func run(ctx context.Context, cfg config) error {
+	if cfg.shards > 1 {
+		return runSharded(ctx, cfg)
+	}
 	// Signal wiring first: a SIGTERM during the (potentially long) recovery
 	// triggers a clean exit at the next phase boundary. The AfterFunc
 	// restores default signal handling the moment the first signal lands,

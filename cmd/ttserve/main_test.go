@@ -221,6 +221,12 @@ func TestHelperServeProcess(t *testing.T) {
 			_ = os.Rename(tmp, os.Getenv("TTSERVE_ADDRFILE"))
 		}
 	}()
+	shards := 1
+	if s := os.Getenv("TTSERVE_SHARDS"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &shards); err != nil {
+			t.Fatalf("TTSERVE_SHARDS=%q: %v", s, err)
+		}
+	}
 	cfg := config{
 		data:         os.Getenv("TTSERVE_DATA"),
 		addr:         "127.0.0.1:0",
@@ -229,6 +235,7 @@ func TestHelperServeProcess(t *testing.T) {
 		autoCompact:  0,
 		snapshotDir:  os.Getenv("TTSERVE_SNAP"),
 		snapshotKeep: 3,
+		shards:       shards,
 		started:      started,
 	}
 	if err := run(context.Background(), cfg); err != nil {

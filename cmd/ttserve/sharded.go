@@ -1,0 +1,329 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/sharded"
+	"pathhist/internal/ttserve"
+	"pathhist/internal/wal"
+)
+
+// shardDir is shard k's durability directory under -snapshot-dir: its own
+// snapshots and its own extend.wal, so shards fail, snapshot and recover
+// independently.
+func shardDir(base string, k int) string {
+	return filepath.Join(base, fmt.Sprintf("shard-%d", k))
+}
+
+// shardState is one shard's recovered pieces.
+type shardState struct {
+	eng      *pathhist.Engine
+	log      *wal.WAL
+	snapPath string
+	dir      string
+	source   string
+	applied  int
+	err      error
+}
+
+// recoverShard restores one shard: newest snapshot in its directory (or a
+// deterministic stripe build when there is none), then open its write-ahead
+// log and replay the records the snapshot does not cover. Each shard's
+// recovery is self-contained, so runSharded runs them in parallel.
+func recoverShard(g *pathhist.Graph, st *shardState, stripe func() (*pathhist.Store, error), opts pathhist.Options, walEnabled bool) {
+	st.eng, st.source, st.err = buildOrRestore(g, stripe, opts, st.snapPath)
+	if st.err != nil || !walEnabled {
+		return
+	}
+	st.log, st.err = wal.Open(filepath.Join(st.dir, walFileName))
+	if st.err != nil {
+		st.err = fmt.Errorf("write-ahead log: %w", st.err)
+		return
+	}
+	if ws := st.log.Stats(); ws.TornTail {
+		log.Printf("shard write-ahead log %s: dropped a torn %d-byte tail (crash mid-append; the batch was never acknowledged)",
+			st.dir, ws.TornBytes)
+	}
+	st.applied, st.err = ttserve.ReplayWAL(st.eng, st.log)
+	if st.err != nil {
+		st.err = fmt.Errorf("replaying write-ahead log: %w", st.err)
+	}
+}
+
+// runSharded is run's -shards>1 counterpart: the same lifecycle — bind
+// behind a bootstrap handler, recover, serve, drain, final snapshot — with
+// N per-stripe engines recovered in parallel and served through the
+// scatter-gather front. Each shard owns a directory (shard-K under
+// -snapshot-dir) holding its snapshots and write-ahead log; striping is
+// deterministic (sort by start time, contiguous near-even slices), so a
+// shard rebuilt from trajectories.bin always receives the same stripe it
+// held before, and per-shard WAL replay chains from it exactly as in the
+// single-engine deployment.
+func runSharded(ctx context.Context, cfg config) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{bootstrapHandler()})
+	httpSrv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (not ready; recovering %d shards)", ln.Addr(), cfg.shards)
+	fail := func(err error) error {
+		httpSrv.Close()
+		return err
+	}
+
+	g, err := loadGraph(cfg.data)
+	if err != nil {
+		return fail(err)
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while loading the dataset; exiting")
+		httpSrv.Close()
+		return nil
+	}
+	opts := pathhist.Options{
+		Partition:             pathhist.ByZone,
+		Estimator:             pathhist.EstimatorCSSFast,
+		AutoCompactPartitions: cfg.autoCompact,
+		CompactInBackground:   cfg.compactBackground,
+	}
+	shardOpts := sharded.ShardOptions(opts)
+
+	n := cfg.shards
+	states := make([]*shardState, n)
+	walEnabled := cfg.enableExtend && cfg.snapshotDir != "" && !cfg.disableWAL
+	for k := range states {
+		states[k] = &shardState{}
+		if cfg.snapshotDir == "" {
+			continue
+		}
+		states[k].dir = shardDir(cfg.snapshotDir, k)
+		if err := os.MkdirAll(states[k].dir, 0o755); err != nil {
+			return fail(fmt.Errorf("shard %d snapshot dir: %w", k, err))
+		}
+		if cfg.loadSnapshot == "" {
+			states[k].snapPath, err = pathhist.FindLatestSnapshot(states[k].dir)
+			if err != nil {
+				return fail(fmt.Errorf("scanning %s for snapshots: %w", states[k].dir, err))
+			}
+		}
+	}
+
+	// The trajectory store is striped lazily, once, the first time some
+	// shard actually needs to build from scratch — a full restore never
+	// reads trajectories.bin at all.
+	var stripeOnce sync.Once
+	var stripes []*pathhist.Store
+	var stripeErr error
+	stripeFor := func(k int) func() (*pathhist.Store, error) {
+		return func() (*pathhist.Store, error) {
+			stripeOnce.Do(func() {
+				var store *pathhist.Store
+				if store, stripeErr = loadStore(cfg.data); stripeErr != nil {
+					return
+				}
+				stripes = sharded.Stripes(store, n)
+				if len(stripes) != n {
+					stripeErr = fmt.Errorf("dataset holds %d trajectories, fewer than %d shards", store.Len(), n)
+				}
+			})
+			if stripeErr != nil {
+				return nil, stripeErr
+			}
+			return stripes[k], nil
+		}
+	}
+	var wg sync.WaitGroup
+	for k := range states {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			recoverShard(g, states[k], stripeFor(k), shardOpts, walEnabled)
+		}(k)
+	}
+	wg.Wait()
+	cleanup := func() {
+		for _, st := range states {
+			if st.eng != nil {
+				st.eng.Close()
+			}
+			if st.log != nil {
+				//lint:ignore syncerr best-effort close while abandoning startup — the process exits with the original error and nothing was acknowledged
+				st.log.Close()
+			}
+		}
+	}
+	for k, st := range states {
+		if st.err != nil {
+			cleanup()
+			return fail(fmt.Errorf("shard %d: %w", k, st.err))
+		}
+		if st.applied > 0 {
+			log.Printf("shard %d: replayed %d acknowledged batches (%d trajectories)", k, st.applied, st.eng.Trajectories())
+		}
+	}
+	if ctx.Err() != nil {
+		log.Printf("interrupted while recovering the shards; exiting")
+		httpSrv.Close()
+		cleanup()
+		return nil
+	}
+
+	engines := make([]*pathhist.Engine, n)
+	for k, st := range states {
+		engines[k] = st.eng
+	}
+	cluster, err := sharded.New(g, engines, sharded.Config{Opts: opts})
+	if err != nil {
+		cleanup()
+		return fail(err)
+	}
+	shardSrvs := make([]*ttserve.Server, n)
+	for k, st := range states {
+		shardSrvs[k] = ttserve.NewServer(st.eng, ttserve.Config{
+			EnableExtend:          cfg.enableExtend,
+			MaxExtendBytes:        cfg.maxExtendMiB << 20,
+			MaxExtendTrajectories: cfg.maxTrajs,
+			SnapshotDir:           st.dir,
+			SnapshotKeep:          cfg.snapshotKeep,
+			WAL:                   st.log,
+			LoadedSnapshotPath:    st.snapPath,
+			MaxWALBytes:           cfg.maxWALMiB << 20,
+			MaxPartitionBacklog:   cfg.maxBacklog,
+		})
+	}
+	front, err := ttserve.NewShardedServer(cluster, shardSrvs, ttserve.Config{
+		EnableExtend:          cfg.enableExtend,
+		MaxExtendBytes:        cfg.maxExtendMiB << 20,
+		MaxExtendTrajectories: cfg.maxTrajs,
+		QueryTimeout:          cfg.queryTimeout,
+		ExtendTimeout:         cfg.extendTimeout,
+	})
+	if err != nil {
+		cleanup()
+		return fail(err)
+	}
+	handler.Store(handlerBox{front})
+	total := 0
+	for _, st := range states {
+		total += st.eng.Trajectories()
+	}
+	mode := "ingestion disabled"
+	if cfg.enableExtend {
+		mode = "live ingestion on POST /extend"
+		if walEnabled {
+			mode += ", write-ahead logged per shard"
+		}
+	}
+	log.Printf("serving %d trajectories over %d edges across %d shards; listening on %s (%s)",
+		total, g.NumEdges(), n, ln.Addr(), mode)
+	if cfg.started != nil {
+		cfg.started <- ln.Addr().String()
+	}
+
+	// Replayed logs mean stale durable bases: snapshot every shard whose
+	// log holds records so the next restart replays from here.
+	if walEnabled {
+		replayed := false
+		for _, st := range states {
+			if st.log.Size() > 16 {
+				replayed = true
+			}
+		}
+		if replayed {
+			if _, err := front.WriteSnapshots(); err != nil {
+				log.Printf("warning: post-recovery snapshots: %v", err)
+			} else {
+				log.Printf("post-recovery snapshots written for %d shards", n)
+			}
+		}
+	}
+	if cfg.snapshotDir != "" && cfg.snapshotInterval > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapshotInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, err := front.WriteSnapshots(); err != nil {
+						log.Printf("warning: periodic snapshots: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		cluster.Close()
+		return err
+	case <-ctx.Done():
+	}
+	front.BeginDrain()
+	log.Printf("shutting down: draining in-flight requests (limit %v)", shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	var drainErr error
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		drainErr = fmt.Errorf("shutdown: %w", err)
+		log.Printf("warning: %v; writing the final snapshots anyway", drainErr)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	if cfg.snapshotDir != "" {
+		if _, err := front.WriteSnapshots(); err != nil {
+			cluster.Close()
+			if drainErr != nil {
+				return fmt.Errorf("final snapshots: %v (after %w)", err, drainErr)
+			}
+			return fmt.Errorf("final snapshots: %w", err)
+		}
+		log.Printf("final snapshots written for %d shards", n)
+	}
+	for k, st := range states {
+		if st.log == nil {
+			continue
+		}
+		if err := st.log.Close(); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("closing shard %d write-ahead log: %w", k, err)
+		}
+	}
+	cluster.Close()
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("shutdown complete")
+	return nil
+}

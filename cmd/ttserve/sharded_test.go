@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestShardedLifecycleSIGTERM: the -shards 3 deployment runs the same
+// lifecycle as the single engine — recover, serve, drain on SIGTERM, final
+// per-shard snapshots — and a fresh process restores from those snapshots
+// with every trajectory accounted for.
+func TestShardedLifecycleSIGTERM(t *testing.T) {
+	dataDir, snapDir := t.TempDir(), t.TempDir()
+	_, base, batch := writeDataset(t, dataDir)
+
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	cfg := config{
+		data:         dataDir,
+		addr:         "127.0.0.1:0",
+		enableExtend: true,
+		maxExtendMiB: 64,
+		autoCompact:  0,
+		snapshotDir:  snapDir,
+		shards:       3,
+		started:      started,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { done <- run(ctx, cfg) }()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("sharded server did not start")
+	}
+	url := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var buf bytes.Buffer
+	if _, err := batch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/extend", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ext struct {
+		Shard        int `json:"shard"`
+		ClusterTotal int `json:"cluster_total_trajectories"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ext); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend status = %d", resp.StatusCode)
+	}
+	if want := base.Len() + batch.Len(); ext.ClusterTotal != want {
+		t.Fatalf("cluster total after extend = %d, want %d", ext.ClusterTotal, want)
+	}
+	client.CloseIdleConnections()
+
+	cancel() // the in-process stand-in for SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("sharded server did not shut down")
+	}
+
+	// Every shard directory holds a final snapshot, and a restart restores
+	// the full acknowledged count from them.
+	for k := 0; k < 3; k++ {
+		if _, err := os.Stat(shardDir(snapDir, k)); err != nil {
+			t.Fatalf("shard %d directory: %v", k, err)
+		}
+	}
+	started2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cfg.started = started2
+	go func() { done2 <- run(ctx2, cfg) }()
+	select {
+	case addr = <-started2:
+	case err := <-done2:
+		t.Fatalf("restarted run exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("restarted sharded server did not start")
+	}
+	var st struct {
+		Shards       int  `json:"shards"`
+		Trajectories int  `json:"trajectories"`
+		Ready        bool `json:"ready"`
+	}
+	sresp, err := client.Get("http://" + addr + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	client.CloseIdleConnections()
+	if !st.Ready || st.Shards != 3 || st.Trajectories != base.Len()+batch.Len() {
+		t.Fatalf("restarted statsz = %+v, want ready, 3 shards, %d trajectories", st, base.Len()+batch.Len())
+	}
+	cancel2()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("restarted run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("restarted sharded server did not shut down")
+	}
+}
+
+// TestShardedCrashRecoverySIGKILL: the sharded deployment honours the same
+// durability contract as the single engine — a batch acknowledged over HTTP
+// lands in exactly one shard's write-ahead log and survives kill -9; after a
+// restart the cluster again holds every acknowledged trajectory and answers
+// queries exactly as before the crash.
+func TestShardedCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess lifecycle test")
+	}
+	dataDir, snapDir := t.TempDir(), t.TempDir()
+	_, base, batch := writeDataset(t, dataDir)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	start := func() *exec.Cmd {
+		t.Helper()
+		os.Remove(addrFile)
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess")
+		cmd.Env = append(os.Environ(),
+			"TTSERVE_HELPER=1",
+			"TTSERVE_DATA="+dataDir,
+			"TTSERVE_SNAP="+snapDir,
+			"TTSERVE_ADDRFILE="+addrFile,
+			"TTSERVE_SHARDS=4",
+		)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitReady := func() string {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				url := "http://" + string(b)
+				if resp, err := client.Get(url + "/readyz"); err == nil {
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusOK {
+						return url
+					}
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("sharded server never became ready")
+		return ""
+	}
+
+	cmd := start()
+	url := waitReady()
+
+	var buf bytes.Buffer
+	if _, err := batch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/extend", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ext struct {
+		Shard int `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ext); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extend status = %d", resp.StatusCode)
+	}
+	if ext.Shard < 0 || ext.Shard >= 4 {
+		t.Fatalf("extend routed to shard %d", ext.Shard)
+	}
+	queryURL := fmt.Sprintf("%s/query?path=%s&beta=5", url, pathParam(base.Get(0).Path()))
+	preKill, err := client.Get(queryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	if err := json.NewDecoder(preKill.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	preKill.Body.Close()
+	client.CloseIdleConnections()
+	if want["partial"] == true {
+		t.Fatalf("healthy pre-crash cluster answered partial: %v", want)
+	}
+
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no handler runs
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// The acknowledged batch must be durable in exactly its shard's log.
+	if _, err := os.Stat(filepath.Join(shardDir(snapDir, ext.Shard), walFileName)); err != nil {
+		t.Fatalf("shard %d write-ahead log after crash: %v", ext.Shard, err)
+	}
+
+	cmd2 := start()
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	url2 := waitReady()
+
+	sresp, err := client.Get(url2 + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Shards       int  `json:"shards"`
+		Trajectories int  `json:"trajectories"`
+		Ready        bool `json:"ready"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if !st.Ready || st.Shards != 4 {
+		t.Fatalf("restarted statsz: %+v", st)
+	}
+	if wantTrajs := base.Len() + batch.Len(); st.Trajectories != wantTrajs {
+		t.Fatalf("restarted cluster holds %d trajectories, want %d (acknowledged)", st.Trajectories, wantTrajs)
+	}
+
+	postKill, err := client.Get(fmt.Sprintf("%s/query?path=%s&beta=5", url2, pathParam(base.Get(0).Path())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.NewDecoder(postKill.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	postKill.Body.Close()
+	client.CloseIdleConnections()
+	if got["partial"] == true {
+		t.Fatalf("recovered cluster answered partial: %v", got)
+	}
+	for _, k := range []string{"mean_seconds", "p05_seconds", "p50_seconds", "p95_seconds"} {
+		if got[k] != want[k] {
+			t.Fatalf("post-crash %s = %v, pre-crash %v", k, got[k], want[k])
+		}
+	}
+}

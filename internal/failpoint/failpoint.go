@@ -60,6 +60,21 @@ type Injection struct {
 	Times int
 }
 
+// Well-known sites of the sharded scatter-gather layer (DESIGN.md §14).
+// The dispatcher hits both the bare site and a per-shard variant
+// (name + "." + strconv.Itoa(shard)), so a test can fail every shard or
+// exactly one.
+const (
+	// ShardDispatch fires at the top of every per-shard sub-query dispatch.
+	ShardDispatch = "shard.dispatch"
+	// ShardSlow fires in the same place; enable it with a Delay to simulate
+	// a slow shard without failing it (hedging coverage).
+	ShardSlow = "shard.slow"
+	// ShardDown fires inside each dispatch attempt; enable it with an Err
+	// to simulate a shard that is hard down.
+	ShardDown = "shard.down"
+)
+
 // site is one enabled failpoint's mutable state.
 type site struct {
 	mu   sync.Mutex

@@ -23,6 +23,31 @@ type ServerCounters struct {
 	// DegradedMode is a gauge: 1 while the server is shedding writes and
 	// serving reads only, 0 in normal operation.
 	DegradedMode atomic.Int64
+
+	// Sharded scatter-gather counters (DESIGN.md §14), all zero in
+	// single-engine deployments.
+
+	// ShardDispatches counts per-shard sub-query dispatches issued by the
+	// query router (hedge attempts not included).
+	ShardDispatches atomic.Int64
+	// HedgedDispatches counts dispatches whose p99-based hedge timer fired
+	// and launched a second attempt.
+	HedgedDispatches atomic.Int64
+	// HedgeWins counts hedged dispatches where the second attempt finished
+	// first.
+	HedgeWins atomic.Int64
+	// ShardFailures counts dispatches that failed outright (fault injected,
+	// budget exhausted, or shard down) after any hedging.
+	ShardFailures atomic.Int64
+	// ShardsShed counts dispatches skipped before issue because the shard's
+	// health state machine said the shard is down.
+	ShardsShed atomic.Int64
+	// PartialResponses counts queries answered from a strict subset of
+	// shards (partial: true in the JSON response).
+	PartialResponses atomic.Int64
+	// IngestReroutes counts ingest batches routed away from their
+	// round-robin shard because it was down or degraded.
+	IngestReroutes atomic.Int64
 }
 
 // ServerCounterValues is the plain-value snapshot of ServerCounters that
@@ -33,6 +58,13 @@ type ServerCounterValues struct {
 	PanicsRecovered  int64 `json:"panics_recovered"`
 	WALFailed        int64 `json:"wal_failed"`
 	DegradedMode     int64 `json:"degraded_mode"`
+	ShardDispatches  int64 `json:"shard_dispatches,omitempty"`
+	HedgedDispatches int64 `json:"hedged_dispatches,omitempty"`
+	HedgeWins        int64 `json:"hedge_wins,omitempty"`
+	ShardFailures    int64 `json:"shard_failures,omitempty"`
+	ShardsShed       int64 `json:"shards_shed,omitempty"`
+	PartialResponses int64 `json:"partial_responses,omitempty"`
+	IngestReroutes   int64 `json:"ingest_reroutes,omitempty"`
 }
 
 // Snapshot reads every counter once. The values are individually atomic,
@@ -44,5 +76,12 @@ func (c *ServerCounters) Snapshot() ServerCounterValues {
 		PanicsRecovered:  c.PanicsRecovered.Load(),
 		WALFailed:        c.WALFailed.Load(),
 		DegradedMode:     c.DegradedMode.Load(),
+		ShardDispatches:  c.ShardDispatches.Load(),
+		HedgedDispatches: c.HedgedDispatches.Load(),
+		HedgeWins:        c.HedgeWins.Load(),
+		ShardFailures:    c.ShardFailures.Load(),
+		ShardsShed:       c.ShardsShed.Load(),
+		PartialResponses: c.PartialResponses.Load(),
+		IngestReroutes:   c.IngestReroutes.Load(),
 	}
 }

@@ -333,8 +333,16 @@ func (e *Engine) backgroundCycle(c *compactor) {
 		default:
 		}
 		sn := e.snap.Load()
-		prepared, err := sn.ix.PrepareCompaction(e.cfg.Compaction)
+		// The stop channel rides into the preparation so a Close during a
+		// giant merge abandons it at the next chunk boundary instead of
+		// building every remaining run first.
+		prepared, err := sn.ix.PrepareCompactionStop(e.cfg.Compaction, c.stop)
 		if err != nil {
+			if errors.Is(err, snt.ErrCompactionAborted) {
+				// Shutdown/drain, not a failure: the merge backlog simply
+				// stays for the next process to pick up.
+				return
+			}
 			e.compactFailures.Add(1)
 			return
 		}

@@ -1,0 +1,139 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"pathhist/internal/failpoint"
+	"pathhist/internal/snt"
+)
+
+// scanOut is the result of one per-shard dispatch: a candidate scan (the
+// router's attempt path) or a capped cardinality count (the σL splitter).
+type scanOut struct {
+	cands   []snt.Cand
+	anyData bool
+	count   int
+}
+
+// errShardShed marks a dispatch refused before issue because the shard's
+// health state machine shed it. The router treats it like any other shard
+// failure: the shard leaves this query's live set.
+var errShardShed = errors.New("sharded: shard shed by health state")
+
+// dispatch runs op against one shard with the full fault-tolerance
+// treatment: fault-injection sites, shed-before-dispatch via the health
+// machine, a deadline budget carved from the request context, and a hedged
+// second attempt on the same immutable snapshot after a p99-based delay
+// (first answer wins). Every outcome feeds the health machine, and a
+// successful dispatch's latency feeds the hedge-delay estimate.
+//
+// op must be safe to run twice concurrently (the hedge); the router's ops
+// scan immutable index snapshots with private scratch state, which is.
+func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Context) (scanOut, error)) (scanOut, error) {
+	suffix := "." + strconv.Itoa(s.idx)
+	if err := failpoint.Inject(failpoint.ShardDispatch); err != nil {
+		return c.dispatchFailed(s, false, err)
+	}
+	if err := failpoint.Inject(failpoint.ShardDispatch + suffix); err != nil {
+		return c.dispatchFailed(s, false, err)
+	}
+	ok, probe := s.health.admit(time.Now())
+	if !ok {
+		c.cfg.Counters.ShardsShed.Add(1)
+		return scanOut{}, errShardShed
+	}
+	c.cfg.Counters.ShardDispatches.Add(1)
+	bctx, cancel := context.WithTimeout(ctx, c.cfg.ShardBudget)
+	defer cancel()
+	start := time.Now()
+	type attemptRes struct {
+		out   scanOut
+		err   error
+		hedge bool
+	}
+	// Buffered so attempts outlasting the dispatch (budget exhausted, or the
+	// other attempt won) can deliver and exit without a receiver.
+	ch := make(chan attemptRes, 2)
+	attempt := func(hedge bool) {
+		out, err := c.attemptShard(bctx, suffix, op)
+		ch <- attemptRes{out: out, err: err, hedge: hedge}
+	}
+	go attempt(false)
+	timer := time.NewTimer(s.hedgeDelay(c.cfg.HedgeDelay))
+	defer timer.Stop()
+	pending, hedged := 1, false
+	hedge := func() {
+		hedged = true
+		pending++
+		c.cfg.Counters.HedgedDispatches.Add(1)
+		go attempt(true)
+	}
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				s.lat.record(time.Since(start))
+				s.health.success()
+				if r.hedge && pending > 0 {
+					c.cfg.Counters.HedgeWins.Add(1)
+				}
+				return r.out, nil
+			}
+			lastErr = r.err
+			if !hedged {
+				// The first attempt failed before the hedge timer: retry
+				// immediately instead of waiting out the delay.
+				hedge()
+				continue
+			}
+			if pending == 0 {
+				return c.dispatchFailed(s, probe, lastErr)
+			}
+		case <-timer.C:
+			if !hedged {
+				hedge()
+			}
+		case <-bctx.Done():
+			// Budget exhausted (or the caller gave up): in-flight attempts
+			// observe the cancellation through their scratch polls and drain
+			// into the buffered channel on their own.
+			return c.dispatchFailed(s, probe, bctx.Err())
+		}
+	}
+}
+
+// dispatchFailed books a dispatch failure into the health machine and the
+// counters and returns the error.
+func (c *Cluster) dispatchFailed(s *shard, probe bool, err error) (scanOut, error) {
+	s.health.failure(probe, c.cfg.FailThreshold, c.cfg.ProbeInterval, time.Now())
+	c.cfg.Counters.ShardFailures.Add(1)
+	return scanOut{}, err
+}
+
+// attemptShard is one attempt of a dispatch: the shard.down and shard.slow
+// fault-injection sites fire here, inside the hedged region, so a
+// Times-limited injection fails (or delays) the first attempt and lets the
+// hedge succeed.
+func (c *Cluster) attemptShard(ctx context.Context, suffix string, op func(context.Context) (scanOut, error)) (scanOut, error) {
+	if err := failpoint.Inject(failpoint.ShardSlow); err != nil {
+		return scanOut{}, err
+	}
+	if err := failpoint.Inject(failpoint.ShardSlow + suffix); err != nil {
+		return scanOut{}, err
+	}
+	if err := failpoint.Inject(failpoint.ShardDown); err != nil {
+		return scanOut{}, err
+	}
+	if err := failpoint.Inject(failpoint.ShardDown + suffix); err != nil {
+		return scanOut{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return scanOut{}, err
+	}
+	return op(ctx)
+}

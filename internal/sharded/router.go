@@ -1,0 +1,550 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/hist"
+	"pathhist/internal/network"
+	"pathhist/internal/query"
+	"pathhist/internal/snt"
+	"pathhist/internal/traj"
+)
+
+// ErrInsufficientCoverage is returned when so many shards are out that the
+// surviving coverage falls below Config.MinCoverage — the one condition
+// under which the router fails a query instead of degrading to a partial
+// answer (the serving layer maps it to 503).
+var ErrInsufficientCoverage = errors.New("sharded: insufficient shard coverage")
+
+// Result is a routed query's outcome: the unsharded Result's payload plus
+// the partial-result contract fields.
+type Result struct {
+	// Hist is the convolved travel-time histogram. With Partial false it is
+	// bit-identical to the unsharded engine's answer over the union of the
+	// stripes; with Partial true it is the exact answer over the surviving
+	// shards' data only.
+	Hist *hist.Histogram
+	// Subs are the final sub-queries in path order. For multi-segment
+	// sub-paths the samples are in merged candidate order, which differs
+	// from the unsharded engine's probe order — an equal multiset, so every
+	// derived statistic (histogram, mean, quantiles) is identical.
+	Subs []query.SubResult
+	// MeanSeconds is Σ X̄_j, the paper's point prediction.
+	MeanSeconds float64
+	// IndexScans counts scatter-merged scan attempts (the sharded analogue
+	// of the unsharded engine's per-attempt count).
+	IndexScans int
+	// Partial marks an answer computed without the Missing shards.
+	Partial bool
+	// Missing lists the shards (ascending) whose data the answer excludes.
+	Missing []int
+	// Restarts counts mid-query shard failures that forced the router to
+	// re-run the query without the failed shard.
+	Restarts int
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+}
+
+// subQ mirrors the unsharded engine's pending sub-query: the un-shifted
+// base interval plus its position in the widening ladder.
+type subQ struct {
+	path     network.Path
+	base     snt.Interval
+	filter   snt.Filter
+	beta     int
+	widenIdx int
+	terminal bool
+}
+
+// runState is one attempt at answering a query over a fixed live-shard set:
+// the per-shard index snapshots pinned for the whole attempt (a concurrent
+// Extend cannot shear the query across epochs within a shard) and the
+// global time range they span.
+type runState struct {
+	live []int        // participating shard indexes, ascending
+	ixs  []*snt.Index // pinned snapshot per live entry
+	tmax int64
+}
+
+// shardFailure marks a shard that failed mid-query; the router restarts the
+// query without it.
+type shardFailure struct {
+	shard int
+	err   error
+}
+
+func (f *shardFailure) Error() string {
+	return fmt.Sprintf("sharded: shard %d failed: %v", f.shard, f.err)
+}
+
+func (f *shardFailure) Unwrap() error { return f.err }
+
+// Query answers a travel-time query by scattering every sub-query scan
+// across the live shards and merging the per-shard candidates back into the
+// exact global scan order (see mergeCands). The relaxation procedure runs
+// here, once, globally — shards only ever execute bounded candidate scans
+// and cardinality counts — so with every shard live the produced histogram,
+// sub-queries and point estimate are bit-identical to the unsharded engine
+// over the union of the stripes.
+//
+// Fault handling: shards known down are excluded up front; a shard that
+// fails mid-flight (budget exhausted, fault injected, shed by a racing
+// health transition) aborts the attempt and the query restarts without it,
+// at most once per shard. The final result marks excluded shards in
+// Missing with Partial set. Only when coverage falls below the configured
+// floor — or the caller's own context expires — does the query fail.
+func (c *Cluster) Query(ctx context.Context, q pathhist.Query) (*Result, error) {
+	start := time.Now()
+	if len(q.Path) == 0 {
+		return nil, errors.New("sharded: empty query path")
+	}
+	for _, edge := range q.Path {
+		if int(edge) < 0 || int(edge) >= c.g.NumEdges() {
+			return nil, fmt.Errorf("sharded: edge id %d out of range [0, %d)", edge, c.g.NumEdges())
+		}
+	}
+	if !c.g.IsTraversable(q.Path) {
+		return nil, errors.New("sharded: path is not traversable")
+	}
+	if q.Exclude {
+		// Trajectory ids are shard-local; a global exclusion id does not
+		// identify anything. The serving layer never sends one.
+		return nil, errors.New("sharded: trajectory exclusion is not supported in sharded mode")
+	}
+
+	var live, missing []int
+	now := time.Now()
+	for i, s := range c.shards {
+		if s.health.participates(now) {
+			live = append(live, i)
+		} else {
+			missing = append(missing, i)
+			c.cfg.Counters.ShardsShed.Add(1)
+		}
+	}
+	restarts := 0
+	for {
+		if float64(len(live)) < c.cfg.MinCoverage*float64(len(c.shards)) {
+			return nil, fmt.Errorf("%w: %d of %d shards live", ErrInsufficientCoverage, len(live), len(c.shards))
+		}
+		res, err := c.runOnce(ctx, q, live)
+		if err == nil {
+			res.Partial = len(missing) > 0
+			if res.Partial {
+				res.Missing = append([]int(nil), missing...)
+				sort.Ints(res.Missing)
+				c.cfg.Counters.PartialResponses.Add(1)
+			}
+			res.Restarts = restarts
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own deadline or cancellation: a restart cannot
+			// help, and a partial answer was never computed.
+			return nil, ctx.Err()
+		}
+		var sf *shardFailure
+		if !errors.As(err, &sf) {
+			return nil, err
+		}
+		next := live[:0:len(live)]
+		for _, si := range live {
+			if si != sf.shard {
+				next = append(next, si)
+			}
+		}
+		live = next
+		missing = append(missing, sf.shard)
+		restarts++
+	}
+}
+
+// runOnce runs the full sequential relaxation procedure over one fixed
+// live-shard set. A per-shard failure surfaces as *shardFailure.
+func (c *Cluster) runOnce(ctx context.Context, q pathhist.Query, live []int) (*Result, error) {
+	rs := &runState{live: live, ixs: make([]*snt.Index, len(live))}
+	for i, si := range live {
+		ix, _ := c.shards[si].eng.QueryEngine().Snapshot()
+		rs.ixs[i] = ix
+		if _, tmax := ix.TimeRange(); i == 0 || tmax > rs.tmax {
+			rs.tmax = tmax
+		}
+	}
+
+	// Mirror pathhist.QueryCtx's query construction, with the global tmax
+	// standing in for the single engine's.
+	beta := q.Beta
+	if beta == 0 {
+		beta = 20
+	}
+	var iv snt.Interval
+	switch {
+	case q.Periodic || q.Around != 0:
+		w := q.WindowSeconds
+		if w <= 0 {
+			w = 900
+		}
+		iv = snt.PeriodicAround(q.Around, w)
+	default:
+		until := q.Until
+		if until == 0 {
+			until = rs.tmax + 1
+		}
+		iv = snt.NewFixed(q.From, until)
+	}
+	user := traj.NoUser
+	if q.FilterUser {
+		user = q.User
+	}
+	spq := query.SPQ{
+		Path:     q.Path,
+		Interval: iv,
+		Filter:   snt.Filter{User: user, ExcludeTraj: traj.ID(-1)},
+		Beta:     beta,
+	}
+
+	res := &Result{}
+	var shiftS, shiftR int64
+	queue := c.initialSubs(spq)
+	for len(queue) > 0 {
+		sub := queue[0]
+		queue = queue[1:]
+		eff := c.effective(sub.base, len(res.Subs), shiftS, shiftR)
+		xs, fallback, err := c.scatterScan(ctx, rs, &sub, eff)
+		if err != nil {
+			return nil, err
+		}
+		res.IndexScans++
+		if len(xs) > 0 {
+			h := hist.FromSamples(xs, c.bucketWidth)
+			res.Subs = append(res.Subs, query.SubResult{
+				Path:     sub.path,
+				Interval: eff,
+				Filter:   sub.filter,
+				X:        xs,
+				Hist:     h,
+				Fallback: fallback,
+			})
+			shiftS += int64(h.Min())
+			shiftR += int64(h.Max() - h.Min())
+			continue
+		}
+		relaxed, err := c.relax(ctx, rs, sub, eff)
+		if err != nil {
+			return nil, err
+		}
+		queue = append(relaxed, queue...)
+	}
+	res.Hist = convolveSubs(res.Subs)
+	for i := range res.Subs {
+		res.MeanSeconds += res.Subs[i].MeanX()
+	}
+	return res, nil
+}
+
+// initialSubs partitions the query and applies the per-zone β overrides,
+// mirroring the unsharded engine.
+func (c *Cluster) initialSubs(q query.SPQ) []subQ {
+	parts := c.partitioner.Partition(c.g, q)
+	subs := make([]subQ, 0, len(parts))
+	for _, s := range parts {
+		beta := s.Beta
+		if c.cfg.Opts.ZoneBetas != nil && beta > 0 {
+			if zb, ok := c.cfg.Opts.ZoneBetas[c.g.Edge(s.Path[0]).Zone]; ok {
+				beta = zb
+			}
+		}
+		subs = append(subs, subQ{
+			path:     s.Path,
+			base:     s.Interval,
+			filter:   s.Filter,
+			beta:     beta,
+			widenIdx: c.widenIndexOf(s.Interval),
+		})
+	}
+	return subs
+}
+
+func (c *Cluster) effective(base snt.Interval, done int, shiftS, shiftR int64) snt.Interval {
+	if base.IsPeriodic() && done > 0 {
+		return base.ShiftEnlarge(shiftS, shiftR)
+	}
+	return base
+}
+
+func (c *Cluster) widenIndexOf(iv snt.Interval) int {
+	if !iv.IsPeriodic() {
+		return 0
+	}
+	idx := 0
+	for i, a := range c.alphas {
+		if iv.Width >= a {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// scatter fans one op out to every live shard concurrently and collects the
+// per-shard outputs. The first failing shard (lowest index, for
+// determinism) is reported as a *shardFailure.
+func (c *Cluster) scatter(ctx context.Context, rs *runState, op func(ix *snt.Index, ctx context.Context) (scanOut, error)) ([]scanOut, error) {
+	outs := make([]scanOut, len(rs.live))
+	errs := make([]error, len(rs.live))
+	var wg sync.WaitGroup
+	for i := range rs.live {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ix := rs.ixs[i]
+			outs[i], errs[i] = c.dispatch(ctx, c.shards[rs.live[i]], func(ctx context.Context) (scanOut, error) {
+				return op(ix, ctx)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &shardFailure{shard: rs.live[i], err: err}
+		}
+	}
+	return outs, nil
+}
+
+// taggedCand is a shard-local candidate lifted into the global order.
+type taggedCand struct {
+	shard int // position in rs.live (ascending shard index)
+	c     snt.Cand
+}
+
+// scatterScan is one sub-query attempt: scan every live shard's candidates,
+// merge them into the global scan order, apply the global β cutoff and the
+// Procedure 5 decision ladder, and reconstruct the travel-time samples.
+func (c *Cluster) scatterScan(ctx context.Context, rs *runState, sub *subQ, iv snt.Interval) (xs []int, fallback bool, err error) {
+	outs, err := c.scatter(ctx, rs, func(ix *snt.Index, ctx context.Context) (scanOut, error) {
+		sc := snt.AcquireScratch()
+		defer snt.ReleaseScratch(sc)
+		sc.SetCancel(ctx.Done())
+		cands, anyData := ix.ScanCandidates(sc, sub.path, iv, sub.filter, sub.beta)
+		if sc.Canceled() {
+			if err := ctx.Err(); err != nil {
+				return scanOut{}, err
+			}
+			return scanOut{}, context.Canceled
+		}
+		return scanOut{cands: cands, anyData: anyData}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	anyData := false
+	total := 0
+	for _, o := range outs {
+		anyData = anyData || o.anyData
+		total += len(o.cands)
+	}
+	if !anyData {
+		if len(sub.path) == 1 {
+			// The Procedure 5 fallback: the segment occurs nowhere in any
+			// shard's trajectory string; answer with the speed-limit
+			// estimate.
+			return []int{c.g.EstimateTTSeconds(sub.path[0])}, true, nil
+		}
+		return nil, false, nil
+	}
+	// total is the capped admitted count Σ_s min(count_s, β): because every
+	// per-shard count is capped at the same β the global rule tests against,
+	// total < β exactly when the true global count is below β.
+	if total < sub.beta && iv.IsPeriodic() {
+		return nil, false, nil
+	}
+	merged := mergeCands(outs, !c.cfg.Opts.OldestFirst)
+	if sub.beta > 0 && len(merged) > sub.beta {
+		merged = merged[:sub.beta]
+	}
+	if len(sub.path) == 1 {
+		if len(merged) == 0 {
+			return []int{c.g.EstimateTTSeconds(sub.path[0])}, true, nil
+		}
+		// The unsharded scan emits single-segment samples in ascending time
+		// order: the reverse of the newest-first merged order.
+		xs = make([]int, 0, len(merged))
+		if c.cfg.Opts.OldestFirst {
+			for i := range merged {
+				xs = append(xs, int(merged[i].c.X))
+			}
+		} else {
+			for i := len(merged) - 1; i >= 0; i-- {
+				xs = append(xs, int(merged[i].c.X))
+			}
+		}
+		return xs, false, nil
+	}
+	for i := range merged {
+		if merged[i].c.HasX {
+			xs = append(xs, int(merged[i].c.X))
+		}
+	}
+	return xs, false, nil
+}
+
+// mergeCands re-establishes the global scan order over per-shard candidate
+// lists. The global order of the equivalent unsharded index is (timestamp,
+// global trajectory id), descending for newest-first scans; stripes are
+// contiguous ascending id blocks and every ingested batch lands whole on
+// one shard strictly after all indexed data (RouteIngest), so equal
+// timestamps can only occur among base-stripe records — where global id
+// order is exactly (shard, local id) lexicographic — and the comparator
+// below is the global order.
+func mergeCands(outs []scanOut, newestFirst bool) []taggedCand {
+	n := 0
+	for _, o := range outs {
+		n += len(o.cands)
+	}
+	all := make([]taggedCand, 0, n)
+	for si, o := range outs {
+		for _, cd := range o.cands {
+			all = append(all, taggedCand{shard: si, c: cd})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if newestFirst {
+			if a.c.Ts != b.c.Ts {
+				return a.c.Ts > b.c.Ts
+			}
+			if a.shard != b.shard {
+				return a.shard > b.shard
+			}
+			return a.c.Traj > b.c.Traj
+		}
+		if a.c.Ts != b.c.Ts {
+			return a.c.Ts < b.c.Ts
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.c.Traj < b.c.Traj
+	})
+	return all
+}
+
+// scatterCount sums the shards' β-capped cardinality counts for a path —
+// the σL splitter's probe. The sum of per-shard counts capped at β crosses
+// β exactly when the true global count does, which is the only question the
+// binary search asks.
+func (c *Cluster) scatterCount(ctx context.Context, rs *runState, p network.Path, iv snt.Interval, f snt.Filter, beta int) (int, error) {
+	outs, err := c.scatter(ctx, rs, func(ix *snt.Index, ctx context.Context) (scanOut, error) {
+		sc := snt.AcquireScratch()
+		defer snt.ReleaseScratch(sc)
+		sc.SetCancel(ctx.Done())
+		n := ix.CountMatchesWith(sc, p, iv, f, beta)
+		if sc.Canceled() {
+			if err := ctx.Err(); err != nil {
+				return scanOut{}, err
+			}
+			return scanOut{}, context.Canceled
+		}
+		return scanOut{count: n}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, o := range outs {
+		total += o.count
+	}
+	return total, nil
+}
+
+// relax is the unsharded engine's Procedure 1 with the σL cardinality
+// probes scattered: widen the periodic interval, then split the path (σR or
+// σL), then drop non-temporal predicates, finally fall back to all data in
+// the fixed global interval with no β.
+func (c *Cluster) relax(ctx context.Context, rs *runState, sub subQ, effective snt.Interval) ([]subQ, error) {
+	if sub.base.IsPeriodic() && sub.widenIdx+1 < len(c.alphas) {
+		sub.widenIdx++
+		sub.base = sub.base.Resize(c.alphas[sub.widenIdx])
+		return []subQ{sub}, nil
+	}
+	if len(sub.path) > 1 {
+		m, err := c.splitPoint(ctx, rs, &sub, effective)
+		if err != nil {
+			return nil, err
+		}
+		mk := func(p network.Path) subQ {
+			child := subQ{path: p, base: sub.base, filter: sub.filter, beta: sub.beta}
+			if child.base.IsPeriodic() {
+				child.base = child.base.Resize(c.alphas[0])
+			}
+			return child
+		}
+		return []subQ{mk(sub.path[:m]), mk(sub.path[m:])}, nil
+	}
+	if sub.filter.HasPredicate() {
+		sub.filter = sub.filter.DropPredicates()
+		return []subQ{sub}, nil
+	}
+	if sub.terminal {
+		return nil, nil
+	}
+	return []subQ{{
+		path:     sub.path,
+		base:     snt.NewFixed(0, rs.tmax+1),
+		filter:   sub.filter,
+		beta:     0,
+		terminal: true,
+	}}, nil
+}
+
+// splitPoint mirrors the unsharded splitter over scattered counts.
+func (c *Cluster) splitPoint(ctx context.Context, rs *runState, sub *subQ, effective snt.Interval) (int, error) {
+	l := len(sub.path)
+	if c.splitter == query.SigmaR || sub.beta <= 0 {
+		return l / 2, nil
+	}
+	n, err := c.scatterCount(ctx, rs, sub.path[:1], effective, sub.filter, sub.beta)
+	if err != nil {
+		return 0, err
+	}
+	if n < sub.beta {
+		return 1, nil
+	}
+	lo, hi := 1, l-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		n, err := c.scatterCount(ctx, rs, sub.path[:mid], effective, sub.filter, sub.beta)
+		if err != nil {
+			return 0, err
+		}
+		if n >= sub.beta {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// convolveSubs mirrors the unsharded engine's fold, recycling intermediate
+// convolution results.
+func convolveSubs(subs []query.SubResult) *hist.Histogram {
+	var conv *hist.Histogram
+	owned := false
+	for i := range subs {
+		next := conv.Convolve(subs[i].Hist)
+		if owned && next != conv {
+			conv.Recycle()
+		}
+		owned = conv != nil && subs[i].Hist != nil
+		conv = next
+	}
+	return conv
+}

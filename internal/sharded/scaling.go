@@ -1,0 +1,177 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+)
+
+// Shard scaling (the PR 9 experiment): the same dataset served through 1, 2,
+// 4, ... shards. Build cost and index memory grow with per-shard constant
+// overhead (each stripe carries its own forest, user table and wavelet
+// trees), query latency pays one merge over N sub-scans, and ingest
+// throughput scales with N because RouteIngest admits one in-flight batch
+// per shard — the round-robin reservation turns a serial extend stream into
+// N concurrent ones.
+
+// ShardScalingRow is one shard count's measurements.
+type ShardScalingRow struct {
+	Shards int
+	// BuildMs is the wall time of Build: striping plus the per-shard index
+	// builds.
+	BuildMs float64
+	// IndexMiB sums every shard's index memory model (counters, wavelet
+	// trees, user tables, temporal forests).
+	IndexMiB float64
+	// QueryMsPerOp is the mean scatter-gather TripQuery latency over the
+	// query set, all shards healthy.
+	QueryMsPerOp float64
+	// Ingest throughput over the batch stream with `workers` concurrent
+	// producers: batches route round-robin, one in flight per shard.
+	IngestBatchesPerSec float64
+	IngestTrajsPerSec   float64
+}
+
+// scalingBatches splits the tail of a start-sorted store into up to
+// nBatches contiguous quiescent batches, returning the base prefix length
+// and the batch slices. Quiescent cuts keep every batch admissible under
+// the cluster's global time-ordering validation even with several batches
+// in flight.
+func scalingBatches(s *traj.Store, nBatches int) (int, []*traj.Store) {
+	qc := s.QuiescentCuts()
+	if len(qc) < 2 {
+		return 0, nil
+	}
+	base := qc[len(qc)/2]
+	tail := qc[len(qc)/2+1:]
+	cuts := []int{base}
+	if len(tail) <= nBatches-1 {
+		cuts = append(cuts, tail...)
+	} else {
+		for i := 0; i < nBatches-1; i++ {
+			cuts = append(cuts, tail[i*len(tail)/(nBatches-1)])
+		}
+	}
+	var batches []*traj.Store
+	for i := 1; i <= len(cuts); i++ {
+		hi := s.Len()
+		if i < len(cuts) {
+			hi = cuts[i]
+		}
+		if hi > cuts[i-1] {
+			batches = append(batches, s.Slice(cuts[i-1], hi))
+		}
+	}
+	return base, batches
+}
+
+// RunShardScaling measures one row per shard count over a start-sorted
+// store: the base half is built into a cluster, the query set is answered
+// through the scatter-gather router, then the tail streams in as up to
+// nBatches quiescent batches admitted in order but ingested concurrently —
+// batch k+1 enters admission as soon as batch k has reserved its shard, so
+// up to N engine extensions overlap, exactly the serving layer's shape.
+func RunShardScaling(g *network.Graph, store *traj.Store, queries []pathhist.Query, shardCounts []int, nBatches int) ([]ShardScalingRow, error) {
+	s := store.Slice(0, store.Len())
+	base, batches := scalingBatches(s, nBatches)
+	if base == 0 {
+		return nil, errors.New("sharded: store has no quiescent split points")
+	}
+	var rows []ShardScalingRow
+	for _, n := range shardCounts {
+		row := ShardScalingRow{Shards: n}
+		t0 := time.Now()
+		c, err := Build(g, s.Slice(0, base), Config{Shards: n})
+		if err != nil {
+			return rows, fmt.Errorf("sharded: %d shards: %w", n, err)
+		}
+		row.BuildMs = float64(time.Since(t0).Microseconds()) / 1000
+		for i := 0; i < n; i++ {
+			cb, wt, user, forest := c.Engine(i).IndexMemory()
+			row.IndexMiB += float64(cb+wt+user+forest) / (1 << 20)
+		}
+
+		t0 = time.Now()
+		for _, q := range queries {
+			if _, err := c.Query(context.Background(), q); err != nil {
+				c.Close()
+				return rows, fmt.Errorf("sharded: %d shards: query: %w", n, err)
+			}
+		}
+		if len(queries) > 0 {
+			row.QueryMsPerOp = float64(time.Since(t0).Microseconds()) / 1000 / float64(len(queries))
+		}
+
+		// Admission is serialized batch-by-batch (the cluster's global
+		// time-ordering validation requires it), but the engine extension
+		// behind it is not: RouteIngest runs the ingest closure outside the
+		// admission lock, so releasing the next batch from inside the
+		// closure overlaps up to N extensions. The release is a sync.Once
+		// fired either on admission or on the error return, so a rejected
+		// batch cannot deadlock the stream.
+		turns := make([]chan struct{}, len(batches)+1)
+		for i := range turns {
+			turns[i] = make(chan struct{})
+		}
+		close(turns[0])
+		releases := make([]sync.Once, len(batches))
+		var wg sync.WaitGroup
+		var ingestErr error
+		var errMu sync.Mutex
+		trajs := 0
+		t0 = time.Now()
+		for i, b := range batches {
+			trajs += b.Len()
+			wg.Add(1)
+			go func(i int, b *traj.Store) {
+				defer wg.Done()
+				release := func() { releases[i].Do(func() { close(turns[i+1]) }) }
+				<-turns[i]
+				_, err := c.RouteIngest(b, func(shard int) error {
+					release()
+					_, err := c.Engine(shard).Extend(b)
+					return err
+				})
+				release()
+				if err != nil {
+					errMu.Lock()
+					if ingestErr == nil {
+						ingestErr = err
+					}
+					errMu.Unlock()
+				}
+			}(i, b)
+		}
+		wg.Wait()
+		secs := time.Since(t0).Seconds()
+		c.Close()
+		if ingestErr != nil {
+			return rows, fmt.Errorf("sharded: %d shards: ingest: %w", n, ingestErr)
+		}
+		if secs > 0 {
+			row.IngestBatchesPerSec = float64(len(batches)) / secs
+			row.IngestTrajsPerSec = float64(trajs) / secs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatShardScaling renders the sweep as an aligned table.
+func FormatShardScaling(rows []ShardScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s%12s%12s%12s%14s%14s\n",
+		"shards", "build ms", "index MiB", "query ms", "batches/s", "trajs/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d%12.1f%12.2f%12.3f%14.1f%14.0f\n",
+			r.Shards, r.BuildMs, r.IndexMiB, r.QueryMsPerOp, r.IngestBatchesPerSec, r.IngestTrajsPerSec)
+	}
+	return b.String()
+}

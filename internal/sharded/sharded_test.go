@@ -1,0 +1,530 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/failpoint"
+	"pathhist/internal/hist"
+	"pathhist/internal/metrics"
+	"pathhist/internal/network"
+	"pathhist/internal/traj"
+	"pathhist/internal/workload"
+)
+
+func testDataset(t *testing.T) *workload.Dataset {
+	t.Helper()
+	cfg := workload.SmallConfig()
+	cfg.Net.Cities = 3
+	cfg.Net.GridSize = 5
+	cfg.Drivers = 15
+	cfg.Days = 30
+	cfg.TargetTrips = 500
+	return workload.BuildDataset(cfg)
+}
+
+// copyStore deep-copies a store so one dataset can seed several engines
+// (NewEngine and Build sort their store and reassign ids in place).
+func copyStore(s *traj.Store) *traj.Store { return s.Slice(0, s.Len()) }
+
+// randomQuery draws a query of the differential mix: sub-paths of real
+// trajectories (occasionally perturbed into likely-unindexed paths), fixed
+// and periodic intervals, optional user filters, varying β.
+func randomQuery(rng *rand.Rand, ds *workload.Dataset, tmin, tmax int64) pathhist.Query {
+	tr := ds.Store.Get(traj.ID(rng.Intn(ds.Store.Len())))
+	tp := tr.Path()
+	plen := 1 + rng.Intn(6)
+	if plen > len(tp) {
+		plen = len(tp)
+	}
+	off := rng.Intn(len(tp) - plen + 1)
+	p := append(network.Path(nil), tp[off:off+plen]...)
+	q := pathhist.Query{Path: p}
+	switch rng.Intn(3) {
+	case 0:
+		q.From = tmin + rng.Int63n(tmax-tmin)
+		if rng.Intn(2) == 0 {
+			q.Until = q.From + rng.Int63n(tmax-q.From) + 1
+		}
+	case 1:
+		q.Around = tmin + rng.Int63n(tmax-tmin)
+		q.WindowSeconds = 900 + rng.Int63n(3600)
+	default:
+		q.Periodic = true
+		q.Around = tmin + rng.Int63n(tmax-tmin)
+	}
+	if rng.Intn(3) == 0 {
+		q.FilterUser = true
+		q.User = traj.UserID(rng.Intn(15))
+	}
+	if rng.Intn(4) != 0 {
+		q.Beta = 1 + rng.Intn(30)
+	}
+	return q
+}
+
+func histsEqual(a, b *hist.Histogram) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.BucketWidth() != b.BucketWidth() || a.NumSamples() != b.NumSamples() ||
+		a.Min() != b.Min() || a.Max() != b.Max() || a.Total() != b.Total() {
+		return false
+	}
+	w := a.BucketWidth()
+	for x := a.Min() / w * w; x <= a.Max(); x += w {
+		if a.Count(x) != b.Count(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShardedMatchesUnsharded(t *testing.T) {
+	ds := testDataset(t)
+	tmin, tmax := ds.Store.TimeRange()
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		opts pathhist.Options
+	}{
+		{"default", pathhist.Options{}},
+		{"sigmaL-nocache", pathhist.Options{
+			LongestPrefixSplitting: true,
+			DisableCache:           true,
+			DisableFullResultCache: true,
+		}},
+		{"partitioned-oldestfirst", pathhist.Options{PartitionDays: 7, OldestFirst: true}},
+	} {
+		ref, err := pathhist.NewEngine(ds.G, copyStore(ds.Store), tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4} {
+			c, err := Build(ds.G, copyStore(ds.Store), Config{Shards: n, Opts: tc.opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(97 + n)))
+			for trial := 0; trial < 80; trial++ {
+				q := randomQuery(rng, ds, tmin, tmax)
+				want, err := ref.Query(q)
+				if err != nil {
+					t.Fatalf("%s/N=%d: unsharded: %v", tc.name, n, err)
+				}
+				got, err := c.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s/N=%d: sharded: %v (query %+v)", tc.name, n, err, q)
+				}
+				if got.Partial || len(got.Missing) != 0 || got.Restarts != 0 {
+					t.Fatalf("%s/N=%d: unexpected degradation %+v", tc.name, n, got)
+				}
+				compareShardedVsPublic(t, tc.name, n, q, got, want)
+			}
+			c.Close()
+		}
+	}
+}
+
+// compareShardedVsPublic compares a routed result against the public
+// pathhist result (which carries the same sub-query payload).
+func compareShardedVsPublic(t *testing.T, name string, n int, q pathhist.Query, got *Result, want *pathhist.Result) {
+	t.Helper()
+	tag := name + "/N=" + itoa(n)
+	if !histsEqual(got.Hist, want.Histogram) {
+		t.Fatalf("%s: histogram mismatch for %+v", tag, q)
+	}
+	if len(got.Subs) != len(want.Subs) {
+		t.Fatalf("%s: %d subs vs %d for %+v", tag, len(got.Subs), len(want.Subs), q)
+	}
+	for i := range got.Subs {
+		gs, ws := &got.Subs[i], &want.Subs[i]
+		if len(gs.Path) != len(ws.Path) {
+			t.Fatalf("%s: sub %d path %v vs %v for %+v", tag, i, gs.Path, ws.Path, q)
+		}
+		for j := range gs.Path {
+			if gs.Path[j] != ws.Path[j] {
+				t.Fatalf("%s: sub %d path %v vs %v for %+v", tag, i, gs.Path, ws.Path, q)
+			}
+		}
+		if gs.Fallback != ws.Fallback {
+			t.Fatalf("%s: sub %d fallback %v vs %v for %+v", tag, i, gs.Fallback, ws.Fallback, q)
+		}
+		if len(gs.X) != ws.Samples {
+			t.Fatalf("%s: sub %d %d samples vs %d for %+v", tag, i, len(gs.X), ws.Samples, q)
+		}
+		if !histsEqual(gs.Hist, ws.Histogram) {
+			t.Fatalf("%s: sub %d histogram mismatch for %+v", tag, i, q)
+		}
+		if diff := math.Abs(gs.MeanX() - ws.MeanTT); diff > 1e-6*(1+math.Abs(ws.MeanTT)) {
+			t.Fatalf("%s: sub %d mean %v vs %v for %+v", tag, i, gs.MeanX(), ws.MeanTT, q)
+		}
+	}
+	if diff := math.Abs(got.MeanSeconds - want.MeanSeconds); diff > 1e-6*(1+math.Abs(want.MeanSeconds)) {
+		t.Fatalf("%s: mean %v vs %v for %+v", tag, got.MeanSeconds, want.MeanSeconds, q)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestShardedConcurrentExtend ingests quiescent batches through the
+// cluster's round-robin routing while queries run concurrently (the -race
+// exercise), then verifies post-ingest answers are bit-identical to an
+// unsharded engine fed the same batches in the same order.
+func TestShardedConcurrentExtend(t *testing.T) {
+	ds := testDataset(t)
+	tmin, tmax := ds.Store.TimeRange()
+	cuts := ds.Store.QuiescentCuts()
+	if len(cuts) < 4 {
+		t.Skip("dataset has too few quiescent cuts")
+	}
+	base := cuts[len(cuts)*3/5]
+	var batchCuts []int
+	for _, c := range cuts {
+		if c > base {
+			batchCuts = append(batchCuts, c)
+		}
+	}
+	if len(batchCuts) > 6 {
+		// Keep a handful of batches; each one costs two index extensions.
+		step := len(batchCuts) / 6
+		var kept []int
+		for i := step - 1; i < len(batchCuts); i += step {
+			kept = append(kept, batchCuts[i])
+		}
+		batchCuts = kept
+	}
+	bounds := append([]int{base}, batchCuts...)
+	bounds = append(bounds, ds.Store.Len())
+
+	ref, err := pathhist.NewEngine(ds.G, ds.Store.Slice(0, base), pathhist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(ds.G, ds.Store.Slice(0, base), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randomQuery(rng, ds, tmin, tmax)
+				if _, err := c.Query(ctx, q); err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+			}
+		}(int64(7 + w))
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo >= hi {
+			continue
+		}
+		if si, _, err := c.Extend(ctx, ds.Store.Slice(lo, hi)); err != nil {
+			t.Fatalf("cluster extend [%d,%d) on shard %d: %v", lo, hi, si, err)
+		}
+		if _, err := ref.Extend(ds.Store.Slice(lo, hi)); err != nil {
+			t.Fatalf("reference extend [%d,%d): %v", lo, hi, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Trajectories() != ds.Store.Len() {
+		t.Fatalf("cluster indexes %d trajectories, want %d", c.Trajectories(), ds.Store.Len())
+	}
+
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(rng, ds, tmin, tmax)
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("sharded: %v (query %+v)", err, q)
+		}
+		compareShardedVsPublic(t, "post-extend", 4, q, got, want)
+	}
+}
+
+// TestShardedOneShardDownPartial fault-injects shard 2 of 4 hard down and
+// verifies the partial-result contract: queries still answer, marked
+// partial with the missing shard listed, and the merged histogram is
+// exactly the full answer over the surviving shards' stripes. It then lifts
+// the fault and verifies the recovery probe restores full answers.
+func TestShardedOneShardDownPartial(t *testing.T) {
+	ds := testDataset(t)
+	tmin, tmax := ds.Store.TimeRange()
+
+	// Reference for the degraded period: an unsharded engine over the
+	// surviving stripes (0, 1, 3) concatenated in shard order.
+	stripes := Stripes(copyStore(ds.Store), 4)
+	survivors := traj.NewStore()
+	for _, si := range []int{0, 1, 3} {
+		for i := range stripes[si].All() {
+			tr := &stripes[si].All()[i]
+			survivors.Add(tr.User, append([]traj.Entry(nil), tr.Seq...))
+		}
+	}
+	partialRef, err := pathhist.NewEngine(ds.G, survivors, pathhist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRef, err := pathhist.NewEngine(ds.G, copyStore(ds.Store), pathhist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counters := &metrics.ServerCounters{}
+	c, err := Build(ds.G, copyStore(ds.Store), Config{
+		Shards:        4,
+		Counters:      counters,
+		ProbeInterval: 50 * time.Millisecond,
+		HedgeDelay:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	boom := errors.New("injected shard fault")
+	site := failpoint.ShardDown + ".2"
+	failpoint.Enable(site, failpoint.Injection{Err: boom})
+	defer failpoint.Disable(site)
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 12; trial++ {
+		q := randomQuery(rng, ds, tmin, tmax)
+		want, err := partialRef.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v (query %+v)", trial, err, q)
+		}
+		if !got.Partial || len(got.Missing) != 1 || got.Missing[0] != 2 {
+			t.Fatalf("trial %d: partial=%v missing=%v, want partial with shard 2", trial, got.Partial, got.Missing)
+		}
+		compareShardedVsPublic(t, "one-down", 4, q, got, want)
+	}
+	if n := counters.ShardFailures.Load(); n < 3 {
+		t.Fatalf("ShardFailures = %d, want >= 3", n)
+	}
+	if n := counters.PartialResponses.Load(); n != 12 {
+		t.Fatalf("PartialResponses = %d, want 12", n)
+	}
+	if n := counters.ShardsShed.Load(); n == 0 {
+		t.Fatal("expected the down shard to be shed before dispatch after the failure threshold")
+	}
+	st := c.Status()
+	if st[2].State != "down" && st[2].State != "recovering" {
+		t.Fatalf("shard 2 state = %q, want down", st[2].State)
+	}
+
+	// Lift the fault; after the probe interval the next query probes the
+	// shard, restores it, and answers over all shards again.
+	failpoint.Disable(site)
+	time.Sleep(60 * time.Millisecond)
+	q := randomQuery(rng, ds, tmin, tmax)
+	want, err := fullRef.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial {
+		t.Fatalf("post-recovery query still partial: %+v", got)
+	}
+	compareShardedVsPublic(t, "recovered", 4, q, got, want)
+	if st := c.Status(); st[2].State != "ready" {
+		t.Fatalf("shard 2 state = %q after recovery, want ready", st[2].State)
+	}
+}
+
+// TestShardedHedging delays shard 1's first attempt far past the hedge
+// timer and verifies the hedged retry wins without the query failing or
+// degrading.
+func TestShardedHedging(t *testing.T) {
+	ds := testDataset(t)
+	tmin, tmax := ds.Store.TimeRange()
+	ref, err := pathhist.NewEngine(ds.G, copyStore(ds.Store), pathhist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := &metrics.ServerCounters{}
+	c, err := Build(ds.G, copyStore(ds.Store), Config{
+		Shards:     4,
+		Counters:   counters,
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	site := failpoint.ShardSlow + ".1"
+	failpoint.Enable(site, failpoint.Injection{Delay: 300 * time.Millisecond, Times: 1})
+	defer failpoint.Disable(site)
+
+	rng := rand.New(rand.NewSource(11))
+	q := randomQuery(rng, ds, tmin, tmax)
+	want, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial || got.Restarts != 0 {
+		t.Fatalf("hedged query degraded: %+v", got)
+	}
+	compareShardedVsPublic(t, "hedged", 4, q, got, want)
+	if n := counters.HedgedDispatches.Load(); n < 1 {
+		t.Fatalf("HedgedDispatches = %d, want >= 1", n)
+	}
+	if n := counters.HedgeWins.Load(); n < 1 {
+		t.Fatalf("HedgeWins = %d, want >= 1", n)
+	}
+}
+
+// TestShardedCoverageFloor verifies the 503 path: with a coverage floor of
+// 1.0, losing any shard fails the query with ErrInsufficientCoverage.
+func TestShardedCoverageFloor(t *testing.T) {
+	ds := testDataset(t)
+	tmin, tmax := ds.Store.TimeRange()
+	c, err := Build(ds.G, copyStore(ds.Store), Config{
+		Shards:        4,
+		MinCoverage:   1.0,
+		FailThreshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	site := failpoint.ShardDown + ".3"
+	failpoint.Enable(site, failpoint.Injection{Err: errors.New("injected")})
+	defer failpoint.Disable(site)
+
+	rng := rand.New(rand.NewSource(5))
+	q := randomQuery(rng, ds, tmin, tmax)
+	if _, err := c.Query(context.Background(), q); !errors.Is(err, ErrInsufficientCoverage) {
+		t.Fatalf("err = %v, want ErrInsufficientCoverage", err)
+	}
+}
+
+// TestShardedIngestRouting verifies degraded shards are skipped by the
+// round-robin ingest router, reroutes are counted, stale batches are
+// rejected globally, and a fully unhealthy cluster refuses ingest.
+func TestShardedIngestRouting(t *testing.T) {
+	ds := testDataset(t)
+	cuts := ds.Store.QuiescentCuts()
+	if len(cuts) < 6 {
+		t.Skip("dataset has too few quiescent cuts")
+	}
+	base := cuts[len(cuts)-5]
+	counters := &metrics.ServerCounters{}
+	c, err := Build(ds.G, ds.Store.Slice(0, base), Config{Shards: 4, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A batch that starts inside the indexed range must be rejected before
+	// any shard sees it.
+	if _, _, err := c.Extend(context.Background(), ds.Store.Slice(0, 1)); err == nil {
+		t.Fatal("stale batch accepted")
+	}
+
+	c.SetDegraded(2, true)
+	bounds := append([]int{}, cuts[len(cuts)-4:]...)
+	bounds = append(bounds, ds.Store.Len())
+	before := make([]int, 4)
+	for i := range before {
+		before[i] = c.Engine(i).Trajectories()
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		si, _, err := c.Extend(context.Background(), ds.Store.Slice(bounds[i], bounds[i+1]))
+		if err != nil {
+			t.Fatalf("extend batch %d: %v", i, err)
+		}
+		if si == 2 {
+			t.Fatal("batch routed to degraded shard 2")
+		}
+	}
+	if c.Engine(2).Trajectories() != before[2] {
+		t.Fatal("degraded shard 2 grew")
+	}
+	if counters.IngestReroutes.Load() == 0 {
+		t.Fatal("expected at least one ingest reroute")
+	}
+	for i := 0; i < 4; i++ {
+		c.SetDegraded(i, true)
+	}
+	if _, _, err := c.Extend(context.Background(), ds.Store.Slice(0, 0)); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+	if _, err := c.RouteIngest(nil, func(int) error {
+		t.Fatal("ingest function called with every shard degraded")
+		return nil
+	}); !errors.Is(err, ErrNoIngestShard) {
+		t.Fatalf("err = %v, want ErrNoIngestShard", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pathhist/internal/failpoint"
 	"pathhist/internal/fmindex"
 	"pathhist/internal/hist"
 	"pathhist/internal/network"
@@ -19,6 +20,18 @@ import (
 // NOT stale a preparation: they only append partitions, and the old ones
 // are immutable.)
 var ErrCompactionStale = errors.New("snt: prepared compaction is stale; re-prepare against the newest snapshot")
+
+// ErrCompactionAborted is returned by PrepareCompactionStop when the stop
+// channel closed: the preparation was abandoned at a chunk boundary, nothing
+// was superseded, and no partial state escapes (the half-built preparation
+// is garbage). The caller simply does not apply anything.
+var ErrCompactionAborted = errors.New("snt: compaction preparation aborted at a chunk boundary")
+
+// FailpointPrepareRun fires before each merged run's suffix/FM rebuild — the
+// chunk whose boundaries PrepareCompactionStop checks the stop channel at. A
+// Delay injection simulates a giant merge so tests can prove an abandon (or
+// an Engine.Close) does not wait out the whole preparation.
+const FailpointPrepareRun = "compact.prepare.run"
 
 // Partition compaction. Every Extend adds one temporal partition, and
 // Procedure 2 runs a backward search in every partition, so query cost
@@ -188,10 +201,31 @@ func (p *PreparedCompaction) Runs() int { return len(p.runs) }
 // newer snapshots. A nil preparation (with a nil error) means the policy
 // planned no merge.
 func (ix *Index) PrepareCompaction(policy CompactionPolicy) (*PreparedCompaction, error) {
+	return ix.PrepareCompactionStop(policy, nil)
+}
+
+// PrepareCompactionStop is PrepareCompaction with an abandon signal: when
+// stop closes, the preparation returns ErrCompactionAborted at the next
+// chunk boundary instead of finishing the whole merge. The heavy work — one
+// suffix-array + FM-index rebuild per merged run — is chunked per run, so a
+// shutdown or drain abandons a giant multi-run merge after at most one
+// run's build rather than all of them. A nil stop never aborts.
+func (ix *Index) PrepareCompactionStop(policy CompactionPolicy, stop <-chan struct{}) (*PreparedCompaction, error) {
 	startedAt := time.Now()
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
 	runs := policy.withDefaults().plan(ix.parts)
 	if len(runs) == 0 {
 		return nil, nil
+	}
+	if stopped() {
+		return nil, ErrCompactionAborted
 	}
 
 	// Partition-id remapping and per-run trajectory-id bases. Partitions
@@ -294,10 +328,18 @@ func (ix *Index) PrepareCompaction(policy CompactionPolicy) (*PreparedCompaction
 	}
 
 	// Rebuild each run's suffix structures and FM-index; keep the ISA for
-	// the column rewrite.
+	// the column rewrite. One run's rebuild is the unit of abandonable work:
+	// the stop channel is checked before each, so a multi-run merge gives up
+	// after at most the run in flight.
 	runISA := make([][]int32, len(runs))
 	runFM := make([]*fmindex.Index, len(runs))
 	for r := range runs {
+		if stopped() {
+			return nil, ErrCompactionAborted
+		}
+		if err := failpoint.Inject(FailpointPrepareRun); err != nil {
+			return nil, err
+		}
 		_, isa, bwt := suffix.BuildAll(texts[r], ix.alphabet)
 		runISA[r] = isa
 		runFM[r] = fmindex.FromBWT(bwt, ix.alphabet)

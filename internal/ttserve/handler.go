@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -119,12 +120,27 @@ const DefaultMaxExtendBytes = 64 << 20
 // DefaultSnapshotKeep is the default snapshot retention (newest K files).
 const DefaultSnapshotKeep = 3
 
-// retryAfterSeconds is the Retry-After hint on 503 responses: overload
+// retryAfterSeconds is the base Retry-After hint on 503 responses: overload
 // (WAL or merge backlog over bound) clears on the next snapshot or
 // compaction cycle — seconds, not milliseconds — while draining never
 // clears, so the hint mainly keeps well-behaved clients from hammering a
 // dying listener.
 const retryAfterSeconds = 1
+
+// retryAfterJitterSeconds is how many extra whole seconds RetryAfter spreads
+// the hint over (the value is uniform in [base, base+jitter]).
+const retryAfterJitterSeconds = 2
+
+// RetryAfter renders a jittered Retry-After value. Every shed client gets
+// the same fixed hint from a deterministic header, so an overload or drain
+// that sheds a burst of requests at once would see the whole burst come back
+// in lockstep one second later — the retry spike re-creates the overload.
+// Spreading the hint over a few seconds de-synchronises the herd. Exported
+// for cmd/ttserve's bootstrap handler, which sheds during recovery before
+// any Server exists.
+func RetryAfter() string {
+	return strconv.Itoa(retryAfterSeconds + rand.Intn(retryAfterJitterSeconds+1))
+}
 
 // StatusClientClosedRequest is the non-standard (nginx-convention) status
 // for a request whose client disconnected before the response was written.
@@ -450,15 +466,42 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ready")
 		return
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	w.Header().Set("Retry-After", RetryAfter())
 	w.WriteHeader(http.StatusServiceUnavailable)
 	fmt.Fprintln(w, "not ready")
 }
 
-// unavailable writes a 503 with a Retry-After hint and a JSON error body.
+// unavailable writes a 503 with a jittered Retry-After hint and a JSON
+// error body.
 func (s *Server) unavailable(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	unavailableJSON(w, msg)
+}
+
+// unavailableJSON is the shared 503 shape: jittered Retry-After hint plus a
+// JSON error body (the single-engine Server and the sharded front emit the
+// same wire format).
+func unavailableJSON(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", RetryAfter())
 	rejectJSON(w, http.StatusServiceUnavailable, msg)
+}
+
+// ingestOverload reports whether the server sheds ingest load right now:
+// the write-ahead log outgrew its bound (a snapshot repays that debt) or
+// the merge backlog did (compaction repays it). Checked before any work is
+// done on an /extend, and by the sharded front before handing a routed
+// batch to a shard.
+func (s *Server) ingestOverload() (string, bool) {
+	if max := s.cfg.MaxWALBytes; max > 0 && s.cfg.WAL != nil && s.cfg.WAL.Size() > max {
+		return fmt.Sprintf(
+			"write-ahead log holds %d bytes (bound %d); waiting for a snapshot to rotate it",
+			s.cfg.WAL.Size(), max), true
+	}
+	if max := s.cfg.MaxPartitionBacklog; max > 0 && s.eng.Partitions() > max {
+		return fmt.Sprintf(
+			"index holds %d partitions (bound %d); waiting for compaction to catch up",
+			s.eng.Partitions(), max), true
+	}
+	return "", false
 }
 
 // WriteSnapshot persists the currently published index snapshot as an
@@ -548,6 +591,14 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
+	st := s.statsSnapshot()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// statsSnapshot assembles the /statsz payload. The sharded front calls it
+// once per shard to build its aggregated view.
+func (s *Server) statsSnapshot() Stats {
 	cs := s.eng.CacheStats()
 	fs := s.eng.FullCacheStats()
 	c, wt, user, forest := s.eng.IndexMemory()
@@ -614,8 +665,7 @@ func (s *Server) statsz(w http.ResponseWriter, r *http.Request) {
 	if total := fs.Hits + fs.Misses; total > 0 {
 		st.FullCacheHitRatio = float64(fs.Hits) / float64(total)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(st)
+	return st
 }
 
 // parseTimeout reads a ?timeout= value: a Go duration string ("50ms",
@@ -738,18 +788,9 @@ func (s *Server) extend(w http.ResponseWriter, r *http.Request) {
 	// conditions are repay-the-debt signals (a snapshot rotates the log, a
 	// compaction cycle shrinks the backlog), so the honest answer is
 	// "retry shortly", not a slow accept that deepens the hole.
-	if max := s.cfg.MaxWALBytes; max > 0 && s.cfg.WAL != nil && s.cfg.WAL.Size() > max {
+	if msg, shed := s.ingestOverload(); shed {
 		s.extendOverloads.Add(1)
-		s.unavailable(w, fmt.Sprintf(
-			"write-ahead log holds %d bytes (bound %d); waiting for a snapshot to rotate it",
-			s.cfg.WAL.Size(), max))
-		return
-	}
-	if max := s.cfg.MaxPartitionBacklog; max > 0 && s.eng.Partitions() > max {
-		s.extendOverloads.Add(1)
-		s.unavailable(w, fmt.Sprintf(
-			"index holds %d partitions (bound %d); waiting for compaction to catch up",
-			s.eng.Partitions(), max))
+		s.unavailable(w, msg)
 		return
 	}
 	started := time.Now()
@@ -1062,13 +1103,18 @@ func toResponse(res *pathhist.Result) Response {
 			Fallback: s.Fallback,
 		})
 	}
-	h := res.Histogram
+	fillHistogram(&out, res.Histogram)
+	return out
+}
+
+// fillHistogram renders a histogram into the response's quantiles and
+// buckets. A zero-mass histogram would make every Fraction 0/0 = NaN, which
+// json.Encoder rejects after the 200 header is already out (the client sees
+// a truncated body) — the emptiness is flagged instead.
+func fillHistogram(out *Response, h *pathhist.Histogram) {
 	if h == nil || h.Total() == 0 {
-		// A zero-mass histogram would make every Fraction 0/0 = NaN, which
-		// json.Encoder rejects after the 200 header is already out (the
-		// client sees a truncated body). Flag the emptiness instead.
 		out.Empty = true
-		return out
+		return
 	}
 	out.P05 = h.Quantile(0.05)
 	out.P50 = h.Quantile(0.5)
@@ -1083,5 +1129,4 @@ func toResponse(res *pathhist.Result) Response {
 			})
 		}
 	}
-	return out
 }

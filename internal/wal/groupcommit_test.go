@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pathhist/internal/failpoint"
+)
+
+// recLen is the on-disk length of a record with a payload of n bytes.
+func recLen(n int) int64 { return recHdrSize + ((int64(n) + 7) &^ 7) }
+
+// waitSize polls until the log's written (not necessarily synced) size
+// reaches want — the signal that a concurrent Append has written its record
+// and entered the group-commit wait.
+func waitSize(t *testing.T, w *WAL, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Size() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("log size never reached %d (at %d)", want, w.Size())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestGroupCommit drives the leader/follower protocol deterministically: a
+// slow-disk failpoint holds the first append's fsync open while three more
+// appends write their records and queue, so the second fsync covers all
+// three at once. Four appends, two fsyncs, one of them a group commit.
+func TestGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	failpoint.Enable(FailpointAppendSync, failpoint.Injection{Delay: 300 * time.Millisecond})
+	defer failpoint.Disable(FailpointAppendSync)
+
+	const payload = 64
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	start := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Append(uint64(i), 1, batch(byte(10+i), payload))
+		}()
+		// The record lands in the file (under the lock) before the append
+		// joins the fsync wait; polling for it fixes the file order, which
+		// the PrevTotal monotonicity check on reopen depends on.
+		waitSize(t, w, headerSize+int64(i+1)*recLen(payload))
+	}
+	// Append 0 writes and leads the first (held-open) fsync; 1..3 write
+	// while it is in flight and share the one fsync that follows.
+	for i := 0; i < 4; i++ {
+		start(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != 4 || st.Records != 4 {
+		t.Fatalf("got %d appends, %d records, want 4 and 4", st.Appends, st.Records)
+	}
+	if st.GroupCommits < 1 {
+		t.Fatalf("no group commit recorded across 4 concurrent appends: %+v", st)
+	}
+	failpoint.Disable(FailpointAppendSync)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openT(t, path)
+	recs, err := r.Records()
+	if err != nil {
+		t.Fatalf("Records after reopen: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("reopen found %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.PrevTotal != uint64(i) || rec.Trajs != 1 {
+			t.Errorf("record %d: got (prev=%d trajs=%d), want (%d, 1)", i, rec.PrevTotal, rec.Trajs, i)
+		}
+		if string(rec.Batch) != string(batch(byte(10+i), payload)) {
+			t.Errorf("record %d: payload mismatch", i)
+		}
+	}
+}
+
+// TestGroupCommitFailureFailsAllWaiters: when the shared fsync fails, every
+// append it was to cover returns an error (none was acknowledged), the
+// unsynced tail is truncated back off the file, and a reopen recovers
+// exactly the durable prefix — here, nothing.
+func TestGroupCommitFailureFailsAllWaiters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	errDisk := errors.New("simulated fsync failure")
+	failpoint.Enable(FailpointAppendSync, failpoint.Injection{Delay: 300 * time.Millisecond, Err: errDisk})
+	defer failpoint.Disable(FailpointAppendSync)
+
+	const payload = 32
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Append(uint64(i), 1, batch(byte(20+i), payload))
+		}()
+		waitSize(t, w, headerSize+int64(i+1)*recLen(payload))
+	}
+	wg.Wait()
+	leaders, followers := 0, 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			t.Fatalf("append %d succeeded across a failed fsync", i)
+		case errors.Is(err, errDisk):
+			leaders++
+		case errors.Is(err, ErrWALFailed):
+			followers++
+		default:
+			t.Fatalf("append %d: unexpected error %v", i, err)
+		}
+	}
+	if leaders != 1 || followers != 3 {
+		t.Fatalf("got %d leader errors and %d follower errors, want 1 and 3 (%v)", leaders, followers, errs)
+	}
+	if st := w.Stats(); !st.Failed || st.Appends != 0 || st.Records != 0 {
+		t.Fatalf("stats after failed group commit: %+v", st)
+	}
+	if err := w.Append(9, 1, batch(9, payload)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append on failed log: %v", err)
+	}
+	failpoint.Disable(FailpointAppendSync)
+
+	// The truncation dropped the whole unsynced tail: a restart recovers an
+	// empty (header-only) log, exactly what clients were acknowledged.
+	r := openT(t, path)
+	recs, err := r.Records()
+	if err != nil {
+		t.Fatalf("Records after reopen: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("reopen found %d records, want 0", len(recs))
+	}
+	if st := r.Stats(); st.TornTail {
+		t.Fatalf("reopen repaired a torn tail; the failure path should have synced a clean truncation: %+v", st)
+	}
+}

@@ -132,6 +132,10 @@ type Stats struct {
 	Appends       int64
 	AppendedBytes int64
 	FsyncNanos    int64
+	// GroupCommits counts fsyncs that made more than one append durable at
+	// once — the group-commit batching that lets concurrent Append calls
+	// share a single fsync instead of queueing one each.
+	GroupCommits int64
 	// Rotations counts TruncateCovered calls that shrank the file;
 	// Rollbacks counts appended records withdrawn by RollbackLast.
 	Rotations int64
@@ -154,9 +158,20 @@ type WAL struct {
 	size int64
 	recs []recMeta // live records, in file order
 
+	// Group-commit state (DESIGN.md §11). Concurrent Appends write their
+	// records under mu, then share fsyncs: whoever finds no fsync in flight
+	// becomes the leader and syncs the whole written tail; the rest wait on
+	// cond for the synced watermark to pass their record's end. One fsync
+	// can thus make many appends durable at once.
+	cond         *sync.Cond // broadcast when synced/syncing/failed change
+	synced       int64      // durable prefix: every byte below this is fsynced
+	syncing      bool       // an fsync is in flight (mu released around it)
+	unsyncedRecs int        // records written since the last fsync started
+
 	appends       int64
 	appendedBytes int64
 	fsyncNanos    int64
+	groupCommits  int64
 	rotations     int64
 	rollbacks     int64
 	tornTail      bool
@@ -187,11 +202,13 @@ func Open(path string) (*WAL, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	w := &WAL{f: f, path: path}
+	w.cond = sync.NewCond(&w.mu)
 	if err := w.scan(); err != nil {
 		//lint:ignore syncerr the scan error wins; the fd wrote nothing and holds nothing acknowledged
 		f.Close()
 		return nil, err
 	}
+	w.synced = w.size // everything the scan admitted is on disk and synced
 	return w, nil
 }
 
@@ -324,12 +341,15 @@ func (w *WAL) hdrAt(off int64) []byte {
 }
 
 // failLocked latches the log's sticky failed state (keeping the first
-// cause) and returns err. Callers hold mu.
+// cause) and returns err. Group-commit waiters are woken so they observe
+// the failure instead of waiting for a watermark that will never advance.
+// Callers hold mu.
 func (w *WAL) failLocked(err error) error {
 	if !w.failed {
 		w.failed = true
 		w.cause = err
 	}
+	w.cond.Broadcast()
 	return err
 }
 
@@ -372,14 +392,25 @@ func (w *WAL) writeAppend(buf []byte) error {
 // recovery guarantee rests on. prevTotal is the indexed trajectory count the
 // batch is being applied on top of, trajs the batch's own count.
 //
+// Concurrent appends group-commit: each writes its record under the lock,
+// then the fsyncs are shared. The first appender to find no fsync in flight
+// becomes the leader, releases the lock, and syncs the entire written tail;
+// appends that arrive while that fsync runs write their records and wait —
+// the next fsync (led by whichever of them gets there first) covers all of
+// them at once. Append returns only after the synced watermark covers its
+// record, so the acknowledged ⇒ fsynced guarantee is exactly as before; the
+// batching only collapses N queued fsyncs into few (Stats.GroupCommits
+// counts the fsyncs that covered more than one append).
+//
 // Failure is fail-stop: after any write or fsync error the on-disk state is
 // unknowable (the kernel may or may not have persisted the bytes it
 // reported failure for), so the log latches ErrWALFailed and refuses every
-// later mutation. Before latching, Append makes one best-effort attempt to
-// truncate the partial record back off the file, so a disk that recovers
-// (or a simulated fault) leaves the file holding exactly the acknowledged
-// prefix — a restart's Open then recovers exactly what clients were told
-// succeeded, never more.
+// later mutation, and every append whose record the failed fsync was to
+// cover returns the error (none of them was acknowledged). Before latching,
+// one best-effort truncation drops the unsynced tail back off the file, so
+// a disk that recovers (or a simulated fault) leaves the file holding
+// exactly the durable prefix — a restart's Open then recovers exactly what
+// clients were told succeeded, never more.
 func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 	if len(batch) == 0 || trajs <= 0 {
 		return fmt.Errorf("wal: refusing to log an empty batch")
@@ -397,33 +428,90 @@ func (w *WAL) Append(prevTotal uint64, trajs int, batch []byte) error {
 	binary.LittleEndian.PutUint32(buf[24:], recordCRC(buf[:24], batch))
 	copy(buf[recHdrSize:], batch)
 	if err := w.writeAppend(buf); err != nil {
-		w.undoPartialAppendLocked()
+		w.undoUnsyncedLocked()
 		return w.failLocked(fmt.Errorf("wal: appending record: %w", err))
 	}
-	started := time.Now()
-	if err := w.syncAppend(); err != nil {
-		w.undoPartialAppendLocked()
-		return w.failLocked(fmt.Errorf("wal: syncing record: %w", err))
-	}
-	w.fsyncNanos += time.Since(started).Nanoseconds()
 	w.recs = append(w.recs, recMeta{off: w.size, len: int64(len(buf)), prevTotal: prevTotal, trajs: uint32(trajs)})
 	w.size += int64(len(buf))
+	w.unsyncedRecs++
+	myEnd := w.size
+	for w.synced < myEnd {
+		if w.failed {
+			// A concurrent write or shared fsync failed before this record
+			// became durable; its bytes were truncated away with the rest of
+			// the unsynced tail.
+			return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.cause)
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		// No fsync in flight: lead one covering the whole written tail.
+		w.syncing = true
+		target := w.size
+		covered := w.unsyncedRecs
+		w.unsyncedRecs = 0
+		w.mu.Unlock()
+		started := time.Now()
+		err := w.syncAppend()
+		w.mu.Lock()
+		w.fsyncNanos += time.Since(started).Nanoseconds()
+		w.syncing = false
+		if err != nil {
+			w.undoUnsyncedLocked()
+			return w.failLocked(fmt.Errorf("wal: syncing record: %w", err))
+		}
+		if w.failed {
+			// A concurrent writer failed and truncated the tail while this
+			// fsync ran; the watermark must not advance over bytes that are
+			// no longer there.
+			w.cond.Broadcast()
+			return fmt.Errorf("%w (first failure: %v)", ErrWALFailed, w.cause)
+		}
+		w.synced = target
+		if covered > 1 {
+			w.groupCommits++
+		}
+		w.cond.Broadcast()
+	}
 	w.appends++
 	w.appendedBytes += int64(len(buf))
 	return nil
 }
 
-// undoPartialAppendLocked best-effort truncates a failed append's bytes
-// back off the file (and syncs the truncation) so the on-disk log holds
-// exactly the acknowledged records again. Its own failures are swallowed:
-// the caller is already latching the failed state, and even a record left
-// behind is unacknowledged, fully framed, and therefore harmless — replay
-// applies at most one batch no client was told about, and the torn-tail
-// repair handles a partial one. Callers hold mu.
-func (w *WAL) undoPartialAppendLocked() {
-	if err := w.f.Truncate(w.size); err == nil {
+// undoUnsyncedLocked best-effort truncates the unsynced tail — every record
+// written since the durable watermark — back off the file (and syncs the
+// truncation) so the on-disk log holds exactly the acknowledged records
+// again. Its own failures are swallowed: the caller is already latching the
+// failed state, and even records left behind are unacknowledged, fully
+// framed, and therefore harmless — replay applies batches no client was
+// told about, and the torn-tail repair handles a partial one. The in-memory
+// view is cut back regardless, so Stats and Records describe only the
+// durable prefix. Callers hold mu.
+func (w *WAL) undoUnsyncedLocked() {
+	if err := w.f.Truncate(w.synced); err == nil {
 		//lint:ignore syncerr documented best-effort: the caller is latching the primary append failure
 		_ = w.f.Sync()
+	}
+	for len(w.recs) > 0 {
+		last := w.recs[len(w.recs)-1]
+		if last.off+last.len <= w.synced {
+			break
+		}
+		w.recs = w.recs[:len(w.recs)-1]
+	}
+	w.size = w.synced
+	w.unsyncedRecs = 0
+}
+
+// quiesceLocked waits until no fsync is in flight and the written tail is
+// durable (or the log has failed), so callers that truncate or close the
+// file never race a group-commit fsync. Appenders never abandon an unsynced
+// tail — one of them always leads the fsync that drains it — so the wait
+// terminates. Callers hold mu.
+func (w *WAL) quiesceLocked() {
+	for w.syncing || (!w.failed && w.synced < w.size) {
+		w.cond.Wait()
 	}
 }
 
@@ -436,6 +524,7 @@ func (w *WAL) undoPartialAppendLocked() {
 func (w *WAL) RollbackLast() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked()
 	if err := w.checkLocked(); err != nil {
 		// A failed log cannot be repaired by truncation — the write position
 		// itself is in doubt. Restart and re-scan instead.
@@ -453,6 +542,7 @@ func (w *WAL) RollbackLast() error {
 	}
 	w.recs = w.recs[:len(w.recs)-1]
 	w.size = last.off
+	w.synced = last.off
 	w.rollbacks++
 	return nil
 }
@@ -478,6 +568,7 @@ func (w *WAL) syncRollback() error {
 func (w *WAL) TruncateCovered(coveredTotal uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked()
 	if err := w.checkLocked(); err != nil {
 		return err
 	}
@@ -502,6 +593,7 @@ func (w *WAL) TruncateCovered(coveredTotal uint64) error {
 		}
 		w.recs = w.recs[:0]
 		w.size = headerSize
+		w.synced = headerSize
 		w.rotations++
 		return nil
 	}
@@ -565,6 +657,7 @@ func (w *WAL) TruncateCovered(coveredTotal uint64) error {
 		w.recs = append(w.recs, m)
 	}
 	w.size -= delta
+	w.synced = w.size
 	w.rotations++
 	return dirErr
 }
@@ -587,6 +680,7 @@ func (w *WAL) Stats() Stats {
 		Appends:       w.appends,
 		AppendedBytes: w.appendedBytes,
 		FsyncNanos:    w.fsyncNanos,
+		GroupCommits:  w.groupCommits,
 		Rotations:     w.rotations,
 		Rollbacks:     w.rollbacks,
 		TornTail:      w.tornTail,
@@ -598,10 +692,13 @@ func (w *WAL) Stats() Stats {
 // Path returns the log's file path.
 func (w *WAL) Path() string { return w.path }
 
-// Close closes the underlying file. Records already fsynced stay durable;
-// Close itself syncs nothing (every mutation syncs eagerly).
+// Close closes the underlying file, first waiting out any in-flight
+// group-commit fsync so the fd is never closed under it. Records already
+// fsynced stay durable; Close itself syncs nothing (every append returns
+// only after its fsync).
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked()
 	return w.f.Close()
 }

@@ -547,6 +547,12 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Result, error) {
 // in seconds (the estimateTT baseline).
 func (e *Engine) SpeedLimitEstimate(p Path) float64 { return e.g.EstimatePathTT(p) }
 
+// QueryEngine exposes the underlying query engine. The returned type lives
+// in an internal package, so only in-module callers can use it — it exists
+// for the sharded scatter-gather layer, which pins per-shard index snapshots
+// and runs the relaxation procedure itself across shards (internal/sharded).
+func (e *Engine) QueryEngine() *query.Engine { return e.qe }
+
 // IndexMemory returns the modelled index memory footprint in bytes by
 // component: C arrays, wavelet trees, user container, temporal forest.
 func (e *Engine) IndexMemory() (c, wt, user, forest int) {

@@ -1,0 +1,60 @@
+// Shard-scaling benchmarks live in an external test package: the runner in
+// internal/sharded imports the public pathhist API, which the in-package
+// bench_test.go (package pathhist) could not import back without a cycle.
+package pathhist_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pathhist"
+	"pathhist/internal/sharded"
+	"pathhist/internal/workload"
+)
+
+var shardBenchOnce struct {
+	sync.Once
+	ds *workload.Dataset
+	qs []pathhist.Query
+}
+
+func shardBenchEnv(b *testing.B) (*workload.Dataset, []pathhist.Query) {
+	b.Helper()
+	shardBenchOnce.Do(func() {
+		ds := workload.BuildDataset(workload.SmallConfig())
+		ds.Store.SortByStart()
+		var qs []pathhist.Query
+		for _, q := range ds.MakeQueries(0.05, 5, ds.Cfg.Seed+1) {
+			qs = append(qs, pathhist.Query{Path: pathhist.Path(q.Path), Periodic: true, Around: q.T0, Beta: 20})
+		}
+		shardBenchOnce.ds, shardBenchOnce.qs = ds, qs
+	})
+	return shardBenchOnce.ds, shardBenchOnce.qs
+}
+
+// BenchmarkShardScaling is the PR 9 scaling experiment: one sub-benchmark
+// per shard count, each building a cluster over the base half, answering
+// the query set through the scatter-gather router, and streaming the tail
+// in as concurrently-ingested quiescent batches. The reported metrics are
+// the experiment's columns; ns/op tracks the whole cycle.
+func BenchmarkShardScaling(b *testing.B) {
+	ds, qs := shardBenchEnv(b)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) {
+			var row sharded.ShardScalingRow
+			for i := 0; i < b.N; i++ {
+				rows, err := sharded.RunShardScaling(ds.G, ds.Store, qs, []int{n}, 12)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = rows[0]
+			}
+			b.ReportMetric(row.BuildMs, "build-ms")
+			b.ReportMetric(row.IndexMiB, "index-MiB")
+			b.ReportMetric(row.QueryMsPerOp, "query-ms")
+			b.ReportMetric(row.IngestTrajsPerSec, "trajs/s")
+			b.ReportMetric(row.IngestBatchesPerSec, "batches/s")
+		})
+	}
+}
