@@ -766,3 +766,37 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSnapshotLoadMapped is the zero-copy restart path (PR 10): the
+// snapshot file is memory-mapped read-only and frozen columns decode as
+// views into the mapping instead of heap copies. benchrecord derives
+// mmap_load_vs_copy_load from this and BenchmarkSnapshotLoad.
+func BenchmarkSnapshotLoadMapped(b *testing.B) {
+	e := env(b)
+	eng, err := NewEngine(e.DS.G, e.DS.Store, snapshotBenchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := eng.SnapshotFileIn(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := e.Queries[0]
+	b.SetBytes(st.Bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		restored, err := LoadSnapshotFileMapped(e.DS.G, st.Path, snapshotBenchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Serving-ready, not just mapped: answer one real query.
+			b.StopTimer()
+			if _, err := restored.Query(Query{Path: q.Path, Around: q.T0, Beta: 20}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}

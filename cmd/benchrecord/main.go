@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -36,11 +37,14 @@ type Record struct {
 
 // File is the JSON document benchrecord writes.
 type File struct {
-	GeneratedAt string            `json:"generated_at"`
-	GoVersion   string            `json:"go_version"`
-	Bench       string            `json:"bench_regexp"`
-	Records     []Record          `json:"records"`
-	Derived     map[string]string `json:"derived,omitempty"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// GoMaxProcs records the scheduler width of the recording machine —
+	// parallel and replica-serving numbers are meaningless without it.
+	GoMaxProcs int               `json:"gomaxprocs,omitempty"`
+	Bench      string            `json:"bench_regexp"`
+	Records    []Record          `json:"records"`
+	Derived    map[string]string `json:"derived,omitempty"`
 }
 
 const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" +
@@ -50,8 +54,9 @@ const defaultBench = "BenchmarkTripQuerySequential|BenchmarkTripQueryParallel|" 
 	"BenchmarkManyPartitions|BenchmarkCompact$|BenchmarkFMIndexBackwardSearch|" +
 	"BenchmarkRankTwoLevel|BenchmarkRankLinearScan|" +
 	"BenchmarkSnapshotBuild|BenchmarkSnapshotWrite|BenchmarkSnapshotLoad|" +
+	"BenchmarkSnapshotLoadMapped|" +
 	"BenchmarkSustainedIngestInLock|BenchmarkSustainedIngestBackground|BenchmarkWALAppend|" +
-	"BenchmarkShardScaling"
+	"BenchmarkShardScaling|BenchmarkReplicaServing"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
@@ -89,6 +94,7 @@ func main() {
 
 	f := File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Bench:       *bench,
 		Records:     parse(string(raw)),
 	}
@@ -224,6 +230,27 @@ func derive(recs []Record) map[string]string {
 	if build, ok := byName["BenchmarkSnapshotBuild"]; ok && build.NsPerOp > 0 {
 		if load, ok := byName["BenchmarkSnapshotLoad"]; ok && load.NsPerOp > 0 {
 			out["load_vs_build"] = fmt.Sprintf("%.2fx", build.NsPerOp/load.NsPerOp)
+		}
+	}
+	// Zero-copy mmap loading (PR 10): how much faster the mapped restore is
+	// than the copying one, and what the mapped restart costs outright.
+	if load, ok := byName["BenchmarkSnapshotLoad"]; ok && load.NsPerOp > 0 {
+		if m, ok := byName["BenchmarkSnapshotLoadMapped"]; ok && m.NsPerOp > 0 {
+			out["mmap_load_vs_copy_load"] = fmt.Sprintf("%.2fx", load.NsPerOp/m.NsPerOp)
+			out["mmap_load_ms"] = fmt.Sprintf("%.3f ms", m.NsPerOp/1e6)
+		}
+	}
+	// Per-shard replica sets (PR 10): serving throughput of two replicas per
+	// shard over one, and how the naturally-fired hedges fare.
+	if r1, ok := byName["BenchmarkReplicaServing/replicas1"]; ok && r1.Metrics["qps"] > 0 {
+		if r2, ok := byName["BenchmarkReplicaServing/replicas2"]; ok && r2.Metrics["qps"] > 0 {
+			out["replica2_qps_vs_replica1"] = fmt.Sprintf("%.2fx", r2.Metrics["qps"]/r1.Metrics["qps"])
+			if rate, ok := r2.Metrics["hedge-win-rate"]; ok {
+				out["replica_hedge_win_rate"] = fmt.Sprintf("%.2f", rate)
+			}
+			if rate, ok := r2.Metrics["cross-replica-rate"]; ok {
+				out["replica_hedge_cross_rate"] = fmt.Sprintf("%.2f", rate)
+			}
 		}
 	}
 	// Durable sustained ingestion (PR 6): extend-latency tail under in-lock

@@ -48,6 +48,7 @@ func main() {
 		compact = flag.Bool("compact", false, "compact the partitions after the simulated ingestion")
 		save    = flag.String("save", "", "write a snapshot of the built index to this file (atomic) before querying")
 		load    = flag.String("load", "", "restore the index from this snapshot file instead of building it")
+		mmap    = flag.Bool("mmap", false, "with -load: memory-map the snapshot read-only instead of copying it onto the heap (DESIGN.md §15)")
 	)
 	flag.Parse()
 
@@ -77,16 +78,25 @@ func main() {
 	if *load != "" && (*extends > 0 || *compact) {
 		log.Fatal("-load restores a finished index; it cannot be combined with -extends/-compact (snapshot the extended index with -save instead)")
 	}
+	if *mmap && *load == "" {
+		log.Fatal("-mmap only applies to the -load restore path")
+	}
 	var eng *pathhist.Engine
 	if *load != "" {
 		// The restart-persistence demo: restore a serving-ready engine from
 		// a snapshot instead of rebuilding suffix arrays and freezing trees.
 		started := time.Now()
-		eng, err = pathhist.LoadSnapshotFile(g, *load, opts)
+		how := "copied"
+		if *mmap {
+			eng, err = pathhist.LoadSnapshotFileMapped(g, *load, opts)
+			how = "mapped read-only"
+		} else {
+			eng, err = pathhist.LoadSnapshotFile(g, *load, opts)
+		}
 		if err != nil {
 			log.Fatalf("loading snapshot: %v", err)
 		}
-		log.Printf("restored %s from %s in %v (epoch %d)", eng.IndexInfo(), *load, time.Since(started), eng.Epoch())
+		log.Printf("restored %s from %s (%s) in %v (epoch %d)", eng.IndexInfo(), *load, how, time.Since(started), eng.Epoch())
 	} else {
 		started := time.Now()
 		eng, err = buildEngine(g, store, opts, *extends, *compact)

@@ -75,6 +75,8 @@ type config struct {
 	snapshotInterval  time.Duration
 	snapshotKeep      int
 	loadSnapshot      string
+	mmapSnapshots     bool
+	replicasPerShard  int
 	disableWAL        bool
 	maxWALMiB         int64
 	maxBacklog        int
@@ -121,6 +123,10 @@ func main() {
 		"how many snapshot generations to retain in -snapshot-dir")
 	flag.StringVar(&cfg.loadSnapshot, "load-snapshot", "",
 		"restore the engine from this snapshot file instead of the newest one in -snapshot-dir (falls back to a build if the snapshot is unusable)")
+	flag.BoolVar(&cfg.mmapSnapshots, "mmap-snapshots", false,
+		"restore snapshots by memory-mapping the file read-only instead of copying it onto the heap (DESIGN.md §15): the index columns view the mapping zero-copy, restart cost stays flat as the index grows, and replicas share one physical copy")
+	flag.IntVar(&cfg.replicasPerShard, "replicas-per-shard", 1,
+		"query-engine replicas per shard (with -shards>1): replicas share the shard's published snapshot (and mapping, with -mmap-snapshots), the dispatcher load-balances across them and hedges to a different replica")
 	flag.BoolVar(&cfg.disableWAL, "disable-wal", false,
 		"skip the ingest write-ahead log: /extend acknowledges after publication only, and batches since the last snapshot are lost on a crash")
 	flag.Int64Var(&cfg.maxWALMiB, "max-wal-mib", 256,
@@ -239,7 +245,7 @@ func run(ctx context.Context, cfg config) error {
 	// lazily inside the fallback path.
 	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) {
 		return loadStore(cfg.data)
-	}, opts, snapshotPath)
+	}, opts, snapshotPath, cfg.mmapSnapshots)
 	if err != nil {
 		return fail(err)
 	}
@@ -399,16 +405,26 @@ func run(ctx context.Context, cfg config) error {
 
 // buildOrRestore restores the engine from a snapshot when one is given and
 // loadable, and otherwise builds from the trajectory store (fetched
-// lazily — a successful restore never reads trajectories.bin at all).
+// lazily — a successful restore never reads trajectories.bin at all). With
+// mmapLoad set the restore memory-maps the file and serves zero-copy views
+// over it (DESIGN.md §15) instead of copying the columns onto the heap.
 // Snapshot loading fails closed — a corrupt, truncated, version-skewed or
 // wrong-network file is reported and skipped, never served — but the
 // service still comes up, via the same from-scratch build path a plain
 // start uses.
-func buildOrRestore(g *pathhist.Graph, loadStore func() (*pathhist.Store, error), opts pathhist.Options, snapshotPath string) (*pathhist.Engine, string, error) {
+func buildOrRestore(g *pathhist.Graph, loadStore func() (*pathhist.Store, error), opts pathhist.Options, snapshotPath string, mmapLoad bool) (*pathhist.Engine, string, error) {
 	if snapshotPath != "" {
-		eng, err := pathhist.LoadSnapshotFile(g, snapshotPath, opts)
+		var eng *pathhist.Engine
+		var err error
+		how := "restored from"
+		if mmapLoad {
+			eng, err = pathhist.LoadSnapshotFileMapped(g, snapshotPath, opts)
+			how = "mapped read-only from"
+		} else {
+			eng, err = pathhist.LoadSnapshotFile(g, snapshotPath, opts)
+		}
 		if err == nil {
-			return eng, fmt.Sprintf("restored from %s, epoch %d", snapshotPath, eng.Epoch()), nil
+			return eng, fmt.Sprintf("%s %s, epoch %d", how, snapshotPath, eng.Epoch()), nil
 		}
 		log.Printf("warning: snapshot %s unusable (%v); falling back to a from-scratch build", snapshotPath, err)
 	}

@@ -181,7 +181,7 @@ func TestLoadSnapshotFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := pathhist.Options{Partition: pathhist.ByZone}
-	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, bad)
+	eng, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, bad, false)
 	if err != nil {
 		t.Fatalf("fallback build failed: %v", err)
 	}
@@ -197,7 +197,7 @@ func TestLoadSnapshotFallback(t *testing.T) {
 	if _, err := eng.SnapshotFile(snap); err != nil {
 		t.Fatal(err)
 	}
-	restored, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, snap)
+	restored, source, err := buildOrRestore(g, func() (*pathhist.Store, error) { return base, nil }, opts, snap, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,15 +228,16 @@ func TestHelperServeProcess(t *testing.T) {
 		}
 	}
 	cfg := config{
-		data:         os.Getenv("TTSERVE_DATA"),
-		addr:         "127.0.0.1:0",
-		enableExtend: true,
-		maxExtendMiB: 64,
-		autoCompact:  0,
-		snapshotDir:  os.Getenv("TTSERVE_SNAP"),
-		snapshotKeep: 3,
-		shards:       shards,
-		started:      started,
+		data:          os.Getenv("TTSERVE_DATA"),
+		addr:          "127.0.0.1:0",
+		enableExtend:  true,
+		maxExtendMiB:  64,
+		autoCompact:   0,
+		snapshotDir:   os.Getenv("TTSERVE_SNAP"),
+		snapshotKeep:  3,
+		shards:        shards,
+		mmapSnapshots: os.Getenv("TTSERVE_MMAP") == "1",
+		started:       started,
 	}
 	if err := run(context.Background(), cfg); err != nil {
 		t.Fatalf("helper run: %v", err)
@@ -370,6 +371,138 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 		if got[k] != want[k] {
 			t.Fatalf("post-crash %s = %v, pre-crash %v", k, got[k], want[k])
 		}
+	}
+}
+
+// TestMappedCrashRecoverySIGKILL is the zero-copy variant of the crash
+// scenario (DESIGN.md §15): the server restores by memory-mapping the
+// snapshot file read-only, serves queries off the mapping, takes a kill -9
+// while queries are in flight over it, and a second mapped restart answers
+// bit-identically — the PROT_READ mapping means the crash cannot have
+// dirtied the file it was serving from.
+func TestMappedCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess lifecycle test")
+	}
+	dataDir, snapDir := t.TempDir(), t.TempDir()
+	g, base, _ := writeDataset(t, dataDir)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Pre-seed the snapshot both mapped restarts serve from.
+	seed, err := pathhist.NewEngine(g, base, pathhist.Options{Partition: pathhist.ByZone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.SnapshotFileIn(snapDir); err != nil {
+		t.Fatal(err)
+	}
+
+	start := func() *exec.Cmd {
+		t.Helper()
+		os.Remove(addrFile)
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess")
+		cmd.Env = append(os.Environ(),
+			"TTSERVE_HELPER=1",
+			"TTSERVE_DATA="+dataDir,
+			"TTSERVE_SNAP="+snapDir,
+			"TTSERVE_ADDRFILE="+addrFile,
+			"TTSERVE_MMAP=1",
+		)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitReady := func() string {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				url := "http://" + string(b)
+				if resp, err := client.Get(url + "/readyz"); err == nil {
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusOK {
+						return url
+					}
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("server never became ready")
+		return ""
+	}
+	fetch := func(url string) map[string]any {
+		t.Helper()
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status = %d", resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	cmd := start()
+	url := waitReady()
+	queryPath := pathParam(base.Get(0).Path())
+	want := fetch(fmt.Sprintf("%s/query?path=%s&beta=5", url, queryPath))
+
+	// Keep queries in flight over the mapping while the kill -9 lands.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(fmt.Sprintf("%s/query?path=%s&beta=5", url, queryPath))
+				if err != nil {
+					return // connection dies with the process: expected
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	close(stop)
+	wg.Wait()
+	client.CloseIdleConnections()
+
+	// The snapshot file the crashed process was mapped over is untouched;
+	// a second mapped restart serves bit-identical answers.
+	cmd2 := start()
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	url2 := waitReady()
+	got := fetch(fmt.Sprintf("%s/query?path=%s&beta=5", url2, queryPath))
+	for _, k := range []string{"mean_seconds", "p05_seconds", "p50_seconds", "p95_seconds", "epoch"} {
+		if got[k] != want[k] {
+			t.Fatalf("post-crash %s = %v, pre-crash %v", k, got[k], want[k])
+		}
+	}
+	st := fetch(url2 + "/statsz")
+	if n, ok := st["trajectories"].(float64); !ok || int(n) != base.Len() {
+		t.Fatalf("restarted server holds %v trajectories, want %d", st["trajectories"], base.Len())
 	}
 }
 

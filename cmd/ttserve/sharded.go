@@ -43,8 +43,8 @@ type shardState struct {
 // deterministic stripe build when there is none), then open its write-ahead
 // log and replay the records the snapshot does not cover. Each shard's
 // recovery is self-contained, so runSharded runs them in parallel.
-func recoverShard(g *pathhist.Graph, st *shardState, stripe func() (*pathhist.Store, error), opts pathhist.Options, walEnabled bool) {
-	st.eng, st.source, st.err = buildOrRestore(g, stripe, opts, st.snapPath)
+func recoverShard(g *pathhist.Graph, st *shardState, stripe func() (*pathhist.Store, error), opts pathhist.Options, walEnabled, mmapLoad bool) {
+	st.eng, st.source, st.err = buildOrRestore(g, stripe, opts, st.snapPath, mmapLoad)
 	if st.err != nil || !walEnabled {
 		return
 	}
@@ -167,7 +167,7 @@ func runSharded(ctx context.Context, cfg config) error {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			recoverShard(g, states[k], stripeFor(k), shardOpts, walEnabled)
+			recoverShard(g, states[k], stripeFor(k), shardOpts, walEnabled, cfg.mmapSnapshots)
 		}(k)
 	}
 	wg.Wait()
@@ -202,7 +202,7 @@ func runSharded(ctx context.Context, cfg config) error {
 	for k, st := range states {
 		engines[k] = st.eng
 	}
-	cluster, err := sharded.New(g, engines, sharded.Config{Opts: opts})
+	cluster, err := sharded.New(g, engines, sharded.Config{Opts: opts, ReplicasPerShard: cfg.replicasPerShard})
 	if err != nil {
 		cleanup()
 		return fail(err)

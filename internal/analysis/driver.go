@@ -10,6 +10,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		CancelPoll,
 		FrozenMut,
+		MapMut,
 		PoolEscape,
 		SnapPin,
 		SyncErr,

@@ -18,6 +18,10 @@ func TestFrozenMut(t *testing.T) {
 	analysistest.Run(t, "./testdata/src/frozenmut", analysis.FrozenMut)
 }
 
+func TestMapMut(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/mapmut", analysis.MapMut)
+}
+
 func TestSnapPin(t *testing.T) {
 	analysistest.Run(t, "./testdata/src/snappin", analysis.SnapPin)
 }

@@ -1,0 +1,64 @@
+// Package mapmut is the test fixture for the mapmut analyzer: writes
+// through slices returned by snapio.Reader column methods are flagged —
+// under a mapped reader they view the read-only snapshot mapping — while
+// reads, field assignment of the view, and detach-by-copy are not.
+package mapmut
+
+import (
+	"pathhist/internal/snapio"
+)
+
+type columns struct {
+	ts []int64
+	w  []uint16
+}
+
+// decode assigns views to fields without writing through them: the
+// sanctioned decoding shape.
+func decode(r *snapio.Reader) columns {
+	return columns{
+		ts: r.I64s(), // ok: storing the view
+		w:  r.U16s(), // ok: storing the view
+	}
+}
+
+// mutate writes through column views; every write is a violation.
+func mutate(r *snapio.Reader, tt []int32) {
+	ts := r.I64s()
+	ts[0] = 99      // want `write through a snapio.Reader column view \(via ts\)`
+	ts[1] += 7      // want `write through a snapio.Reader column view \(via ts\)`
+	ts[2]++         // want `write through a snapio.Reader column view \(via ts\)`
+	r.U64s()[0] = 1 // want `write through a snapio.Reader column view \(directly off the reader call\)`
+	cols := snapio.ReadI32s[int32](r)
+	copy(cols, tt)     // want `write through a snapio.Reader column view \(via cols\)`
+	copy(cols[1:], tt) // want `write through a snapio.Reader column view \(via cols\)`
+	alias := cols      // one-hop alias of a view
+	alias[0] = 3       // want `write through a snapio.Reader column view \(via alias\)`
+}
+
+// readOnly consumes views without mutation.
+func readOnly(r *snapio.Reader) int64 {
+	ts := r.I64s()
+	var s int64
+	for _, t := range ts {
+		s += t
+	}
+	return s
+}
+
+// detach copies a view to the heap before mutating: the sanctioned way to
+// edit a decoded column.
+func detach(r *snapio.Reader) []int64 {
+	view := r.I64s()
+	col := append(make([]int64, 0, len(view)+1), view...)
+	col[0] = 42 // ok: col is a fresh heap slice, not a view
+	return col
+}
+
+// suppressed demonstrates the //lint:ignore convention: the write below is
+// a violation but carries a justification, so no diagnostic is expected.
+func suppressed(r *snapio.Reader) {
+	ts := r.I64s()
+	//lint:ignore mapmut fixture: demonstrates that a justified suppression is honored
+	ts[0] = 1
+}

@@ -1,6 +1,9 @@
 // Snapshot serialization of the bit vector (DESIGN.md §10). The payload and
 // both rank-directory levels are written verbatim, so a load rebuilds
 // nothing — the vector serves rank queries straight off the decoded columns.
+// Under a zero-copy reader (DESIGN.md §15) all three columns are views of
+// the read-only mapping; the vector never writes to them after
+// construction, so no detach step is needed.
 package bitvec
 
 import (

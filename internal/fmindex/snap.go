@@ -1,7 +1,9 @@
 // Snapshot serialization of the FM-index (DESIGN.md §10): the symbol-count
 // array C, the text length, and the wavelet tree holding the BWT. Nothing
 // is recomputed on load — backward search runs straight off the decoded
-// structures.
+// structures. Under a zero-copy reader (DESIGN.md §15) C and the wavelet
+// vectors are views of the read-only mapping; the index is immutable after
+// construction, so the views are safe for its whole lifetime.
 package fmindex
 
 import (

@@ -1,5 +1,9 @@
 // Snapshot serialization of the time-of-day histograms (DESIGN.md §10):
-// bucket width, total, and the raw integer bucket counts.
+// bucket width, total, and the raw integer bucket counts. Under a
+// zero-copy reader (DESIGN.md §15) the counts column views the read-only
+// mapping, so a decoded histogram must never be mutated in place — the
+// accumulation paths (compaction's per-run merges) already Clone first,
+// which detaches the counts to the heap.
 package hist
 
 import (

@@ -36,6 +36,10 @@ type ServerCounters struct {
 	// HedgeWins counts hedged dispatches where the second attempt finished
 	// first.
 	HedgeWins atomic.Int64
+	// CrossReplicaHedges counts hedged dispatches whose second attempt was
+	// sent to a different replica of the shard than the first (always zero
+	// with replica sets of one, where the hedge re-asks the same engine).
+	CrossReplicaHedges atomic.Int64
 	// ShardFailures counts dispatches that failed outright (fault injected,
 	// budget exhausted, or shard down) after any hedging.
 	ShardFailures atomic.Int64
@@ -53,35 +57,37 @@ type ServerCounters struct {
 // ServerCounterValues is the plain-value snapshot of ServerCounters that
 // marshals into the /statsz response.
 type ServerCounterValues struct {
-	QueryTimeouts    int64 `json:"query_timeouts"`
-	CanceledRequests int64 `json:"canceled_requests"`
-	PanicsRecovered  int64 `json:"panics_recovered"`
-	WALFailed        int64 `json:"wal_failed"`
-	DegradedMode     int64 `json:"degraded_mode"`
-	ShardDispatches  int64 `json:"shard_dispatches,omitempty"`
-	HedgedDispatches int64 `json:"hedged_dispatches,omitempty"`
-	HedgeWins        int64 `json:"hedge_wins,omitempty"`
-	ShardFailures    int64 `json:"shard_failures,omitempty"`
-	ShardsShed       int64 `json:"shards_shed,omitempty"`
-	PartialResponses int64 `json:"partial_responses,omitempty"`
-	IngestReroutes   int64 `json:"ingest_reroutes,omitempty"`
+	QueryTimeouts      int64 `json:"query_timeouts"`
+	CanceledRequests   int64 `json:"canceled_requests"`
+	PanicsRecovered    int64 `json:"panics_recovered"`
+	WALFailed          int64 `json:"wal_failed"`
+	DegradedMode       int64 `json:"degraded_mode"`
+	ShardDispatches    int64 `json:"shard_dispatches,omitempty"`
+	HedgedDispatches   int64 `json:"hedged_dispatches,omitempty"`
+	HedgeWins          int64 `json:"hedge_wins,omitempty"`
+	CrossReplicaHedges int64 `json:"cross_replica_hedges,omitempty"`
+	ShardFailures      int64 `json:"shard_failures,omitempty"`
+	ShardsShed         int64 `json:"shards_shed,omitempty"`
+	PartialResponses   int64 `json:"partial_responses,omitempty"`
+	IngestReroutes     int64 `json:"ingest_reroutes,omitempty"`
 }
 
 // Snapshot reads every counter once. The values are individually atomic,
 // not a consistent cut — fine for monitoring.
 func (c *ServerCounters) Snapshot() ServerCounterValues {
 	return ServerCounterValues{
-		QueryTimeouts:    c.QueryTimeouts.Load(),
-		CanceledRequests: c.CanceledRequests.Load(),
-		PanicsRecovered:  c.PanicsRecovered.Load(),
-		WALFailed:        c.WALFailed.Load(),
-		DegradedMode:     c.DegradedMode.Load(),
-		ShardDispatches:  c.ShardDispatches.Load(),
-		HedgedDispatches: c.HedgedDispatches.Load(),
-		HedgeWins:        c.HedgeWins.Load(),
-		ShardFailures:    c.ShardFailures.Load(),
-		ShardsShed:       c.ShardsShed.Load(),
-		PartialResponses: c.PartialResponses.Load(),
-		IngestReroutes:   c.IngestReroutes.Load(),
+		QueryTimeouts:      c.QueryTimeouts.Load(),
+		CanceledRequests:   c.CanceledRequests.Load(),
+		PanicsRecovered:    c.PanicsRecovered.Load(),
+		WALFailed:          c.WALFailed.Load(),
+		DegradedMode:       c.DegradedMode.Load(),
+		ShardDispatches:    c.ShardDispatches.Load(),
+		HedgedDispatches:   c.HedgedDispatches.Load(),
+		HedgeWins:          c.HedgeWins.Load(),
+		CrossReplicaHedges: c.CrossReplicaHedges.Load(),
+		ShardFailures:      c.ShardFailures.Load(),
+		ShardsShed:         c.ShardsShed.Load(),
+		PartialResponses:   c.PartialResponses.Load(),
+		IngestReroutes:     c.IngestReroutes.Load(),
 	}
 }

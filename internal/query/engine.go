@@ -111,11 +111,20 @@ type snapshot struct {
 // running finish against the epoch they started on, and epoch-stamped
 // cache entries from older snapshots are dropped lazily on lookup.
 type Engine struct {
-	cfg   Config
-	snap  atomic.Pointer[snapshot]
+	cfg Config
+	// snap is the publication cell. It is a pointer so replica engines
+	// (NewFollower) can share the primary's cell: every replica then
+	// serves the exact snapshot the primary publishes, with zero epoch
+	// skew — the property that makes replica answers bit-identical.
+	snap  *atomic.Pointer[snapshot]
 	extMu sync.Mutex // serialises the writers (Extend, Compact)
 	cache *spqCache[subValue]
 	full  *spqCache[fullValue]
+
+	// follower marks a read-only replica sharing another engine's snap
+	// cell: Extend and Compact refuse (ErrFollower), and no background
+	// compactor ever starts. Caches are the replica's own.
+	follower bool
 
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
@@ -157,7 +166,7 @@ func NewEngineAt(ix *snt.Index, cfg Config, epoch uint64) *Engine {
 	if cfg.BucketWidth <= 0 {
 		cfg.BucketWidth = 10
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, snap: new(atomic.Pointer[snapshot])}
 	e.snap.Store(&snapshot{ix: ix, est: cfg.Estimator, epoch: epoch})
 	if !cfg.DisableCache {
 		e.cache = newSubCache(cfg.CacheCapacity)
@@ -167,6 +176,33 @@ func NewEngineAt(ix *snt.Index, cfg Config, epoch uint64) *Engine {
 	}
 	return e
 }
+
+// ErrFollower is returned by the write paths of a follower engine.
+var ErrFollower = errors.New("query: follower engine is read-only; write through the primary")
+
+// NewFollower returns a read-only replica of primary: it shares primary's
+// publication cell — every snapshot (and epoch) the primary publishes is
+// visible to the follower at the same instant, so the two answer queries
+// bit-identically at all times — but owns its caches, so concurrent read
+// load spreads over per-replica cache locks instead of contending on one.
+// Replicas over a snapshot mapping cost no index memory at all: the columns
+// live once, in the shared mapping (or heap). Extend and Compact on a
+// follower fail with ErrFollower; Close is safe and only ever stops state
+// the follower owns (it has no background compactor).
+func NewFollower(primary *Engine) *Engine {
+	cfg := primary.cfg
+	e := &Engine{cfg: cfg, snap: primary.snap, follower: true}
+	if !cfg.DisableCache {
+		e.cache = newSubCache(cfg.CacheCapacity)
+	}
+	if !cfg.DisableFullResultCache {
+		e.full = newFullCache(cfg.FullResultCacheCapacity)
+	}
+	return e
+}
+
+// Follower reports whether the engine is a read-only replica.
+func (e *Engine) Follower() bool { return e.follower }
 
 // Snapshot returns the currently published (index, epoch) pair as one
 // consistent unit — what a persistence layer must capture together so the
@@ -219,6 +255,9 @@ func (e *Engine) Extend(add *traj.Store) (IngestStats, error) {
 // is published; a context canceled mid-build still publishes, exactly like
 // Extend, so callers never see a batch both acknowledged and absent.
 func (e *Engine) ExtendCtx(ctx context.Context, add *traj.Store) (IngestStats, error) {
+	if e.follower {
+		return IngestStats{}, ErrFollower
+	}
 	if err := ctx.Err(); err != nil {
 		return IngestStats{}, err
 	}
@@ -403,6 +442,9 @@ func (e *Engine) publishLocked(sn *snapshot, nix *snt.Index) *snapshot {
 // returned stats report the merge; PartitionsBefore == PartitionsAfter
 // means the policy found nothing to merge (no epoch was published).
 func (e *Engine) Compact() (snt.CompactionStats, error) {
+	if e.follower {
+		return snt.CompactionStats{}, ErrFollower
+	}
 	e.extMu.Lock()
 	defer e.extMu.Unlock()
 	pol := e.cfg.Compaction

@@ -18,29 +18,35 @@ type scanOut struct {
 	count   int
 }
 
-// errShardShed marks a dispatch refused before issue because the shard's
+// errShardShed marks a dispatch refused before issue because every replica's
 // health state machine shed it. The router treats it like any other shard
 // failure: the shard leaves this query's live set.
 var errShardShed = errors.New("sharded: shard shed by health state")
 
 // dispatch runs op against one shard with the full fault-tolerance
-// treatment: fault-injection sites, shed-before-dispatch via the health
-// machine, a deadline budget carved from the request context, and a hedged
-// second attempt on the same immutable snapshot after a p99-based delay
-// (first answer wins). Every outcome feeds the health machine, and a
-// successful dispatch's latency feeds the hedge-delay estimate.
+// treatment: fault-injection sites, shed-before-dispatch via the per-replica
+// health machines, a deadline budget carved from the request context, and a
+// hedged second attempt after a p99-based delay (first answer wins). The
+// first attempt goes to the next admitting replica round-robin; the hedge
+// goes to a different admitting replica when the set has one (falling back
+// to the same replica otherwise), so a replica stuck in a slow attempt is
+// not also the one asked to bail it out. Every outcome feeds the attempted
+// replica's own health machine, and a successful attempt's latency feeds
+// that replica's hedge-delay estimate.
 //
 // op must be safe to run twice concurrently (the hedge); the router's ops
-// scan immutable index snapshots with private scratch state, which is.
+// scan immutable index snapshots with private scratch state, which is. All
+// replicas of a shard share the primary's published snapshot pointer, so the
+// answer is bit-identical regardless of which replica serves it.
 func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Context) (scanOut, error)) (scanOut, error) {
 	suffix := "." + strconv.Itoa(s.idx)
 	if err := failpoint.Inject(failpoint.ShardDispatch); err != nil {
-		return c.dispatchFailed(s, false, err)
+		return c.dispatchFailed(s.primary(), false, err)
 	}
 	if err := failpoint.Inject(failpoint.ShardDispatch + suffix); err != nil {
-		return c.dispatchFailed(s, false, err)
+		return c.dispatchFailed(s.primary(), false, err)
 	}
-	ok, probe := s.health.admit(time.Now())
+	first, probe, ok := s.pickReplica(time.Now(), nil)
 	if !ok {
 		c.cfg.Counters.ShardsShed.Add(1)
 		return scanOut{}, errShardShed
@@ -52,24 +58,36 @@ func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Contex
 	type attemptRes struct {
 		out   scanOut
 		err   error
+		rep   *replica
+		probe bool
 		hedge bool
 	}
 	// Buffered so attempts outlasting the dispatch (budget exhausted, or the
 	// other attempt won) can deliver and exit without a receiver.
 	ch := make(chan attemptRes, 2)
-	attempt := func(hedge bool) {
-		out, err := c.attemptShard(bctx, suffix, op)
-		ch <- attemptRes{out: out, err: err, hedge: hedge}
+	attempt := func(r *replica, probe, hedge bool) {
+		out, err := c.attemptReplica(bctx, s, r, op)
+		ch <- attemptRes{out: out, err: err, rep: r, probe: probe, hedge: hedge}
 	}
-	go attempt(false)
-	timer := time.NewTimer(s.hedgeDelay(c.cfg.HedgeDelay))
+	go attempt(first, probe, false)
+	timer := time.NewTimer(first.hedgeDelay(c.cfg.HedgeDelay))
 	defer timer.Stop()
 	pending, hedged := 1, false
+	// booked keeps a replica from absorbing two health failures for one
+	// dispatch when both attempts land on it (single-replica shards).
+	booked := map[*replica]bool{}
 	hedge := func() {
 		hedged = true
 		pending++
 		c.cfg.Counters.HedgedDispatches.Add(1)
-		go attempt(true)
+		r, hprobe, ok := s.pickReplica(time.Now(), first)
+		if !ok {
+			r, hprobe = first, false
+		}
+		if r != first {
+			c.cfg.Counters.CrossReplicaHedges.Add(1)
+		}
+		go attempt(r, hprobe, true)
 	}
 	var lastErr error
 	for {
@@ -77,12 +95,16 @@ func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Contex
 		case r := <-ch:
 			pending--
 			if r.err == nil {
-				s.lat.record(time.Since(start))
-				s.health.success()
+				r.rep.lat.record(time.Since(start))
+				r.rep.health.success()
 				if r.hedge && pending > 0 {
 					c.cfg.Counters.HedgeWins.Add(1)
 				}
 				return r.out, nil
+			}
+			if !booked[r.rep] {
+				booked[r.rep] = true
+				r.rep.health.failure(r.probe, c.cfg.FailThreshold, c.cfg.ProbeInterval, time.Now())
 			}
 			lastErr = r.err
 			if !hedged {
@@ -92,7 +114,8 @@ func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Contex
 				continue
 			}
 			if pending == 0 {
-				return c.dispatchFailed(s, probe, lastErr)
+				c.cfg.Counters.ShardFailures.Add(1)
+				return scanOut{}, lastErr
 			}
 		case <-timer.C:
 			if !hedged {
@@ -101,35 +124,50 @@ func (c *Cluster) dispatch(ctx context.Context, s *shard, op func(context.Contex
 		case <-bctx.Done():
 			// Budget exhausted (or the caller gave up): in-flight attempts
 			// observe the cancellation through their scratch polls and drain
-			// into the buffered channel on their own.
-			return c.dispatchFailed(s, probe, bctx.Err())
+			// into the buffered channel on their own. The failure is booked
+			// on the first replica — it is the one that sat on the budget.
+			if booked[first] {
+				c.cfg.Counters.ShardFailures.Add(1)
+				return scanOut{}, bctx.Err()
+			}
+			return c.dispatchFailed(first, probe, bctx.Err())
 		}
 	}
 }
 
-// dispatchFailed books a dispatch failure into the health machine and the
-// counters and returns the error.
-func (c *Cluster) dispatchFailed(s *shard, probe bool, err error) (scanOut, error) {
-	s.health.failure(probe, c.cfg.FailThreshold, c.cfg.ProbeInterval, time.Now())
+// dispatchFailed books a dispatch failure into the replica's health machine
+// and the counters and returns the error.
+func (c *Cluster) dispatchFailed(r *replica, probe bool, err error) (scanOut, error) {
+	r.health.failure(probe, c.cfg.FailThreshold, c.cfg.ProbeInterval, time.Now())
 	c.cfg.Counters.ShardFailures.Add(1)
 	return scanOut{}, err
 }
 
-// attemptShard is one attempt of a dispatch: the shard.down and shard.slow
+// attemptReplica is one attempt of a dispatch: the shard.down and shard.slow
 // fault-injection sites fire here, inside the hedged region, so a
 // Times-limited injection fails (or delays) the first attempt and lets the
-// hedge succeed.
-func (c *Cluster) attemptShard(ctx context.Context, suffix string, op func(context.Context) (scanOut, error)) (scanOut, error) {
+// hedge succeed. Each site also has a per-replica form ("shard.slow.1.0" is
+// shard 1, replica 0), which is how tests pin a fault to one replica and
+// assert the cross-replica hedge rescues the dispatch.
+func (c *Cluster) attemptReplica(ctx context.Context, s *shard, r *replica, op func(context.Context) (scanOut, error)) (scanOut, error) {
+	suffix := "." + strconv.Itoa(s.idx)
+	rsuffix := suffix + "." + strconv.Itoa(r.ri)
 	if err := failpoint.Inject(failpoint.ShardSlow); err != nil {
 		return scanOut{}, err
 	}
 	if err := failpoint.Inject(failpoint.ShardSlow + suffix); err != nil {
 		return scanOut{}, err
 	}
+	if err := failpoint.Inject(failpoint.ShardSlow + rsuffix); err != nil {
+		return scanOut{}, err
+	}
 	if err := failpoint.Inject(failpoint.ShardDown); err != nil {
 		return scanOut{}, err
 	}
 	if err := failpoint.Inject(failpoint.ShardDown + suffix); err != nil {
+		return scanOut{}, err
+	}
+	if err := failpoint.Inject(failpoint.ShardDown + rsuffix); err != nil {
 		return scanOut{}, err
 	}
 	if err := ctx.Err(); err != nil {

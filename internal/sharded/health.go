@@ -174,10 +174,10 @@ func (r *latencyRing) p99() time.Duration {
 }
 
 // hedgeDelay is the delay before a dispatch launches its hedged second
-// attempt: the shard's observed p99 when the ring has history, the
+// attempt: the replica's observed p99 when the ring has history, the
 // configured default otherwise.
-func (s *shard) hedgeDelay(fallback time.Duration) time.Duration {
-	if d := s.lat.p99(); d > 0 {
+func (r *replica) hedgeDelay(fallback time.Duration) time.Duration {
+	if d := r.lat.p99(); d > 0 {
 		return d
 	}
 	return fallback

@@ -1,0 +1,268 @@
+package sharded
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathhist"
+	"pathhist/internal/failpoint"
+	"pathhist/internal/metrics"
+	"pathhist/internal/workload"
+)
+
+// replicaCluster builds a small cluster with the given replica-set size.
+func replicaCluster(t *testing.T, shards, replicas int, counters *metrics.ServerCounters) (*Cluster, *pathhist.Engine, *testingDataset) {
+	t.Helper()
+	ds := testDataset(t)
+	ref, err := pathhist.NewEngine(ds.G, copyStore(ds.Store), pathhist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(ds.G, copyStore(ds.Store), Config{
+		Shards:           shards,
+		ReplicasPerShard: replicas,
+		Counters:         counters,
+		HedgeDelay:       5 * time.Millisecond,
+		ProbeInterval:    time.Minute, // keep downed replicas shed for the test's duration
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	tmin, tmax := ds.Store.TimeRange()
+	return c, ref, &testingDataset{ds: ds, tmin: tmin, tmax: tmax}
+}
+
+type testingDataset struct {
+	ds         *workload.Dataset
+	tmin, tmax int64
+}
+
+// TestReplicaSetConstruction pins the replica-set shape: K engines per
+// shard, replicas[0] the primary, followers sharing the primary's published
+// snapshot, and per-replica status exported when K > 1.
+func TestReplicaSetConstruction(t *testing.T) {
+	c, _, _ := replicaCluster(t, 2, 3, &metrics.ServerCounters{})
+	if c.ReplicasPerShard() != 3 {
+		t.Fatalf("ReplicasPerShard = %d", c.ReplicasPerShard())
+	}
+	for _, s := range c.shards {
+		if len(s.replicas) != 3 {
+			t.Fatalf("shard %d has %d replicas", s.idx, len(s.replicas))
+		}
+		p := s.primary()
+		if p.eng.QueryEngine().Follower() {
+			t.Fatalf("shard %d primary is a follower", s.idx)
+		}
+		pix, pep := p.eng.QueryEngine().Snapshot()
+		for _, r := range s.replicas[1:] {
+			if !r.eng.QueryEngine().Follower() {
+				t.Fatalf("shard %d replica %d is not a follower", s.idx, r.ri)
+			}
+			rix, rep := r.eng.QueryEngine().Snapshot()
+			if rix != pix || rep != pep {
+				t.Fatalf("shard %d replica %d snapshot diverges from primary", s.idx, r.ri)
+			}
+		}
+	}
+	for i, st := range c.Status() {
+		if len(st.Replicas) != 3 {
+			t.Fatalf("shard %d status has %d replica entries, want 3", i, len(st.Replicas))
+		}
+		for ri, rs := range st.Replicas {
+			if rs.State != "ready" {
+				t.Fatalf("shard %d replica %d state %q", i, ri, rs.State)
+			}
+		}
+	}
+	// K=1 keeps the status shape of the pre-replica cluster.
+	c1, _, _ := replicaCluster(t, 2, 1, &metrics.ServerCounters{})
+	for i, st := range c1.Status() {
+		if st.Replicas != nil {
+			t.Fatalf("shard %d with one replica exports replica entries: %+v", i, st.Replicas)
+		}
+	}
+}
+
+// TestCrossReplicaHedge drives dispatch directly: the first attempt stalls
+// past the hedge timer, and the hedged second attempt must land on a
+// DIFFERENT replica of the same shard and win.
+func TestCrossReplicaHedge(t *testing.T) {
+	counters := &metrics.ServerCounters{}
+	c, _, _ := replicaCluster(t, 1, 2, counters)
+
+	var calls atomic.Int64
+	release := make(chan struct{})
+	op := func(ctx context.Context) (scanOut, error) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return scanOut{}, ctx.Err()
+			}
+		}
+		return scanOut{anyData: true}, nil
+	}
+	out, err := c.dispatch(context.Background(), c.shards[0], op)
+	close(release)
+	if err != nil || !out.anyData {
+		t.Fatalf("dispatch: %+v, %v", out, err)
+	}
+	if n := counters.HedgedDispatches.Load(); n != 1 {
+		t.Fatalf("HedgedDispatches = %d, want 1", n)
+	}
+	if n := counters.CrossReplicaHedges.Load(); n != 1 {
+		t.Fatalf("CrossReplicaHedges = %d, want 1 (hedge must pick the other replica)", n)
+	}
+	if n := counters.HedgeWins.Load(); n != 1 {
+		t.Fatalf("HedgeWins = %d, want 1", n)
+	}
+	// Exactly one replica recorded the winning latency; the stalled one
+	// recorded nothing.
+	recorded := 0
+	for _, r := range c.shards[0].replicas {
+		if r.lat.n > 0 {
+			recorded++
+		}
+	}
+	if recorded != 1 {
+		t.Fatalf("%d replicas recorded latency, want 1", recorded)
+	}
+}
+
+// TestSameReplicaHedgeWithOneReplica: with a replica set of one the hedge
+// re-asks the same engine (the pre-replica behavior) and the cross-replica
+// counter stays zero.
+func TestSameReplicaHedgeWithOneReplica(t *testing.T) {
+	counters := &metrics.ServerCounters{}
+	c, _, _ := replicaCluster(t, 1, 1, counters)
+
+	var calls atomic.Int64
+	release := make(chan struct{})
+	op := func(ctx context.Context) (scanOut, error) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return scanOut{}, ctx.Err()
+			}
+		}
+		return scanOut{anyData: true}, nil
+	}
+	out, err := c.dispatch(context.Background(), c.shards[0], op)
+	close(release)
+	if err != nil || !out.anyData {
+		t.Fatalf("dispatch: %+v, %v", out, err)
+	}
+	if n := counters.HedgedDispatches.Load(); n != 1 {
+		t.Fatalf("HedgedDispatches = %d, want 1", n)
+	}
+	if n := counters.CrossReplicaHedges.Load(); n != 0 {
+		t.Fatalf("CrossReplicaHedges = %d, want 0 with one replica", n)
+	}
+	if n := counters.HedgeWins.Load(); n != 1 {
+		t.Fatalf("HedgeWins = %d, want 1", n)
+	}
+}
+
+// TestReplicaFaultIsolation pins one replica down with a replica-scoped
+// fault injection: every dispatch that lands on it first is rescued by a
+// cross-replica hedge, no query degrades to partial, answers stay
+// bit-identical to the unsharded engine, and the health machine takes only
+// the faulty replica down while its sibling keeps the shard serving.
+func TestReplicaFaultIsolation(t *testing.T) {
+	counters := &metrics.ServerCounters{}
+	c, ref, w := replicaCluster(t, 2, 2, counters)
+
+	site := failpoint.ShardDown + ".0.0" // shard 0, replica 0 (the primary), every attempt
+	failpoint.Enable(site, failpoint.Injection{Err: errors.New("injected replica fault")})
+	defer failpoint.Disable(site)
+
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20; i++ {
+		q := randomQuery(rng, w.ds, w.tmin, w.tmax)
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got.Partial || got.Restarts != 0 {
+			t.Fatalf("query %d degraded despite a healthy sibling replica: %+v", i, got)
+		}
+		compareShardedVsPublic(t, "replica-isolated", 2, q, got, want)
+	}
+	if n := counters.CrossReplicaHedges.Load(); n < 1 {
+		t.Fatalf("CrossReplicaHedges = %d, want >= 1", n)
+	}
+	st := c.Status()
+	if got := st[0].Replicas[0].State; got != "down" {
+		t.Fatalf("faulty replica state = %q, want down", got)
+	}
+	if got := st[0].Replicas[1].State; got != "ready" {
+		t.Fatalf("sibling replica state = %q, want ready", got)
+	}
+	if got := st[1].Replicas[0].State; got != "ready" {
+		t.Fatalf("other shard's primary state = %q, want ready", got)
+	}
+}
+
+// TestReplicaDegradedLatchAppliesToAll: the serving layer's degraded latch
+// (a shard-level WAL failure) must show on every replica — the condition
+// belongs to the shard's store, not to one view of it.
+func TestReplicaDegradedLatchAppliesToAll(t *testing.T) {
+	c, _, _ := replicaCluster(t, 2, 2, &metrics.ServerCounters{})
+	c.SetDegraded(0, true)
+	st := c.Status()
+	for ri, rs := range st[0].Replicas {
+		if rs.State != "degraded" {
+			t.Fatalf("shard 0 replica %d state = %q, want degraded", ri, rs.State)
+		}
+	}
+	for ri, rs := range st[1].Replicas {
+		if rs.State != "ready" {
+			t.Fatalf("shard 1 replica %d state = %q, want ready", ri, rs.State)
+		}
+	}
+	c.SetDegraded(0, false)
+	if st := c.Status(); st[0].Replicas[0].State != "ready" {
+		t.Fatalf("latch did not clear: %q", st[0].Replicas[0].State)
+	}
+}
+
+// TestShardedReplicasMatchUnsharded: the full differential — a cluster with
+// replica sets answers bit-identically to the unsharded engine under the
+// random query mix, with dispatches spread over the replicas.
+func TestShardedReplicasMatchUnsharded(t *testing.T) {
+	counters := &metrics.ServerCounters{}
+	c, ref, w := replicaCluster(t, 3, 2, counters)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		q := randomQuery(rng, w.ds, w.tmin, w.tmax)
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Partial {
+			t.Fatalf("query %d partial with healthy replicas", i)
+		}
+		compareShardedVsPublic(t, "replicas", 3, q, got, want)
+	}
+	// Round-robin spread: with 2 replicas per shard and dozens of
+	// dispatches, both replicas of shard 0 must have served something.
+	for _, r := range c.shards[0].replicas {
+		if r.lat.n == 0 {
+			t.Fatalf("replica %d of shard 0 never served a dispatch", r.ri)
+		}
+	}
+}

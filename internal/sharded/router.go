@@ -121,7 +121,7 @@ func (c *Cluster) Query(ctx context.Context, q pathhist.Query) (*Result, error) 
 	var live, missing []int
 	now := time.Now()
 	for i, s := range c.shards {
-		if s.health.participates(now) {
+		if s.participates(now) {
 			live = append(live, i)
 		} else {
 			missing = append(missing, i)
@@ -171,7 +171,10 @@ func (c *Cluster) Query(ctx context.Context, q pathhist.Query) (*Result, error) 
 func (c *Cluster) runOnce(ctx context.Context, q pathhist.Query, live []int) (*Result, error) {
 	rs := &runState{live: live, ixs: make([]*snt.Index, len(live))}
 	for i, si := range live {
-		ix, _ := c.shards[si].eng.QueryEngine().Snapshot()
+		// Pinned from the primary; followers share the same published
+		// snapshot pointer, so the pin is valid for whichever replica the
+		// dispatcher picks.
+		ix, _ := c.shards[si].primary().eng.QueryEngine().Snapshot()
 		rs.ixs[i] = ix
 		if _, tmax := ix.TimeRange(); i == 0 || tmax > rs.tmax {
 			rs.tmax = tmax

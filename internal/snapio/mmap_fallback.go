@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapio
+
+import "os"
+
+// mapFile on non-unix platforms reads the file onto the heap: the same
+// backing-store interface and zero-copy decode path, without page-cache
+// sharing or kernel-enforced immutability.
+func mapFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data, path: path}, nil
+}
+
+func munmap(data []byte) error { return nil }

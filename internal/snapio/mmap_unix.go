@@ -1,0 +1,40 @@
+//go:build unix
+
+package snapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. PROT_READ makes the immutability contract
+// hardware-enforced: any write through a zero-copy column view faults
+// instead of silently corrupting the snapshot every replica shares.
+func mapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects zero-length maps; an empty file fails header
+		// verification anyway, with a better error than EINVAL.
+		return &Mapping{path: path}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapio: %s: %d bytes exceeds this platform's address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snapio: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, path: path, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

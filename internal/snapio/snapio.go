@@ -246,6 +246,10 @@ func ReadI32s[T ~int32](r *Reader) []T {
 		r.alignOff()
 		return nil
 	}
+	if v, ok := view[T](r, n); ok {
+		r.alignOff()
+		return v
+	}
 	out := make([]T, n)
 	if hostLittleEndian {
 		r.secOff += copy(rawBytes(out), r.sec[r.secOff:r.secOff+n*4])
@@ -322,6 +326,13 @@ type Reader struct {
 	off  int
 	hdr  Header
 
+	// zeroCopy makes the column getters return sub-slices of data instead
+	// of heap copies when the host and alignment allow it (see view). Set
+	// for readers over a read-only Mapping: the returned columns alias the
+	// mapping and are immutable by contract — writing through them is a
+	// fault on unix (PROT_READ) and a data race everywhere.
+	zeroCopy bool
+
 	sectionsRead uint32
 	sec          []byte
 	secOff       int
@@ -330,8 +341,23 @@ type Reader struct {
 }
 
 // NewReader verifies the magic, version and header CRC and positions the
-// reader at the first section.
+// reader at the first section. Column getters copy out of data; the caller
+// owns the returned slices.
 func NewReader(data []byte) (*Reader, error) {
+	return newReader(data, false)
+}
+
+// NewMappedReader is NewReader in zero-copy mode: column getters return
+// aligned sub-slices of data (normally a read-only Mapping) instead of heap
+// copies, falling back to copies on big-endian hosts or misaligned payloads
+// — the byte-level result is identical either way. Every returned column
+// must be treated as immutable, and data must stay alive (and mapped) for
+// as long as any decoded structure is reachable.
+func NewMappedReader(data []byte) (*Reader, error) {
+	return newReader(data, true)
+}
+
+func newReader(data []byte, zeroCopy bool) (*Reader, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("%w: %d-byte file, %d-byte header", ErrTruncated, len(data), headerSize)
 	}
@@ -344,7 +370,7 @@ func NewReader(data []byte) (*Reader, error) {
 	if got, want := crc32.Checksum(data[:32], crcTable), binary.LittleEndian.Uint32(data[32:]); got != want {
 		return nil, fmt.Errorf("%w: header CRC %08x, stored %08x", ErrChecksum, got, want)
 	}
-	r := &Reader{data: data, off: headerSize}
+	r := &Reader{data: data, off: headerSize, zeroCopy: zeroCopy}
 	r.hdr = Header{
 		Epoch:      binary.LittleEndian.Uint64(data[16:]),
 		Partitions: binary.LittleEndian.Uint32(data[24:]),
@@ -355,6 +381,35 @@ func NewReader(data []byte) (*Reader, error) {
 
 // Header returns the verified file header.
 func (r *Reader) Header() Header { return r.hdr }
+
+// ZeroCopy reports whether the reader is in zero-copy mode (constructed by
+// NewMappedReader): column getters may alias the underlying bytes, so every
+// structure decoded from it must treat its columns as immutable.
+func (r *Reader) ZeroCopy() bool { return r.zeroCopy }
+
+// view returns n elements of the current section payload as a []T aliasing
+// the reader's bytes — the zero-copy fast path. It applies only when the
+// reader is in zero-copy mode, the host is little-endian (file bytes are
+// the in-memory bytes) and the payload happens to be element-aligned; the
+// format guarantees 8-byte alignment relative to the file, so for a mapping
+// (page-aligned) the alignment check always passes, while an arbitrary heap
+// buffer may fail it and fall back to copying. The returned slice has
+// cap == len: appending to it reallocates instead of writing through the
+// mapping.
+func view[T ~int32 | ~int64 | ~uint16 | ~uint32 | ~uint64](r *Reader, n int) ([]T, bool) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if !r.zeroCopy || !hostLittleEndian || n == 0 {
+		return nil, false
+	}
+	p := unsafe.Pointer(&r.sec[r.secOff])
+	if uintptr(p)%uintptr(size) != 0 {
+		return nil, false
+	}
+	out := unsafe.Slice((*T)(p), n)
+	r.secOff += n * size
+	return out, true
+}
 
 // Next advances to the next section, verifying its checksum, and returns
 // its kind. After the declared section count it returns io.EOF (and
@@ -472,6 +527,9 @@ func (r *Reader) I64s() []int64 {
 	if r.err != nil || n == 0 {
 		return nil
 	}
+	if v, ok := view[int64](r, n); ok {
+		return v
+	}
 	out := make([]int64, n)
 	if hostLittleEndian {
 		r.secOff += copy(rawBytes(out), r.sec[r.secOff:r.secOff+n*8])
@@ -489,6 +547,9 @@ func (r *Reader) U64s() []uint64 {
 	n := r.sliceLen(8, "[]uint64")
 	if r.err != nil || n == 0 {
 		return nil
+	}
+	if v, ok := view[uint64](r, n); ok {
+		return v
 	}
 	out := make([]uint64, n)
 	if hostLittleEndian {
@@ -512,6 +573,10 @@ func (r *Reader) U32s() []uint32 {
 		r.alignOff()
 		return nil
 	}
+	if v, ok := view[uint32](r, n); ok {
+		r.alignOff()
+		return v
+	}
 	out := make([]uint32, n)
 	if hostLittleEndian {
 		r.secOff += copy(rawBytes(out), r.sec[r.secOff:r.secOff+n*4])
@@ -531,6 +596,10 @@ func (r *Reader) U16s() []uint16 {
 	if r.err != nil || n == 0 {
 		r.alignOff()
 		return nil
+	}
+	if v, ok := view[uint16](r, n); ok {
+		r.alignOff()
+		return v
 	}
 	out := make([]uint16, n)
 	if hostLittleEndian {

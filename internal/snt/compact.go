@@ -509,9 +509,13 @@ func (ix *Index) ApplyCompaction(p *PreparedCompaction) (*Index, CompactionStats
 		if !hasW {
 			nW = nil
 		}
+		// Ts/Traj/A/TT are shared with fx, which may view a read-only
+		// mapping — the flag must travel with the columns so a later
+		// Extend still detaches them.
 		return &temporal.FrozenIndex{
 			Ts: fx.Ts, Traj: fx.Traj, Seq: fx.Seq,
 			W: nW, ISA: nISA, A: fx.A, TT: fx.TT,
+			Mapped: fx.Mapped,
 		}
 	})
 

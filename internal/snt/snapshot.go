@@ -173,13 +173,37 @@ func ReadSnapshot(g *network.Graph, r io.Reader) (*Index, uint64, error) {
 }
 
 // ReadSnapshotBytes is ReadSnapshot over an in-memory file image (e.g. an
-// os.ReadFile result, or an mmap'ed region): sections are decoded straight
-// out of data with no intermediate copy of the whole file.
+// os.ReadFile result): sections are decoded straight out of data with no
+// intermediate copy of the whole file, and every column is copied onto the
+// heap — the index owns its memory.
 func ReadSnapshotBytes(g *network.Graph, data []byte) (*Index, uint64, error) {
 	sr, err := snapio.NewReader(data)
 	if err != nil {
 		return nil, 0, err
 	}
+	return readSnapshot(g, sr, data)
+}
+
+// ReadSnapshotMapped is ReadSnapshotBytes in zero-copy mode: data is a
+// read-only backing store (normally snapio.Mapping bytes) and the decoded
+// columns alias it instead of being copied, so restore cost is dominated by
+// CRC verification and the semantic column validation, not by allocation.
+// Integrity is checked eagerly, exactly like the copying path — every
+// section CRC and validateSnapshotColumns run before the index is returned
+// — never lazily at page-fault time. The caller must keep data alive (and
+// mapped) for as long as the index or anything derived from it (later
+// Extend/Compact epochs share untouched columns) is reachable.
+func ReadSnapshotMapped(g *network.Graph, data []byte) (*Index, uint64, error) {
+	sr, err := snapio.NewMappedReader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return readSnapshot(g, sr, data)
+}
+
+// readSnapshot decodes the section sequence behind both loaders; whether
+// columns are copied or viewed is the reader's mode.
+func readSnapshot(g *network.Graph, sr *snapio.Reader, data []byte) (*Index, uint64, error) {
 	hdr := sr.Header()
 
 	meta, err := readMeta(sr)
@@ -313,6 +337,15 @@ func (ix *Index) validateSnapshotColumns() error {
 	numParts := len(ix.parts)
 	numUsers := len(ix.users)
 	numEdges := ix.g.NumEdges()
+	// ISA bounds per partition, hoisted out of the record loop: the loop
+	// below runs over every frozen record on every (mapped) load, so it must
+	// stay branch-light — an unsigned compare folds each negative and upper
+	// bound into one test, and the detailed per-record diagnostic loop runs
+	// only after the fast scan has found a violation.
+	fmLen := make([]uint32, numParts)
+	for w := range ix.parts {
+		fmLen[w] = uint32(ix.parts[w].fm.Len())
+	}
 	var bad error
 	ix.frozen.Each(func(e network.EdgeID, fx *temporal.FrozenIndex) {
 		if bad != nil {
@@ -321,6 +354,9 @@ func (ix *Index) validateSnapshotColumns() error {
 		if int(e) < 0 || int(e) >= numEdges {
 			bad = fmt.Errorf("%w: forest references segment %d of a %d-edge network",
 				ErrSnapshotMismatch, e, numEdges)
+			return
+		}
+		if frozenColumnsValid(fx, fmLen, uint32(numUsers)) {
 			return
 		}
 		for i := 0; i < fx.Len(); i++ {
@@ -351,6 +387,44 @@ func (ix *Index) validateSnapshotColumns() error {
 		}
 	})
 	return bad
+}
+
+// frozenColumnsValid is the fast scan behind validateSnapshotColumns: true
+// iff every record's W/Traj/ISA/Seq passes the semantic bounds. The unsigned
+// casts check "negative or too large" in one compare per field, and the
+// W-elided path keeps constant bounds so the loop carries no per-iteration
+// loads beyond the columns themselves.
+func frozenColumnsValid(fx *temporal.FrozenIndex, fmLen []uint32, numUsers uint32) bool {
+	ids := fx.Traj
+	n := len(ids)
+	if len(fx.Seq) != n || len(fx.ISA) != n || (fx.W != nil && len(fx.W) != n) {
+		return false // ragged columns; the diagnostic loop pins the record
+	}
+	// Equal-length reslices let the compiler drop the per-iteration bounds
+	// checks inside the scans below.
+	seq, isa := fx.Seq[:n], fx.ISA[:n]
+	if fx.W == nil {
+		// Single-partition form: every record lives in partition 0.
+		if len(fmLen) == 0 {
+			return n == 0
+		}
+		bound := fmLen[0]
+		for i := range ids {
+			if uint32(ids[i]) >= numUsers || uint32(isa[i]) >= bound || seq[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	ws := fx.W[:n]
+	nParts := uint32(len(fmLen))
+	for i := range ids {
+		w := uint32(ws[i])
+		if w >= nParts || uint32(ids[i]) >= numUsers || uint32(isa[i]) >= fmLen[w] || seq[i] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // expectSection advances to the next section and requires the given kind.

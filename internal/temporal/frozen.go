@@ -35,6 +35,15 @@ type FrozenIndex struct {
 	ISA  []int32
 	A    []int32
 	TT   []int32
+
+	// Mapped marks columns that alias a read-only snapshot mapping
+	// (zero-copy load, DESIGN.md §15) instead of owning heap memory.
+	// Reading is unaffected — the layout is identical — but writing
+	// through a mapped column faults, so extended detaches the columns to
+	// the heap before appending, and every code path that builds a new
+	// FrozenIndex sharing these columns (snt compaction's Rewrite) must
+	// propagate the flag.
+	Mapped bool
 }
 
 // freezeIndex builds the columnar layout from sorted (ts, recs).
@@ -132,6 +141,14 @@ func (fx *FrozenIndex) SizeBytes() int {
 // concurrent readers must happen through an atomic pointer swap (or
 // equivalent happens-before edge).
 func (fx *FrozenIndex) extended(ts []int64, recs []Record) *FrozenIndex {
+	if fx.Mapped {
+		// Detach-on-extend: mapped columns are read-only (append into
+		// their zero spare capacity would reallocate, but the rule is
+		// explicit, not an artifact of cap) — copy them to the heap with
+		// room for the batch so the chain grows in owned memory from here
+		// on. The mapped snapshot itself stays untouched and shared.
+		fx = fx.detached(len(recs))
+	}
 	nfx := &FrozenIndex{
 		Ts:   append(fx.Ts, ts...),
 		Traj: fx.Traj,
@@ -167,6 +184,26 @@ func (fx *FrozenIndex) extended(ts []int64, recs []Record) *FrozenIndex {
 		}
 	}
 	return nfx
+}
+
+// detached returns a heap-owned copy of a mapped index with spare capacity
+// for extra more records per column, so the extension appends that follow
+// land in owned memory. The receiver (and the mapping behind it) is not
+// touched.
+func (fx *FrozenIndex) detached(extra int) *FrozenIndex {
+	n := len(fx.Ts)
+	d := &FrozenIndex{
+		Ts:   append(make([]int64, 0, n+extra), fx.Ts...),
+		Traj: append(make([]traj.ID, 0, n+extra), fx.Traj...),
+		Seq:  append(make([]int32, 0, n+extra), fx.Seq...),
+		ISA:  append(make([]int32, 0, n+extra), fx.ISA...),
+		A:    append(make([]int32, 0, n+extra), fx.A...),
+		TT:   append(make([]int32, 0, n+extra), fx.TT...),
+	}
+	if fx.W != nil {
+		d.W = append(make([]int32, 0, n+extra), fx.W...)
+	}
+	return d
 }
 
 // FrozenForest is F frozen: one immutable columnar index per segment with

@@ -54,7 +54,9 @@ func DecodeSnapForest(r *snapio.Reader) (*FrozenForest, error) {
 	for i := 0; i < numIdx; i++ {
 		e := network.EdgeID(r.I64())
 		hasW := r.Bool()
-		fx := &FrozenIndex{}
+		// In zero-copy mode the columns below alias the reader's mapping;
+		// Mapped makes extension detach them before appending.
+		fx := &FrozenIndex{Mapped: r.ZeroCopy()}
 		fx.Ts = r.I64s()
 		fx.Traj = snapio.ReadI32s[traj.ID](r)
 		fx.Seq = r.I32s()

@@ -557,7 +557,14 @@ func (s *Server) WriteSnapshot() (SnapshotResponse, error) {
 			return resp, fmt.Errorf("ttserve: rotating WAL after snapshot: %w", err)
 		}
 	}
-	if _, err := pathhist.PruneSnapshots(s.cfg.SnapshotDir, s.cfg.SnapshotKeep, s.cfg.LoadedSnapshotPath); err != nil {
+	// Pin both the configured restore file and the file the engine is
+	// serving over a mapping. They usually coincide, but an engine mapped
+	// from an explicit -load-snapshot path inside the snapshot dir has no
+	// LoadedSnapshotPath pin, and deleting a mapped file silently breaks
+	// the next restart's re-open even though the running process keeps
+	// serving (the unlinked inode stays alive on unix).
+	if _, err := pathhist.PruneSnapshots(s.cfg.SnapshotDir, s.cfg.SnapshotKeep,
+		s.cfg.LoadedSnapshotPath, s.eng.MappedSnapshotPath()); err != nil {
 		resp.ElapsedMs = float64(time.Since(started).Microseconds()) / 1000
 		return resp, err
 	}

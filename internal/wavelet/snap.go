@@ -2,6 +2,9 @@
 // shape (node child links), the per-symbol code table and every node's bit
 // vector — payload plus rank directory — are written verbatim, so loading
 // restores the exact tree without re-deriving codes or re-counting bits.
+// Under a zero-copy reader (DESIGN.md §15) every node's vector views the
+// read-only mapping; the tree is immutable after construction, so the
+// views are safe for its whole lifetime.
 package wavelet
 
 import (

@@ -40,6 +40,7 @@ import (
 	"pathhist/internal/hist"
 	"pathhist/internal/network"
 	"pathhist/internal/query"
+	"pathhist/internal/snapio"
 	"pathhist/internal/snt"
 	"pathhist/internal/temporal"
 	"pathhist/internal/traj"
@@ -247,6 +248,15 @@ type Options struct {
 type Engine struct {
 	g  *network.Graph
 	qe *query.Engine
+
+	// mapping is the read-only backing store of a zero-copy snapshot load
+	// (LoadSnapshotFileMapped); nil for built or copy-loaded engines. The
+	// engine holds it for its whole lifetime — later epochs produced by
+	// Extend/Compact share untouched columns with the mapped snapshot, so
+	// it is never safe to unmap while the engine (or any Replica) is
+	// reachable; process exit releases it. Snapshot retention must never
+	// prune the file behind it (see MappedSnapshotPath).
+	mapping *snapio.Mapping
 }
 
 // NewEngine indexes the store and returns a query engine. The store is
@@ -349,6 +359,31 @@ func (e *Engine) ValidateExtend(batch *Store) error { return e.qe.Index().Valida
 // finish publishing. The engine keeps answering queries (and even Extends)
 // after Close — only background merging stops. Close is idempotent.
 func (e *Engine) Close() { e.qe.Close() }
+
+// Replica returns a read-only replica of the engine: it serves the exact
+// snapshot the primary publishes — the two share one atomic publication
+// cell, so an Extend on the primary is visible to the replica the same
+// instant and answers stay bit-identical — while owning its result caches,
+// spreading concurrent read load over per-replica cache locks. A replica
+// of a mapped engine (LoadSnapshotFileMapped) shares the mapping and costs
+// no index memory; K replicas serve off one page cache. Extend and Compact
+// on a replica fail with query.ErrFollower; Close it independently.
+func (e *Engine) Replica() *Engine {
+	return &Engine{g: e.g, qe: query.NewFollower(e.qe), mapping: e.mapping}
+}
+
+// MappedSnapshotPath returns the snapshot file this engine serves over a
+// read-only mapping ("" when the engine was built or copy-loaded). While
+// non-empty, the file must not be deleted: unlinking a mapped file keeps
+// the current process serving (unix keeps the inode alive) but silently
+// breaks the next restart's re-open — snapshot retention treats this path
+// exactly like the loaded file and never prunes it.
+func (e *Engine) MappedSnapshotPath() string {
+	if e.mapping == nil {
+		return ""
+	}
+	return e.mapping.Path()
+}
 
 // Epoch returns the engine's current index epoch: 0 at construction,
 // incremented by every successful non-empty Extend and every effective

@@ -4,11 +4,14 @@
 package pathhist_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"pathhist"
+	"pathhist/internal/metrics"
 	"pathhist/internal/sharded"
 	"pathhist/internal/workload"
 )
@@ -55,6 +58,54 @@ func BenchmarkShardScaling(b *testing.B) {
 			b.ReportMetric(row.QueryMsPerOp, "query-ms")
 			b.ReportMetric(row.IngestTrajsPerSec, "trajs/s")
 			b.ReportMetric(row.IngestBatchesPerSec, "batches/s")
+		})
+	}
+}
+
+// BenchmarkReplicaServing is the PR 10 replica-set experiment: the same
+// two-shard cluster served with one query engine per shard and then with
+// two replicas sharing each shard's published snapshot. Hedged retries fire
+// off each replica's own p99, so the replicas2 run also measures how often
+// a hedge lands on the sibling replica and wins. benchrecord derives
+// replica2_qps_vs_replica1 and replica_hedge_win_rate from the reported
+// metrics.
+func BenchmarkReplicaServing(b *testing.B) {
+	ds, qs := shardBenchEnv(b)
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("replicas%d", k), func(b *testing.B) {
+			counters := &metrics.ServerCounters{}
+			c, err := sharded.Build(ds.G, ds.Store.Slice(0, ds.Store.Len()), sharded.Config{
+				Shards:           2,
+				ReplicasPerShard: k,
+				Counters:         counters,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := qs[i%len(qs)]
+					i++
+					if _, err := c.Query(ctx, q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if sec := time.Since(start).Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "qps")
+			}
+			if hd := counters.HedgedDispatches.Load(); hd > 0 {
+				b.ReportMetric(float64(counters.HedgeWins.Load())/float64(hd), "hedge-win-rate")
+				b.ReportMetric(float64(counters.CrossReplicaHedges.Load())/float64(hd), "cross-replica-rate")
+			}
 		})
 	}
 }

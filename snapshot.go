@@ -9,6 +9,7 @@ import (
 
 	"pathhist/internal/failpoint"
 	"pathhist/internal/query"
+	"pathhist/internal/snapio"
 	"pathhist/internal/snt"
 )
 
@@ -129,14 +130,18 @@ func snapshotNamed(name string) bool {
 }
 
 // PruneSnapshots enforces the retention bound in dir: the newest keep
-// epoch-named snapshots survive, older ones are deleted. protect names a
-// file (by full path) that is never deleted regardless of age — the
-// snapshot a running replay or serving engine was loaded from, which must
-// stay on disk until a newer snapshot durably covers it. The legacy
-// SnapshotFileName is treated as older than every epoch-named snapshot
-// (it is only deleted once an epoch-named one exists, and never while
-// protected). Returns the deleted file names. keep < 1 is treated as 1.
-func PruneSnapshots(dir string, keep int, protect string) ([]string, error) {
+// epoch-named snapshots survive, older ones are deleted. protect names
+// files (by full path; empty strings are ignored) that are never deleted
+// regardless of age — the snapshot a running replay or serving engine was
+// loaded from, which must stay on disk until a newer snapshot durably
+// covers it, and the file a mapped engine is serving over
+// (Engine.MappedSnapshotPath): deleting a mapped file works on unix —
+// the inode survives the unlink — but silently breaks the next restart's
+// re-open. The legacy SnapshotFileName is treated as older than every
+// epoch-named snapshot (it is only deleted once an epoch-named one exists,
+// and never while protected). Returns the deleted file names. keep < 1 is
+// treated as 1.
+func PruneSnapshots(dir string, keep int, protect ...string) ([]string, error) {
 	if keep < 1 {
 		keep = 1
 	}
@@ -164,10 +169,18 @@ func PruneSnapshots(dir string, keep int, protect string) ([]string, error) {
 	if legacy && len(named) > 0 {
 		doomed = append(doomed, SnapshotFileName)
 	}
+	protected := func(path string) bool {
+		for _, p := range protect {
+			if p != "" && path == p {
+				return true
+			}
+		}
+		return false
+	}
 	var deleted []string
 	for _, name := range doomed {
 		path := filepath.Join(dir, name)
-		if path == protect {
+		if protected(path) {
 			continue
 		}
 		if err := os.Remove(path); err != nil {
@@ -334,4 +347,36 @@ func LoadSnapshotFile(g *Graph, path string, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{g: g, qe: query.NewEngineAt(ix, engineConfig(ix, opts), epoch)}, nil
+}
+
+// LoadSnapshotFileMapped restores an Engine over a read-only mapping of the
+// snapshot file instead of a copy: the index's columns point straight into
+// the mapping (DESIGN.md §15), so restore cost is CRC verification plus
+// semantic validation — no per-column allocation — and stays near-flat as
+// the index grows. Integrity is exactly LoadSnapshotFile's: every section
+// CRC and the column cross-checks run before the engine exists, never
+// lazily at fault time. The engine behaves identically afterwards — query,
+// Extend (mapped columns are detached to the heap before any append),
+// Compact, Snapshot all work — and holds the mapping for its lifetime; see
+// Engine.MappedSnapshotPath for the retention contract. On non-unix
+// platforms the mapping degrades to a heap copy of the file.
+func LoadSnapshotFileMapped(g *Graph, path string, opts Options) (*Engine, error) {
+	if err := failpoint.Inject(FailpointSnapshotLoad); err != nil {
+		return nil, fmt.Errorf("pathhist: reading snapshot %s: %w", path, err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("pathhist: nil graph")
+	}
+	m, err := snapio.MapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, epoch, err := snt.ReadSnapshotMapped(g, m.Data())
+	if err != nil {
+		if cerr := m.Close(); cerr != nil {
+			return nil, fmt.Errorf("pathhist: unmapping %s: %v (after: %w)", path, cerr, err)
+		}
+		return nil, err
+	}
+	return &Engine{g: g, qe: query.NewEngineAt(ix, engineConfig(ix, opts), epoch), mapping: m}, nil
 }

@@ -1,0 +1,275 @@
+package pathhist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pathhist/internal/query"
+	"pathhist/internal/workload"
+)
+
+// TestLoadSnapshotFileMapped: a mapped load answers bit-identically to the
+// copying load and to the writer, reports the mapping it holds, and a
+// follower replica shares it.
+func TestLoadSnapshotFileMapped(t *testing.T) {
+	opts := Options{Partition: ByZone, Estimator: EstimatorCSSAcc}
+	g, eng, qs := lifecycleEngine(t, opts)
+	dir := t.TempDir()
+	st, err := eng.SnapshotFileIn(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := LoadSnapshotFileMapped(g, st.Path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := LoadSnapshotFile(g, st.Path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Epoch() != eng.Epoch() || mapped.Trajectories() != eng.Trajectories() {
+		t.Fatalf("mapped engine: epoch %d trajs %d, want %d/%d",
+			mapped.Epoch(), mapped.Trajectories(), eng.Epoch(), eng.Trajectories())
+	}
+	if mapped.MappedSnapshotPath() != st.Path {
+		t.Fatalf("MappedSnapshotPath = %q, want %q", mapped.MappedSnapshotPath(), st.Path)
+	}
+	if copied.MappedSnapshotPath() != "" || eng.MappedSnapshotPath() != "" {
+		t.Fatal("non-mapped engines report a mapped snapshot path")
+	}
+	assertSameAnswers(t, eng, mapped, qs, "mapped vs writer")
+	assertSameAnswers(t, copied, mapped, qs, "mapped vs copied")
+
+	// A follower replica shares the mapping and the published snapshot.
+	rep := mapped.Replica()
+	if rep.MappedSnapshotPath() != st.Path || rep.Epoch() != mapped.Epoch() {
+		t.Fatalf("replica: path %q epoch %d, want %q/%d",
+			rep.MappedSnapshotPath(), rep.Epoch(), st.Path, mapped.Epoch())
+	}
+	assertSameAnswers(t, mapped, rep, qs, "replica vs primary")
+
+	if _, err := LoadSnapshotFileMapped(nil, st.Path, opts); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := LoadSnapshotFileMapped(g, filepath.Join(dir, "nope.snt"), opts); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// snapshotSections parses the file framing and returns one byte offset
+// inside each section's payload (skipping padding, which no checksum
+// covers).
+func snapshotSections(t *testing.T, data []byte) map[string]int {
+	t.Helper()
+	const headerSize, sectionHdrSize = 40, 24
+	offsets := map[string]int{"file header": 20} // epoch field, CRC-covered
+	off := headerSize
+	for i := 0; off+sectionHdrSize <= len(data); i++ {
+		kind := binary.LittleEndian.Uint32(data[off:])
+		length := int(binary.LittleEndian.Uint64(data[off+8:]))
+		offsets[fmt.Sprintf("section %d (kind %d) header", i, kind)] = off + 8
+		if length > 0 {
+			offsets[fmt.Sprintf("section %d (kind %d) payload", i, kind)] = off + sectionHdrSize + length/2
+		}
+		off += sectionHdrSize + (length+7)/8*8
+	}
+	if off != len(data) {
+		t.Fatalf("framing walk ended at %d of %d bytes", off, len(data))
+	}
+	return offsets
+}
+
+// TestMappedCorruptionTable: a single flipped bit anywhere that matters —
+// the header, any section header, any section payload — must fail the
+// mapped load closed before the engine serves a byte.
+func TestMappedCorruptionTable(t *testing.T) {
+	opts := Options{Partition: ByZone}
+	g, eng, _ := lifecycleEngine(t, opts)
+	dir := t.TempDir()
+	st, err := eng.SnapshotFileIn(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, off := range snapshotSections(t, data) {
+		t.Run(name, func(t *testing.T) {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 0x04
+			path := filepath.Join(t.TempDir(), "corrupt.snt")
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadSnapshotFileMapped(g, path, opts); err == nil {
+				t.Fatalf("bit flip at offset %d served", off)
+			}
+		})
+	}
+}
+
+// TestMappedVsCopiedDifferential (-race): a mapped engine and a copied
+// engine restored from the same file stay bit-identical through the full
+// mutation lifecycle — concurrent queries while both Extend, then both
+// Compact. Extending a mapped index detaches its frozen columns to the heap
+// (temporal.FrozenIndex.Mapped); a write through the PROT_READ mapping
+// would fault, and the race detector guards the heap side.
+func TestMappedVsCopiedDifferential(t *testing.T) {
+	cfg := workload.SmallConfig()
+	ds := workload.BuildDataset(cfg)
+	qs := ds.MakeQueries(0.05, 5, cfg.Seed+1)
+	ds.Store.SortByStart()
+	cuts := ds.Store.QuiescentCuts()
+	if len(cuts) < 2 {
+		t.Fatalf("dataset has %d quiescent cuts, need 2", len(cuts))
+	}
+	cut := cuts[len(cuts)/2]
+	opts := Options{Partition: ByZone}
+	base, err := NewEngine(ds.G, ds.Store.Slice(0, cut), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := base.SnapshotFileIn(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadSnapshotFileMapped(ds.G, st.Path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := LoadSnapshotFile(ds.G, st.Path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, copied, mapped, qs, "restored")
+
+	// Queries hammer both engines while the mutations run.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w, eng := range []*Engine{mapped, copied} {
+		wg.Add(1)
+		go func(w int, eng *Engine) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[i%len(qs)]
+				if _, err := eng.Query(Query{Path: q.Path, Around: q.T0, Beta: 20}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w, eng)
+	}
+	rest := ds.Store.Slice(cut, ds.Store.Len())
+	for _, eng := range []*Engine{mapped, copied} {
+		if _, err := eng.Extend(rest); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, eng := range []*Engine{mapped, copied} {
+		if _, err := eng.Compact(); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if mapped.Epoch() != copied.Epoch() {
+		t.Fatalf("epochs diverged: mapped %d, copied %d", mapped.Epoch(), copied.Epoch())
+	}
+	assertSameAnswers(t, copied, mapped, qs, "after extend+compact")
+}
+
+// TestPruneProtectsMappedSnapshot: retention never deletes the file a live
+// engine is mapped over, even when newer generations push it past the keep
+// bound — unmapping a served file out from under the engine would be a
+// use-after-free enforced by the kernel.
+func TestPruneProtectsMappedSnapshot(t *testing.T) {
+	opts := Options{Partition: ByZone}
+	g, eng, qs := lifecycleEngine(t, opts)
+	dir := t.TempDir()
+	st, err := eng.SnapshotFileIn(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := LoadSnapshotFileMapped(g, st.Path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Newer generations arrive; the mapped file is now the oldest.
+	for epoch := eng.Epoch() + 1; epoch <= eng.Epoch()+3; epoch++ {
+		if err := os.WriteFile(filepath.Join(dir, SnapshotName(epoch)), []byte("newer"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := PruneSnapshots(dir, 1, mapped.MappedSnapshotPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("deleted %v, want exactly the 2 unprotected older generations", deleted)
+	}
+	if _, err := os.Stat(st.Path); err != nil {
+		t.Fatalf("mapped snapshot pruned: %v", err)
+	}
+	// The engine still serves off the mapping.
+	queryOnce(t, mapped, qs[0])
+
+	// Without the pin the same prune would have taken the file.
+	if _, err := PruneSnapshots(dir, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(st.Path); !os.IsNotExist(err) {
+		t.Fatal("unprotected old snapshot survived the control prune")
+	}
+}
+
+// TestReplicaFollowerReadOnly: a follower shares the primary's published
+// epochs and serves identical answers, but refuses mutation with
+// ErrFollower.
+func TestReplicaFollowerReadOnly(t *testing.T) {
+	cfg := workload.SmallConfig()
+	ds := workload.BuildDataset(cfg)
+	qs := ds.MakeQueries(0.05, 5, cfg.Seed+1)
+	ds.Store.SortByStart()
+	cuts := ds.Store.QuiescentCuts()
+	cut := cuts[len(cuts)/2]
+	primary, err := NewEngine(ds.G, ds.Store.Slice(0, cut), Options{Partition: ByZone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := primary.Replica()
+	assertSameAnswers(t, primary, rep, qs, "follower before extend")
+
+	rest := ds.Store.Slice(cut, ds.Store.Len())
+	if _, err := rep.Extend(rest); !errors.Is(err, query.ErrFollower) {
+		t.Fatalf("follower Extend error = %v, want ErrFollower", err)
+	}
+	if _, err := rep.Compact(); !errors.Is(err, query.ErrFollower) {
+		t.Fatalf("follower Compact error = %v, want ErrFollower", err)
+	}
+
+	// The primary mutates; the follower observes the new epoch instantly
+	// (shared publication cell) and stays bit-identical.
+	if _, err := primary.Extend(rest); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch() != primary.Epoch() {
+		t.Fatalf("follower epoch %d, primary %d", rep.Epoch(), primary.Epoch())
+	}
+	assertSameAnswers(t, primary, rep, qs, "follower after extend")
+}
